@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! Baselines the paper compares GPA/HGPA against (§6.2.8–6.2.10).
+//!
+//! * [`pregel`] — a vertex-centric BSP engine in the mould of Pregel+
+//!   [48]: hash-partitioned vertices, per-superstep message exchange with
+//!   sender-side combiners, aggregator-driven convergence. Runs the power
+//!   iteration PPR program. Every message crossing a worker boundary is
+//!   counted in bytes — the quantity that makes BSP engines lose the
+//!   communication comparison by orders of magnitude (Figure 22).
+//! * [`blogel`] — a block-centric engine in the mould of Blogel [47]:
+//!   blocks come from the same multilevel partitioner GPA uses, each
+//!   superstep runs blocks to *local* convergence, and only block-boundary
+//!   messages travel. Fewer supersteps and less traffic than Pregel, but
+//!   still many rounds — exactly the middle position it holds in the
+//!   paper's figures.
+//! * [`fastppv`] — a hub-based scheduled-approximation method standing in
+//!   for FastPPV [49]: the `h` highest-PageRank nodes get truncated
+//!   precomputed PPVs; a query pushes until mass parks at hubs, then
+//!   resolves the parked mass through the truncated hub vectors. The hub
+//!   count is the accuracy/time knob the paper sweeps (Fast-100 /
+//!   Fast-1000 / Fast-10000).
+//! * [`monte_carlo`] — classic random-walk estimation (Fogaras/Bahmani
+//!   style), the approximate-distributed reference point of §7.
+
+pub mod blogel;
+pub mod fastppv;
+pub mod monte_carlo;
+pub mod pregel;
+
+pub use blogel::BlogelPpr;
+pub use fastppv::FastPpv;
+pub use monte_carlo::MonteCarloPpr;
+pub use pregel::PregelPpr;
+
+/// Execution record shared by the BSP engines.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BspRunStats {
+    /// Supersteps until global convergence.
+    pub supersteps: u32,
+    /// Messages that crossed a worker boundary (after combining).
+    pub cross_worker_messages: u64,
+    /// Bytes of cross-worker traffic (12 bytes per combined message:
+    /// 4-byte target id + 8-byte value — same accounting as the
+    /// coordinator traffic in `ppr-cluster`).
+    pub network_bytes: u64,
+    /// Wall-clock seconds for the whole run.
+    pub elapsed_seconds: f64,
+}

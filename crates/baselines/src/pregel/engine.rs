@@ -1,0 +1,263 @@
+//! A general vertex-centric BSP engine (the Pregel model [36], with
+//! Pregel+'s sender-side message combining [48]).
+//!
+//! Vertices are hash-partitioned over workers. A superstep runs three
+//! phases: *compute* (each worker runs the [`VertexProgram`] on its
+//! vertices, collecting outgoing messages combined per target), *exchange*
+//! (messages are delivered; traffic crossing a worker boundary is counted
+//! in bytes), and *aggregate* (the program folds per-vertex states into a
+//! global aggregate that decides termination). This is the execution model
+//! the paper's §6.2.8 baselines implement; the PPR and PageRank programs
+//! in the sibling modules are its users, and any other vertex-centric
+//! computation can run on it.
+
+use crate::BspRunStats;
+use ppr_graph::{Adjacency, CsrGraph, NodeId};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// A vertex-centric program in the Pregel style.
+///
+/// Messages are `f64` combined by summation — the combiner that covers
+/// PageRank-family programs (and, per Pregel+, the main message-reduction
+/// device). Vertex state is the program's `Value`.
+pub trait VertexProgram: Sync {
+    /// Per-vertex state.
+    type Value: Clone + Send + Sync;
+
+    /// Initial state of vertex `v` (superstep 0 input).
+    fn init(&self, v: NodeId) -> Self::Value;
+
+    /// One vertex step: combine the incoming message sum with the current
+    /// state, returning the new state and the mass to emit along each
+    /// out-edge (`None` = send nothing this superstep).
+    fn compute(
+        &self,
+        v: NodeId,
+        state: &Self::Value,
+        incoming: f64,
+        graph: &CsrGraph,
+    ) -> (Self::Value, Option<f64>);
+
+    /// Convergence measure folded over all vertices after each superstep;
+    /// the run stops when it drops to `tolerance` or below.
+    fn progress(&self, old: &Self::Value, new: &Self::Value) -> f64;
+}
+
+/// The engine: a graph, a worker placement, and run bookkeeping.
+pub struct BspEngine<'g> {
+    graph: &'g CsrGraph,
+    workers: usize,
+    worker_of: Vec<u32>,
+}
+
+impl<'g> BspEngine<'g> {
+    /// Hash-partition `graph` over `workers`.
+    pub fn new(graph: &'g CsrGraph, workers: usize) -> Self {
+        assert!(workers >= 1);
+        let n = graph.node_count();
+        let worker_of = (0..n as u64)
+            .map(|v| ((v.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) % workers as u64) as u32)
+            .collect();
+        Self {
+            graph,
+            workers,
+            worker_of,
+        }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Worker placement of a vertex.
+    pub fn worker_of(&self, v: NodeId) -> u32 {
+        self.worker_of[v as usize]
+    }
+
+    /// Node count of the underlying graph.
+    pub fn graph_node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Run `program` until its progress measure is at most `tolerance` or
+    /// `max_supersteps` elapse. Returns final states and run statistics.
+    pub fn run<P: VertexProgram>(
+        &self,
+        program: &P,
+        tolerance: f64,
+        max_supersteps: u32,
+    ) -> (Vec<P::Value>, BspRunStats) {
+        let t0 = Instant::now();
+        let n = self.graph.node_count();
+        let mut stats = BspRunStats::default();
+        let mut states: Vec<P::Value> = (0..n as NodeId).map(|v| program.init(v)).collect();
+        let mut incoming = vec![0.0f64; n];
+
+        for _ in 0..max_supersteps {
+            stats.supersteps += 1;
+
+            // Compute phase: per worker, run the program and combine
+            // outgoing messages per target vertex.
+            type WorkerResult<V> = (Vec<(NodeId, V)>, HashMap<NodeId, f64>, f64);
+            let results: Vec<WorkerResult<P::Value>> =
+                std::thread::scope(|scope| {
+                    let states = &states;
+                    let incoming = &incoming;
+                    let handles: Vec<_> = (0..self.workers as u32)
+                        .map(|w| {
+                            scope.spawn(move || {
+                                let mut new_states: Vec<(NodeId, P::Value)> = Vec::new();
+                                let mut combined: HashMap<NodeId, f64> = HashMap::new();
+                                let mut progress = 0.0f64;
+                                for v in 0..n as NodeId {
+                                    if self.worker_of[v as usize] != w {
+                                        continue;
+                                    }
+                                    let (new, emit) = program.compute(
+                                        v,
+                                        &states[v as usize],
+                                        incoming[v as usize],
+                                        self.graph,
+                                    );
+                                    progress =
+                                        progress.max(program.progress(&states[v as usize], &new));
+                                    if let Some(mass) = emit {
+                                        let deg = self.graph.degree(v);
+                                        if deg > 0 && mass != 0.0 {
+                                            let share = mass / deg as f64;
+                                            for &t in self.graph.out(v) {
+                                                *combined.entry(t).or_insert(0.0) += share;
+                                            }
+                                        }
+                                    }
+                                    new_states.push((v, new));
+                                }
+                                (new_states, combined, progress)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("worker thread"))
+                        .collect()
+                });
+
+            // Exchange + aggregate.
+            for slot in incoming.iter_mut() {
+                *slot = 0.0;
+            }
+            let mut max_progress = 0.0f64;
+            for (w, (new_states, msgs, progress)) in results.into_iter().enumerate() {
+                for (v, s) in new_states {
+                    states[v as usize] = s;
+                }
+                for (t, m) in msgs {
+                    if self.worker_of[t as usize] != w as u32 {
+                        stats.cross_worker_messages += 1;
+                        stats.network_bytes += 12;
+                    }
+                    incoming[t as usize] += m;
+                }
+                max_progress = max_progress.max(progress);
+            }
+            if max_progress <= tolerance {
+                break;
+            }
+        }
+
+        stats.elapsed_seconds = t0.elapsed().as_secs_f64();
+        (states, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppr_graph::csr::from_edges;
+
+    /// A trivial program: every vertex forwards its value once, then
+    /// settles (used to exercise the engine independent of PPR).
+    struct OneShotSpread;
+
+    impl VertexProgram for OneShotSpread {
+        type Value = (f64, u32); // (value, age)
+
+        fn init(&self, v: NodeId) -> Self::Value {
+            (if v == 0 { 1.0 } else { 0.0 }, 0)
+        }
+
+        fn compute(
+            &self,
+            _v: NodeId,
+            state: &Self::Value,
+            incoming: f64,
+            _graph: &CsrGraph,
+        ) -> (Self::Value, Option<f64>) {
+            let (val, age) = *state;
+            let emit = (age == 0 && val > 0.0).then_some(val);
+            ((val + incoming, age + 1), emit)
+        }
+
+        fn progress(&self, old: &Self::Value, new: &Self::Value) -> f64 {
+            if new.1 <= 1 {
+                1.0 // warm-up superstep: messages are still in flight
+            } else {
+                (new.0 - old.0).abs()
+            }
+        }
+    }
+
+    #[test]
+    fn engine_delivers_and_combines() {
+        // 0 -> {1, 2}; both get half of 0's unit.
+        let g = from_edges(3, &[(0, 1), (0, 2)]);
+        let engine = BspEngine::new(&g, 2);
+        let (states, stats) = engine.run(&OneShotSpread, 1e-12, 10);
+        assert!((states[1].0 - 0.5).abs() < 1e-12);
+        assert!((states[2].0 - 0.5).abs() < 1e-12);
+        assert!(stats.supersteps >= 2);
+    }
+
+    #[test]
+    fn traffic_counted_only_across_workers() {
+        let g = from_edges(3, &[(0, 1), (0, 2)]);
+        let single = BspEngine::new(&g, 1);
+        let (_, s1) = single.run(&OneShotSpread, 1e-12, 10);
+        assert_eq!(s1.network_bytes, 0);
+        let multi = BspEngine::new(&g, 3);
+        let (_, s3) = multi.run(&OneShotSpread, 1e-12, 10);
+        assert!(s3.network_bytes >= s1.network_bytes);
+    }
+
+    #[test]
+    fn superstep_cap_respected() {
+        // A cycle never converges under OneShotSpread-like forwarding if we
+        // keep emitting; cap must bound the run. Use PPR-like decay via the
+        // cap instead: just check the engine stops.
+        let g = from_edges(2, &[(0, 1), (1, 0)]);
+        struct Forever;
+        impl VertexProgram for Forever {
+            type Value = f64;
+            fn init(&self, v: NodeId) -> f64 {
+                f64::from(v == 0)
+            }
+            fn compute(
+                &self,
+                _v: NodeId,
+                state: &f64,
+                incoming: f64,
+                _g: &CsrGraph,
+            ) -> (f64, Option<f64>) {
+                (incoming, Some(*state))
+            }
+            fn progress(&self, _o: &f64, _n: &f64) -> f64 {
+                1.0 // never claims convergence
+            }
+        }
+        let engine = BspEngine::new(&g, 2);
+        let (_, stats) = engine.run(&Forever, 0.0, 7);
+        assert_eq!(stats.supersteps, 7);
+    }
+}

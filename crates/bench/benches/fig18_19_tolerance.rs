@@ -1,0 +1,7 @@
+//! harness=false bench target: prints the paper-style rows for this
+//! figure group at the quick profile (set PPR_BENCH_FULL=1 for full).
+fn main() {
+    let profile = ppr_bench::Profile::from_env();
+    println!("[bench:fig18_19_tolerance] profile = {}", profile.name);
+    ppr_bench::exp_fig18_19::run(&profile);
+}

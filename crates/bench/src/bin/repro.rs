@@ -1,0 +1,66 @@
+//! Reproduce the paper's tables and figures from the command line.
+//!
+//! ```text
+//! cargo run --release -p ppr-bench --bin repro -- all
+//! cargo run --release -p ppr-bench --bin repro -- fig21 fig22 --full
+//! cargo run --release -p ppr-bench --bin repro -- list
+//! ```
+
+use ppr_bench::{profile::Profile, *};
+
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("tables", "Tables 2–6: hub nodes per level + Meetup sizes"),
+    ("fig09", "Figure 9: GPA vs HGPA"),
+    ("fig10", "Figures 10–13: machine-count sweep (alias fig11/fig12/fig13)"),
+    ("fig14", "Figures 14–16: partitioning-level sweep (alias fig15/fig16)"),
+    ("fig17", "Figure 17: multi-way partitioning"),
+    ("fig18", "Figures 18–19: tolerance sweep + accuracy (alias fig19)"),
+    ("fig20", "Figures 20 & 27: Meetup scalability (alias fig27)"),
+    ("fig21", "Figures 21–22: vs Pregel+/Blogel (alias fig22)"),
+    ("fig23", "Figures 23–26: centralized + FastPPV (alias fig24/fig25/fig26)"),
+    ("fig28", "Figure 28: PLD_full processor sweep"),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let profile = if full { Profile::full() } else { Profile::from_env() };
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    if selected.is_empty() || selected.contains(&"list") {
+        println!("usage: repro [--full] <experiment...>|all|list\n");
+        for (name, desc) in EXPERIMENTS {
+            println!("  {name:<8} {desc}");
+        }
+        return;
+    }
+
+    println!(
+        "profile: {} (node cap {:?}, {} queries/measurement)",
+        profile.name, profile.node_cap, profile.queries
+    );
+
+    for sel in selected {
+        match sel {
+            "all" => run_all(&profile),
+            "tables" => exp_tables::run(&profile),
+            "fig09" | "fig9" => exp_fig09::run(&profile),
+            "fig10" | "fig11" | "fig12" | "fig13" => exp_fig10_13::run(&profile),
+            "fig14" | "fig15" | "fig16" => exp_fig14_16::run(&profile),
+            "fig17" => exp_fig17::run(&profile),
+            "fig18" | "fig19" => exp_fig18_19::run(&profile),
+            "fig20" | "fig27" => exp_fig20_27::run(&profile),
+            "fig21" | "fig22" => exp_fig21_22::run(&profile),
+            "fig23" | "fig24" | "fig25" | "fig26" => exp_fig23_26::run(&profile),
+            "fig28" => exp_fig28::run(&profile),
+            other => {
+                eprintln!("unknown experiment {other:?}; try `repro list`");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Figures 10–13: HGPA vs number of machines (2–10) on Web, Youtube, PLD.
+//!
+//! * Fig. 10 — query runtime drops ~linearly with machines (load balance);
+//! * Fig. 11 — max per-machine space drops with machines;
+//! * Fig. 12 — max per-machine offline time drops with machines;
+//! * Fig. 13 — coordinator traffic *grows* with machines (Theorem 4).
+
+use crate::report::{fmt_bytes, fmt_secs, Table};
+use crate::{dataset_graph, Profile};
+use ppr_cluster::Cluster;
+use ppr_core::hgpa::{HgpaBuildOptions, HgpaIndex};
+use ppr_core::PprConfig;
+use ppr_partition::{Hierarchy, HierarchyConfig};
+use ppr_workload::{query_nodes, Dataset};
+
+/// One sweep point.
+pub struct SweepPoint {
+    /// Machine count.
+    pub machines: usize,
+    /// Mean query runtime, seconds.
+    pub runtime: f64,
+    /// Max per-machine storage, bytes.
+    pub space: u64,
+    /// Max per-machine offline seconds.
+    pub offline: f64,
+    /// Mean per-query coordinator traffic, bytes.
+    pub network: u64,
+}
+
+/// Sweep machine counts for one dataset (hierarchy built once).
+pub fn sweep(d: Dataset, profile: &Profile) -> Vec<SweepPoint> {
+    let g = dataset_graph(d, profile);
+    let cfg = PprConfig::default();
+    let hierarchy = Hierarchy::build(&g, &HierarchyConfig::default());
+    let queries = query_nodes(&g, profile.queries, 13);
+    let cluster = Cluster::with_default_network();
+
+    profile
+        .machine_sweep
+        .iter()
+        .map(|&machines| {
+            let (idx, off) = HgpaIndex::build_distributed_with_hierarchy(
+                &g,
+                &cfg,
+                &HgpaBuildOptions {
+                    machines,
+                    ..Default::default()
+                },
+                hierarchy.clone(),
+            );
+            let reports = cluster.query_batch(&idx, &queries);
+            let nq = reports.len().max(1);
+            SweepPoint {
+                machines,
+                runtime: reports.iter().map(|r| r.runtime_seconds()).sum::<f64>() / nq as f64,
+                space: idx.storage_bytes_per_machine().into_iter().max().unwrap_or(0),
+                offline: off.max_machine_seconds(),
+                network: reports.iter().map(|r| r.total_bytes()).sum::<u64>() / nq as u64,
+            }
+        })
+        .collect()
+}
+
+/// Print Figures 10–13.
+pub fn run(profile: &Profile) {
+    for d in [Dataset::Web, Dataset::Youtube, Dataset::Pld] {
+        let points = sweep(d, profile);
+        let mut t = Table::new(
+            format!(
+                "Figures 10–13 [{}]: HGPA vs number of machines",
+                d.name()
+            ),
+            &[
+                "machines",
+                "runtime (Fig10)",
+                "max space (Fig11)",
+                "offline (Fig12)",
+                "comm/query (Fig13)",
+            ],
+        );
+        for p in &points {
+            t.row(vec![
+                p.machines.to_string(),
+                fmt_secs(p.runtime),
+                fmt_bytes(p.space),
+                fmt_secs(p.offline),
+                fmt_bytes(p.network),
+            ]);
+        }
+        t.print();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trends_match_paper() {
+        let profile = Profile {
+            node_cap: Some(1500),
+            queries: 4,
+            machine_sweep: &[2, 6, 10],
+            name: "test",
+        };
+        let points = sweep(Dataset::Web, &profile);
+        assert_eq!(points.len(), 3);
+        // Fig 11: space shrinks with machines.
+        assert!(points[2].space < points[0].space);
+        // Fig 13: communication grows with machines.
+        assert!(points[2].network >= points[0].network);
+        // Fig 12: offline max-machine time should not grow substantially;
+        // with tiny work units thread noise dominates, so only sanity-check
+        // positivity here (the full profile shows the paper's trend).
+        assert!(points.iter().all(|p| p.offline >= 0.0));
+    }
+}

@@ -1,0 +1,112 @@
+//! Figures 14–16: effect of the number of partitioning levels on HGPA
+//! (Email, Web, Youtube): query runtime rises slightly with depth while
+//! precomputation space and time fall sharply.
+
+use crate::report::{fmt_secs, Table};
+use crate::{dataset_graph, Profile};
+use ppr_cluster::Cluster;
+use ppr_core::hgpa::{HgpaBuildOptions, HgpaIndex};
+use ppr_core::PprConfig;
+use ppr_partition::HierarchyConfig;
+use ppr_workload::{query_nodes, Dataset};
+
+/// One depth point.
+pub struct DepthPoint {
+    /// Depth cap used for the hierarchy.
+    pub levels: u32,
+    /// Mean query runtime, seconds.
+    pub runtime: f64,
+    /// Total stored entries (space proxy, machine-count independent).
+    pub space_entries: usize,
+    /// Max per-machine offline seconds.
+    pub offline: f64,
+}
+
+/// Sweep hierarchy depth caps for a dataset.
+pub fn sweep(d: Dataset, depths: &[u32], profile: &Profile) -> Vec<DepthPoint> {
+    let g = dataset_graph(d, profile);
+    let cfg = PprConfig::default();
+    let queries = query_nodes(&g, profile.queries, 17);
+    let cluster = Cluster::with_default_network();
+
+    depths
+        .iter()
+        .map(|&levels| {
+            let (idx, off) = HgpaIndex::build_distributed(
+                &g,
+                &cfg,
+                &HgpaBuildOptions {
+                    machines: 6,
+                    hierarchy: HierarchyConfig {
+                        max_depth: Some(levels),
+                        // Depth is the experimental variable: disable the
+                        // size-based stop so shallow caps bind.
+                        max_leaf_size: 0,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            );
+            let reports = cluster.query_batch(&idx, &queries);
+            let nq = reports.len().max(1) as f64;
+            DepthPoint {
+                levels,
+                runtime: reports.iter().map(|r| r.runtime_seconds()).sum::<f64>() / nq,
+                space_entries: idx.stored_entries(),
+                offline: off.max_machine_seconds(),
+            }
+        })
+        .collect()
+}
+
+/// Print Figures 14–16.
+pub fn run(profile: &Profile) {
+    let depth_sets: [(Dataset, &[u32]); 3] = [
+        (Dataset::Email, &[1, 2, 3, 4, 5]),
+        (Dataset::Web, &[2, 4, 6, 8]),
+        (Dataset::Youtube, &[2, 4, 6, 8]),
+    ];
+    for (d, depths) in depth_sets {
+        let points = sweep(d, depths, profile);
+        let mut t = Table::new(
+            format!("Figures 14–16 [{}]: effect of partitioning levels", d.name()),
+            &[
+                "levels",
+                "runtime (Fig14)",
+                "stored entries (Fig15)",
+                "offline (Fig16)",
+            ],
+        );
+        for p in &points {
+            t.row(vec![
+                p.levels.to_string(),
+                fmt_secs(p.runtime),
+                p.space_entries.to_string(),
+                fmt_secs(p.offline),
+            ]);
+        }
+        t.print();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deeper_hierarchy_stores_less() {
+        // Figure 15's shape: space falls as levels increase.
+        let profile = Profile {
+            node_cap: Some(1200),
+            queries: 3,
+            ..Profile::quick()
+        };
+        let points = sweep(Dataset::Email, &[1, 4], &profile);
+        assert!(
+            points[1].space_entries < points[0].space_entries,
+            "depth 4 {} vs depth 1 {}",
+            points[1].space_entries,
+            points[0].space_entries
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Figure 17: multi-way partitioning (2/4/8/16/64 parts per level) on Web.
+//! Runtime barely moves; precomputation space and time grow with fanout —
+//! the reason the paper defaults to 2-way splits.
+
+use crate::report::{fmt_secs, Table};
+use crate::{dataset_graph, Profile};
+use ppr_cluster::Cluster;
+use ppr_core::hgpa::{HgpaBuildOptions, HgpaIndex};
+use ppr_core::PprConfig;
+use ppr_partition::HierarchyConfig;
+use ppr_workload::{query_nodes, Dataset};
+
+/// One fanout point.
+pub struct FanoutPoint {
+    /// Parts per level.
+    pub fanout: usize,
+    /// Mean query runtime, seconds.
+    pub runtime: f64,
+    /// Total stored entries.
+    pub space_entries: usize,
+    /// Max per-machine offline seconds.
+    pub offline: f64,
+    /// Total hub nodes selected.
+    pub hubs: usize,
+}
+
+/// Sweep per-level fanout on Web.
+pub fn sweep(fanouts: &[usize], profile: &Profile) -> Vec<FanoutPoint> {
+    let g = dataset_graph(Dataset::Web, profile);
+    let cfg = PprConfig::default();
+    let queries = query_nodes(&g, profile.queries, 23);
+    let cluster = Cluster::with_default_network();
+
+    fanouts
+        .iter()
+        .map(|&fanout| {
+            let (idx, off) = HgpaIndex::build_distributed(
+                &g,
+                &cfg,
+                &HgpaBuildOptions {
+                    machines: 6,
+                    hierarchy: HierarchyConfig {
+                        fanout,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            );
+            let reports = cluster.query_batch(&idx, &queries);
+            let nq = reports.len().max(1) as f64;
+            FanoutPoint {
+                fanout,
+                runtime: reports.iter().map(|r| r.runtime_seconds()).sum::<f64>() / nq,
+                space_entries: idx.stored_entries(),
+                offline: off.max_machine_seconds(),
+                hubs: idx.hub_ids().len(),
+            }
+        })
+        .collect()
+}
+
+/// Print Figure 17.
+pub fn run(profile: &Profile) {
+    let points = sweep(&[2, 4, 8, 16, 64], profile);
+    let mut t = Table::new(
+        "Figure 17 [Web]: effect of multi-way partitioning",
+        &[
+            "partitions/level",
+            "runtime (a)",
+            "stored entries (b)",
+            "offline (c)",
+            "total hubs",
+        ],
+    );
+    for p in &points {
+        t.row(vec![
+            p.fanout.to_string(),
+            fmt_secs(p.runtime),
+            p.space_entries.to_string(),
+            fmt_secs(p.offline),
+            p.hubs.to_string(),
+        ]);
+    }
+    t.print();
+    println!("paper shape: 2-way has the smallest precomputation cost; runtime is flat.");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wider_fanout_selects_more_hubs() {
+        let profile = Profile {
+            node_cap: Some(1200),
+            queries: 3,
+            ..Profile::quick()
+        };
+        let points = sweep(&[2, 8], &profile);
+        assert!(
+            points[1].hubs >= points[0].hubs,
+            "8-way {} vs 2-way {}",
+            points[1].hubs,
+            points[0].hubs
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Figure 18: effect of the tolerance ε on HGPA (runtime, space, offline,
+//! communication, on Web) and Figure 19: ℓ-norm distance from the power
+//! iteration reference across ε (Email, Web).
+
+use crate::report::{fmt_bytes, fmt_secs, Table};
+use crate::{dataset_graph, Profile};
+use ppr_cluster::Cluster;
+use ppr_core::hgpa::{HgpaBuildOptions, HgpaIndex};
+use ppr_core::power::power_iteration;
+use ppr_core::PprConfig;
+use ppr_metrics::{avg_l1, l_inf};
+use ppr_workload::{query_nodes, Dataset};
+
+/// One tolerance point (Figure 18).
+pub struct TolerancePoint {
+    /// Tolerance ε.
+    pub epsilon: f64,
+    /// Mean query runtime, seconds.
+    pub runtime: f64,
+    /// Total stored entries.
+    pub space_entries: usize,
+    /// Max per-machine offline seconds.
+    pub offline: f64,
+    /// Mean per-query coordinator bytes.
+    pub network: u64,
+}
+
+/// Accuracy point (Figure 19).
+pub struct AccuracyPoint {
+    /// Tolerance ε.
+    pub epsilon: f64,
+    /// Mean average-L1 distance to power iteration at the same ε.
+    pub avg_l1: f64,
+    /// Mean L∞ distance.
+    pub l_inf: f64,
+}
+
+/// Sweep tolerances on one dataset; returns Figure 18 + Figure 19 points.
+pub fn sweep(
+    d: Dataset,
+    epsilons: &[f64],
+    profile: &Profile,
+) -> (Vec<TolerancePoint>, Vec<AccuracyPoint>) {
+    let g = dataset_graph(d, profile);
+    let queries = query_nodes(&g, profile.queries.min(6), 29);
+    let cluster = Cluster::with_default_network();
+    let mut tol = Vec::new();
+    let mut acc = Vec::new();
+
+    for &epsilon in epsilons {
+        let cfg = PprConfig {
+            epsilon,
+            ..Default::default()
+        };
+        let (idx, off) = HgpaIndex::build_distributed(
+            &g,
+            &cfg,
+            &HgpaBuildOptions {
+                machines: 6,
+                ..Default::default()
+            },
+        );
+        let reports = cluster.query_batch(&idx, &queries);
+        let nq = reports.len().max(1);
+        tol.push(TolerancePoint {
+            epsilon,
+            runtime: reports.iter().map(|r| r.runtime_seconds()).sum::<f64>() / nq as f64,
+            space_entries: idx.stored_entries(),
+            offline: off.max_machine_seconds(),
+            network: reports.iter().map(|r| r.total_bytes()).sum::<u64>() / nq as u64,
+        });
+
+        // Figure 19: compare against power iteration at the same ε.
+        let (mut s_l1, mut s_linf) = (0.0, 0.0);
+        for &q in &queries {
+            let reference = power_iteration(&g, q, &cfg);
+            let got = idx.query(q).to_dense(g.node_count());
+            s_l1 += avg_l1(&reference, &got);
+            s_linf += l_inf(&reference, &got);
+        }
+        acc.push(AccuracyPoint {
+            epsilon,
+            avg_l1: s_l1 / queries.len() as f64,
+            l_inf: s_linf / queries.len() as f64,
+        });
+    }
+    (tol, acc)
+}
+
+/// Print Figures 18 and 19.
+pub fn run(profile: &Profile) {
+    let eps: &[f64] = if profile.node_cap.is_some() {
+        &[1e-2, 1e-3, 1e-4, 1e-5]
+    } else {
+        &[1e-2, 1e-3, 1e-4, 1e-5, 1e-6]
+    };
+
+    let (tol, acc_web) = sweep(Dataset::Web, eps, profile);
+    let mut t = Table::new(
+        "Figure 18 [Web]: effect of tolerance ε on HGPA",
+        &["epsilon", "runtime (a)", "stored entries (b)", "offline (c)", "comm/query (d)"],
+    );
+    for p in &tol {
+        t.row(vec![
+            format!("{:.0e}", p.epsilon),
+            fmt_secs(p.runtime),
+            p.space_entries.to_string(),
+            fmt_secs(p.offline),
+            fmt_bytes(p.network),
+        ]);
+    }
+    t.print();
+
+    let (_, acc_email) = sweep(Dataset::Email, eps, profile);
+    for (name, acc) in [("Email", &acc_email), ("Web", &acc_web)] {
+        let mut t19 = Table::new(
+            format!("Figure 19 [{name}]: ℓ-norm distance vs power iteration"),
+            &["epsilon", "avg L1", "L_inf"],
+        );
+        for p in acc {
+            t19.row(vec![
+                format!("{:.0e}", p.epsilon),
+                format!("{:.3e}", p.avg_l1),
+                format!("{:.3e}", p.l_inf),
+            ]);
+        }
+        t19.print();
+    }
+    println!("paper shape: all four costs grow as ε shrinks; ℓ-norms track ε's magnitude.");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smaller_epsilon_larger_space_better_accuracy() {
+        let profile = Profile {
+            node_cap: Some(1000),
+            queries: 3,
+            ..Profile::quick()
+        };
+        let (tol, acc) = sweep(Dataset::Email, &[1e-2, 1e-5], &profile);
+        assert!(
+            tol[1].space_entries >= tol[0].space_entries,
+            "space: {} vs {}",
+            tol[1].space_entries,
+            tol[0].space_entries
+        );
+        assert!(
+            acc[1].l_inf <= acc[0].l_inf + 1e-12,
+            "accuracy: {} vs {}",
+            acc[1].l_inf,
+            acc[0].l_inf
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Figures 21–22: HGPA vs Pregel-like vs Blogel-like across machine
+//! counts on Web and Youtube — runtime (Fig. 21) and communication
+//! (Fig. 22). The BSP engines get *slower and chattier* with more
+//! machines; HGPA gets faster and only modestly chattier.
+
+use crate::report::{fmt_bytes, fmt_secs, Table};
+use crate::{dataset_graph, Profile};
+use ppr_baselines::{BlogelPpr, PregelPpr};
+use ppr_cluster::Cluster;
+use ppr_core::hgpa::{HgpaBuildOptions, HgpaIndex};
+use ppr_core::PprConfig;
+use ppr_partition::{Hierarchy, HierarchyConfig};
+use ppr_workload::{query_nodes, Dataset};
+
+/// One machine-count point for the three systems.
+pub struct EnginePoint {
+    /// Machines/workers.
+    pub machines: usize,
+    /// HGPA mean runtime, seconds.
+    pub hgpa_runtime: f64,
+    /// Pregel-like mean runtime, seconds.
+    pub pregel_runtime: f64,
+    /// Blogel-like mean runtime, seconds.
+    pub blogel_runtime: f64,
+    /// HGPA mean traffic, bytes.
+    pub hgpa_network: u64,
+    /// Pregel-like mean traffic, bytes.
+    pub pregel_network: u64,
+    /// Blogel-like mean traffic, bytes.
+    pub blogel_network: u64,
+}
+
+/// Sweep machine counts for one dataset.
+pub fn sweep(d: Dataset, profile: &Profile) -> Vec<EnginePoint> {
+    let g = dataset_graph(d, profile);
+    let cfg = PprConfig::default();
+    let hierarchy = Hierarchy::build(&g, &HierarchyConfig::default());
+    let queries = query_nodes(&g, profile.queries.min(5), 37);
+    let cluster = Cluster::with_default_network();
+
+    profile
+        .machine_sweep
+        .iter()
+        .map(|&machines| {
+            let idx = HgpaIndex::build_with_hierarchy(
+                &g,
+                &cfg,
+                &HgpaBuildOptions {
+                    machines,
+                    ..Default::default()
+                },
+                hierarchy.clone(),
+            );
+            let reports = cluster.query_batch(&idx, &queries);
+            let nq = reports.len().max(1);
+
+            let pregel = PregelPpr::new(&g, machines);
+            let blogel = BlogelPpr::new(&g, machines, (machines * 2).max(2));
+            let (mut prt, mut pnet, mut brt, mut bnet) = (0.0, 0u64, 0.0, 0u64);
+            for &q in &queries {
+                let (_, ps) = pregel.query(q, &cfg);
+                prt += ps.elapsed_seconds;
+                pnet += ps.network_bytes;
+                let (_, bs) = blogel.query(q, &cfg);
+                brt += bs.elapsed_seconds;
+                bnet += bs.network_bytes;
+            }
+            let nqf = queries.len().max(1) as f64;
+
+            EnginePoint {
+                machines,
+                hgpa_runtime: reports.iter().map(|r| r.runtime_seconds()).sum::<f64>()
+                    / nq as f64,
+                pregel_runtime: prt / nqf,
+                blogel_runtime: brt / nqf,
+                hgpa_network: reports.iter().map(|r| r.total_bytes()).sum::<u64>() / nq as u64,
+                pregel_network: pnet / queries.len().max(1) as u64,
+                blogel_network: bnet / queries.len().max(1) as u64,
+            }
+        })
+        .collect()
+}
+
+/// Print Figures 21–22.
+pub fn run(profile: &Profile) {
+    for d in [Dataset::Web, Dataset::Youtube] {
+        let points = sweep(d, profile);
+        let mut t = Table::new(
+            format!("Figures 21–22 [{}]: HGPA vs Pregel+ vs Blogel", d.name()),
+            &[
+                "machines",
+                "HGPA rt",
+                "Pregel+ rt",
+                "Blogel rt",
+                "HGPA comm",
+                "Pregel+ comm",
+                "Blogel comm",
+            ],
+        );
+        for p in &points {
+            t.row(vec![
+                p.machines.to_string(),
+                fmt_secs(p.hgpa_runtime),
+                fmt_secs(p.pregel_runtime),
+                fmt_secs(p.blogel_runtime),
+                fmt_bytes(p.hgpa_network),
+                fmt_bytes(p.pregel_network),
+                fmt_bytes(p.blogel_network),
+            ]);
+        }
+        t.print();
+    }
+    println!(
+        "paper shape: HGPA communication is orders of magnitude below Pregel+; \
+         Blogel sits between; engine traffic grows with machines."
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hgpa_beats_engines_on_communication() {
+        let profile = Profile {
+            node_cap: Some(1200),
+            queries: 3,
+            machine_sweep: &[4],
+            name: "test",
+        };
+        let points = sweep(Dataset::Web, &profile);
+        let p = &points[0];
+        assert!(
+            p.hgpa_network < p.pregel_network,
+            "HGPA {} vs Pregel {}",
+            p.hgpa_network,
+            p.pregel_network
+        );
+        assert!(
+            p.blogel_network <= p.pregel_network,
+            "Blogel {} vs Pregel {}",
+            p.blogel_network,
+            p.pregel_network
+        );
+    }
+}

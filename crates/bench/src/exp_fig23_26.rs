@@ -1,0 +1,273 @@
+//! Centralized-setting comparisons (§6.2.9/6.2.10):
+//!
+//! * Figure 23 — HGPA vs power iteration, single machine, same tolerance.
+//! * Figure 24 — runtime vs FastPPV at several hub counts, plus HGPA_ad.
+//! * Figure 25 — avg-L1 / L∞ accuracy of the four methods.
+//! * Figure 26 — Precision / RAG / Kendall of top-100 rankings.
+
+use crate::report::{fmt_secs, Table};
+use crate::{dataset_graph, Profile};
+use ppr_baselines::FastPpv;
+use ppr_core::hgpa::{HgpaBuildOptions, HgpaIndex};
+use ppr_core::power::power_iteration;
+use ppr_core::PprConfig;
+use ppr_metrics::{avg_l1, kendall_tau_top_k, l_inf, precision_at_k, rag_at_k};
+use ppr_workload::{query_nodes, Dataset};
+use std::time::Instant;
+
+/// Aggregated quality/latency of one method against the power-iteration
+/// reference.
+pub struct MethodReport {
+    /// Display name.
+    pub name: String,
+    /// Mean query seconds.
+    pub runtime: f64,
+    /// Mean avg-L1 distance to the reference.
+    pub avg_l1: f64,
+    /// Mean L∞ distance.
+    pub l_inf: f64,
+    /// Mean Precision@100.
+    pub precision: f64,
+    /// Mean RAG@100.
+    pub rag: f64,
+    /// Mean Kendall pair agreement on top-100.
+    pub kendall: f64,
+}
+
+/// Figure 23's row: power iteration vs centralized HGPA runtime.
+pub struct Fig23Row {
+    /// Dataset label.
+    pub dataset: &'static str,
+    /// Power iteration mean seconds.
+    pub power: f64,
+    /// HGPA (single machine) mean seconds.
+    pub hgpa: f64,
+}
+
+/// Measure Figure 23 for the three paper datasets.
+pub fn fig23(profile: &Profile) -> Vec<Fig23Row> {
+    let cfg = PprConfig::default();
+    [Dataset::Email, Dataset::Web, Dataset::Youtube]
+        .into_iter()
+        .map(|d| {
+            let g = dataset_graph(d, profile);
+            let queries = query_nodes(&g, profile.queries.min(6), 41);
+            let idx = HgpaIndex::build(
+                &g,
+                &cfg,
+                &HgpaBuildOptions {
+                    machines: 1,
+                    ..Default::default()
+                },
+            );
+            let t = Instant::now();
+            for &q in &queries {
+                std::hint::black_box(idx.query(q));
+            }
+            let hgpa = t.elapsed().as_secs_f64() / queries.len().max(1) as f64;
+            let t = Instant::now();
+            for &q in &queries {
+                std::hint::black_box(power_iteration(&g, q, &cfg));
+            }
+            let power = t.elapsed().as_secs_f64() / queries.len().max(1) as f64;
+            Fig23Row {
+                dataset: d.name(),
+                power,
+                hgpa,
+            }
+        })
+        .collect()
+}
+
+/// Measure Figures 24–26 on one dataset: FastPPV at two hub counts vs
+/// HGPA vs HGPA_ad, all scored against power iteration.
+pub fn fig24_26(d: Dataset, hub_counts: [usize; 2], profile: &Profile) -> Vec<MethodReport> {
+    let g = dataset_graph(d, profile);
+    let n = g.node_count();
+    let cfg = PprConfig::default();
+    let queries = query_nodes(&g, profile.queries.min(6), 43);
+
+    // Reference vectors.
+    let refs: Vec<Vec<f64>> = queries
+        .iter()
+        .map(|&q| {
+            power_iteration(
+                &g,
+                q,
+                &PprConfig {
+                    epsilon: 1e-9,
+                    ..Default::default()
+                },
+            )
+        })
+        .collect();
+
+    let score = |name: String, runtime: f64, vectors: Vec<Vec<f64>>| -> MethodReport {
+        let nq = queries.len().max(1) as f64;
+        let mut r = MethodReport {
+            name,
+            runtime,
+            avg_l1: 0.0,
+            l_inf: 0.0,
+            precision: 0.0,
+            rag: 0.0,
+            kendall: 0.0,
+        };
+        for (reference, got) in refs.iter().zip(&vectors) {
+            r.avg_l1 += avg_l1(reference, got);
+            r.l_inf += l_inf(reference, got);
+            r.precision += precision_at_k(reference, got, 100);
+            r.rag += rag_at_k(reference, got, 100);
+            r.kendall += kendall_tau_top_k(reference, got, 100);
+        }
+        r.avg_l1 /= nq;
+        r.l_inf /= nq;
+        r.precision /= nq;
+        r.rag /= nq;
+        r.kendall /= nq;
+        r
+    };
+
+    let mut out = Vec::new();
+
+    for hubs in hub_counts {
+        let idx = FastPpv::build(&g, hubs, 1e-4, &cfg);
+        let t = Instant::now();
+        let vectors: Vec<Vec<f64>> = queries.iter().map(|&q| idx.query(q).to_dense(n)).collect();
+        let rt = t.elapsed().as_secs_f64() / queries.len().max(1) as f64;
+        out.push(score(format!("Fast-{hubs}"), rt, vectors));
+    }
+
+    let hgpa = HgpaIndex::build(
+        &g,
+        &cfg,
+        &HgpaBuildOptions {
+            machines: 1,
+            ..Default::default()
+        },
+    );
+    let t = Instant::now();
+    let vectors: Vec<Vec<f64>> = queries.iter().map(|&q| hgpa.query(q).to_dense(n)).collect();
+    let rt = t.elapsed().as_secs_f64() / queries.len().max(1) as f64;
+    out.push(score("HGPA".into(), rt, vectors));
+
+    let hgpa_ad = HgpaIndex::build(
+        &g,
+        &cfg,
+        &HgpaBuildOptions {
+            machines: 1,
+            drop_threshold: Some(1e-4),
+            ..Default::default()
+        },
+    );
+    let t = Instant::now();
+    let vectors: Vec<Vec<f64>> = queries
+        .iter()
+        .map(|&q| hgpa_ad.query(q).to_dense(n))
+        .collect();
+    let rt = t.elapsed().as_secs_f64() / queries.len().max(1) as f64;
+    out.push(score("HGPA_ad".into(), rt, vectors));
+
+    out
+}
+
+/// Print Figures 23–26.
+pub fn run(profile: &Profile) {
+    let mut t23 = Table::new(
+        "Figure 23: centralized HGPA vs power iteration",
+        &["dataset", "PowerIteration", "HGPA", "speedup"],
+    );
+    for row in fig23(profile) {
+        t23.row(vec![
+            row.dataset.into(),
+            fmt_secs(row.power),
+            fmt_secs(row.hgpa),
+            format!("{:.1}x", row.power / row.hgpa.max(1e-9)),
+        ]);
+    }
+    t23.print();
+
+    for (d, hubs) in [
+        (Dataset::Email, [100usize, 1000]),
+        (Dataset::Web, [1000, 10000]),
+    ] {
+        let reports = fig24_26(d, hubs, profile);
+        let mut t = Table::new(
+            format!(
+                "Figures 24–26 [{}]: FastPPV vs HGPA vs HGPA_ad (top-100 metrics)",
+                d.name()
+            ),
+            &[
+                "method",
+                "runtime (F24)",
+                "avg L1 (F25)",
+                "L_inf (F25)",
+                "Precision (F26)",
+                "RAG (F26)",
+                "Kendall (F26)",
+            ],
+        );
+        for r in &reports {
+            t.row(vec![
+                r.name.clone(),
+                fmt_secs(r.runtime),
+                format!("{:.3e}", r.avg_l1),
+                format!("{:.3e}", r.l_inf),
+                format!("{:.3}", r.precision),
+                format!("{:.3}", r.rag),
+                format!("{:.3}", r.kendall),
+            ]);
+        }
+        t.print();
+    }
+    println!(
+        "paper shape: HGPA/HGPA_ad dominate FastPPV on every accuracy metric; \
+         HGPA_ad is also faster."
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hgpa_more_accurate_than_fastppv() {
+        let profile = Profile {
+            node_cap: Some(1000),
+            queries: 3,
+            ..Profile::quick()
+        };
+        // The paper's 1e-4 pruning only bites at full dataset scale (the
+        // score tail of a 265k-node PPV sits below it). At quick scale we
+        // assert (a) the exact methods are near-perfect in absolute terms
+        // and (b) a FastPPV whose pruning *does* bite at this scale loses
+        // clearly — the Figure 25/26 shape.
+        let reports = fig24_26(Dataset::Email, [20, 100], &profile);
+        let hgpa = reports.iter().find(|r| r.name == "HGPA").unwrap();
+        assert!(hgpa.precision > 0.9, "exact method precision {}", hgpa.precision);
+        assert!(hgpa.rag > 0.99, "exact method RAG {}", hgpa.rag);
+        assert!(hgpa.l_inf < 1e-2, "exact method L_inf {}", hgpa.l_inf);
+
+        use ppr_baselines::FastPpv;
+        use ppr_core::power::power_iteration;
+        let g = crate::dataset_graph(Dataset::Email, &profile);
+        let cfg = ppr_core::PprConfig::default();
+        let coarse = FastPpv::build(&g, 20, 2e-3, &cfg);
+        let q = ppr_workload::query_nodes(&g, 3, 43)[0];
+        let reference = power_iteration(
+            &g,
+            q,
+            &ppr_core::PprConfig {
+                epsilon: 1e-9,
+                ..Default::default()
+            },
+        );
+        let approx = coarse.query(q).to_dense(g.node_count());
+        let prec = ppr_metrics::precision_at_k(&reference, &approx, 100);
+        assert!(
+            prec < hgpa.precision,
+            "coarse FastPPV precision {prec} should trail HGPA {}",
+            hgpa.precision
+        );
+    }
+}

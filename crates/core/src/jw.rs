@@ -1,0 +1,224 @@
+//! PPV-JW: the brute-force centralized extension of Jeh–Widom (§2.3).
+//!
+//! Precompute, for an *arbitrary* hub set `H`:
+//! * the partial vector `p_u` of **every** node (tours blocked by `H`), and
+//! * the skeleton column `c_h(u) = r_u(h)` of every hub.
+//!
+//! Query-time reconstruction is Eq. 4:
+//!
+//! ```text
+//! r_u = (1/α) Σ_{h∈H} S_u(h) · P_h  +  p_u
+//!   where  S_u(h) = s_u(h) − α·f_u(h),   P_h = p_h − α·x_h
+//! ```
+//!
+//! The space cost is O(|V|²) in the worst case — the problem statement the
+//! whole paper attacks — but the *algorithm* is the exactness backbone:
+//! GPA (§3) is precisely PPV-JW with a separator hub set and the work
+//! spread over machines, so tests validate GPA and HGPA against this.
+
+use crate::push::PushEngine;
+use crate::skeleton::SkeletonEngine;
+use crate::{PprConfig, SparseVector};
+use ppr_graph::{CsrGraph, NodeId};
+
+/// Precomputed Jeh–Widom decomposition over an explicit hub set.
+pub struct JwIndex {
+    n: usize,
+    cfg: PprConfig,
+    /// Sorted hub set.
+    hubs: Vec<NodeId>,
+    /// Partial vector of every node.
+    partials: Vec<SparseVector>,
+    /// Skeleton column per hub (aligned with `hubs`).
+    skeletons: Vec<SparseVector>,
+}
+
+impl JwIndex {
+    /// Build the index. `hubs` may be any node set (deduplicated here).
+    pub fn build(g: &CsrGraph, hubs: &[NodeId], cfg: &PprConfig) -> Self {
+        cfg.validate();
+        let n = g.node_count();
+        let mut hubs = hubs.to_vec();
+        hubs.sort_unstable();
+        hubs.dedup();
+
+        let mut blocked = vec![false; n];
+        for &h in &hubs {
+            blocked[h as usize] = true;
+        }
+
+        let mut push = PushEngine::new(n);
+        let partials: Vec<SparseVector> = (0..n as NodeId)
+            .map(|u| push.run(g, u, &blocked, cfg).partial)
+            .collect();
+
+        let mut skel = SkeletonEngine::new(n);
+        let skeletons: Vec<SparseVector> = hubs.iter().map(|&h| skel.run(g, h, cfg)).collect();
+
+        Self {
+            n,
+            cfg: *cfg,
+            hubs,
+            partials,
+            skeletons,
+        }
+    }
+
+    /// The hub set.
+    pub fn hubs(&self) -> &[NodeId] {
+        &self.hubs
+    }
+
+    /// Partial vector of `u`.
+    pub fn partial(&self, u: NodeId) -> &SparseVector {
+        &self.partials[u as usize]
+    }
+
+    /// Skeleton value `s_u(h)`.
+    pub fn skeleton(&self, u: NodeId, h: NodeId) -> f64 {
+        match self.hubs.binary_search(&h) {
+            Ok(i) => self.skeletons[i].get(u),
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Reconstruct the exact PPV of `u` (Eq. 4).
+    pub fn query(&self, u: NodeId) -> SparseVector {
+        self.query_preference(&[(u, 1.0)])
+    }
+
+    /// Exact PPV of a weighted preference set (the paper's `P`), by the
+    /// Jeh–Widom linearity theorem.
+    pub fn query_preference(&self, preference: &[(NodeId, f64)]) -> SparseVector {
+        let alpha = self.cfg.alpha;
+        let mut dense = vec![0.0f64; self.n];
+        let mut touched: Vec<NodeId> = Vec::new();
+
+        for &(u, w) in preference {
+            for (i, &h) in self.hubs.iter().enumerate() {
+                let mut coef = self.skeletons[i].get(u);
+                if h == u {
+                    coef -= alpha; // the f_u(h) correction of Eq. 3
+                }
+                if coef == 0.0 {
+                    continue;
+                }
+                // += (coef/α) · p_h. With strict partial vectors (tours may
+                // not touch hubs after the start, so p_h(h) = α and p_h is
+                // zero at every other hub) this lands S_u(h) at coordinate
+                // h — the exact PPV value there — while contributing
+                // Eq. 4's hub term at non-hub coordinates. Jeh–Widom's
+                // −α·x_h adjustment exists for their looser partial-vector
+                // semantics and must NOT be applied here.
+                self.partials[h as usize].scatter_into(&mut dense, &mut touched, w * coef / alpha);
+            }
+            self.partials[u as usize].scatter_into(&mut dense, &mut touched, w);
+        }
+
+        touched.sort_unstable();
+        touched.dedup();
+        SparseVector::from_entries(
+            touched
+                .into_iter()
+                .filter(|&v| dense[v as usize].abs() > 0.0)
+                .map(|v| (v, dense[v as usize]))
+                .collect(),
+        )
+    }
+
+    /// Total stored entries (space-cost accounting for §2.3 comparisons).
+    pub fn stored_entries(&self) -> usize {
+        self.partials.iter().map(SparseVector::nnz).sum::<usize>()
+            + self.skeletons.iter().map(SparseVector::nnz).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppr_graph::csr::from_edges;
+    use ppr_graph::dense::dense_ppv;
+    use ppr_graph::generators::{hierarchical_sbm, HsbmConfig};
+
+    fn tight() -> PprConfig {
+        PprConfig {
+            epsilon: 1e-10,
+            ..Default::default()
+        }
+    }
+
+    fn assert_close(idx: &JwIndex, g: &CsrGraph, u: NodeId, tol: f64) {
+        let exact = dense_ppv(g, u, idx.cfg.alpha);
+        let got = idx.query(u);
+        for v in 0..g.node_count() as NodeId {
+            assert!(
+                (exact[v as usize] - got.get(v)).abs() < tol,
+                "u {u} v {v}: exact {} got {}",
+                exact[v as usize],
+                got.get(v)
+            );
+        }
+    }
+
+    #[test]
+    fn exact_on_small_cycle_any_hubs() {
+        let g = from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (2, 0)]);
+        for hubs in [vec![], vec![2u32], vec![1, 3], vec![0, 1, 2, 3, 4]] {
+            let idx = JwIndex::build(&g, &hubs, &tight());
+            for u in 0..5 {
+                assert_close(&idx, &g, u, 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_on_community_graph() {
+        let g = hierarchical_sbm(
+            &HsbmConfig {
+                nodes: 120,
+                ..Default::default()
+            },
+            31,
+        );
+        // Arbitrary hubs: every 10th node.
+        let hubs: Vec<NodeId> = (0..120).step_by(10).collect();
+        let idx = JwIndex::build(&g, &hubs, &tight());
+        for u in [0u32, 5, 10, 60, 119] {
+            assert_close(&idx, &g, u, 1e-6);
+        }
+    }
+
+    #[test]
+    fn query_of_hub_node_is_exact() {
+        let g = from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 1)]);
+        let idx = JwIndex::build(&g, &[1], &tight());
+        assert_close(&idx, &g, 1, 1e-8); // u IS the hub: f_u(h) path
+    }
+
+    #[test]
+    fn empty_hub_set_degenerates_to_partials() {
+        let g = from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let idx = JwIndex::build(&g, &[], &tight());
+        // With no hubs the partial vector IS the PPV.
+        assert_close(&idx, &g, 0, 1e-8);
+        assert_eq!(idx.stored_entries(), idx.partials.iter().map(|p| p.nnz()).sum::<usize>());
+    }
+
+    #[test]
+    fn skeleton_accessor() {
+        let g = from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let idx = JwIndex::build(&g, &[1], &tight());
+        let exact = dense_ppv(&g, 0, 0.15);
+        assert!((idx.skeleton(0, 1) - exact[1]).abs() < 1e-8);
+        assert_eq!(idx.skeleton(0, 2), 0.0, "non-hub lookup is zero");
+    }
+
+    #[test]
+    fn dangling_nodes_handled() {
+        let g = from_edges(4, &[(0, 1), (1, 2), (1, 3)]); // 2 and 3 dangling
+        let idx = JwIndex::build(&g, &[1], &tight());
+        for u in 0..4 {
+            assert_close(&idx, &g, u, 1e-8);
+        }
+    }
+}

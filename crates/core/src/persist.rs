@@ -1,0 +1,381 @@
+//! Binary persistence for precomputed indexes.
+//!
+//! The paper's precomputation runs for hours (Figures 12/16); nobody
+//! recomputes it per process. This module writes an [`HgpaIndex`] to any
+//! `Write` sink in a small versioned little-endian format and reads it
+//! back, so each simulated machine (or a real deployment's shard) can
+//! persist its state. The format is self-contained — no external
+//! serialization crates — and defends against truncation, bad magic, and
+//! version mismatch with explicit errors.
+
+use crate::hgpa::HgpaIndex;
+use crate::{PprConfig, SparseVector};
+use ppr_graph::NodeId;
+use ppr_partition::{Hierarchy, SubgraphNode};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"PPRX";
+const VERSION: u32 = 1;
+/// Sanity cap on any single length field (guards corrupt files from
+/// triggering huge allocations).
+const MAX_LEN: u64 = 1 << 33;
+
+// ---------------------------------------------------------------- writing
+
+struct Sink<W: Write> {
+    w: W,
+}
+
+impl<W: Write> Sink<W> {
+    fn u32(&mut self, x: u32) -> io::Result<()> {
+        self.w.write_all(&x.to_le_bytes())
+    }
+    fn u64(&mut self, x: u64) -> io::Result<()> {
+        self.w.write_all(&x.to_le_bytes())
+    }
+    fn f64(&mut self, x: f64) -> io::Result<()> {
+        self.w.write_all(&x.to_le_bytes())
+    }
+    fn usize(&mut self, x: usize) -> io::Result<()> {
+        self.u64(x as u64)
+    }
+    fn opt_u32(&mut self, x: Option<u32>) -> io::Result<()> {
+        match x {
+            None => self.u32(u32::MAX), // sentinel; real values never reach it
+            Some(v) => {
+                debug_assert!(v < u32::MAX);
+                self.u32(v)
+            }
+        }
+    }
+    fn u32_slice(&mut self, xs: &[u32]) -> io::Result<()> {
+        self.usize(xs.len())?;
+        for &x in xs {
+            self.u32(x)?;
+        }
+        Ok(())
+    }
+    fn usize_slice(&mut self, xs: &[usize]) -> io::Result<()> {
+        self.usize(xs.len())?;
+        for &x in xs {
+            self.u64(x as u64)?;
+        }
+        Ok(())
+    }
+    fn sparse(&mut self, v: &SparseVector) -> io::Result<()> {
+        self.usize(v.nnz())?;
+        for (id, x) in v.iter() {
+            self.u32(id)?;
+            self.f64(x)?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------- reading
+
+struct Source<R: Read> {
+    r: R,
+}
+
+impl<R: Read> Source<R> {
+    fn u32(&mut self) -> io::Result<u32> {
+        let mut b = [0u8; 4];
+        self.r.read_exact(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+    fn u64(&mut self) -> io::Result<u64> {
+        let mut b = [0u8; 8];
+        self.r.read_exact(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+    fn f64(&mut self) -> io::Result<f64> {
+        let mut b = [0u8; 8];
+        self.r.read_exact(&mut b)?;
+        Ok(f64::from_le_bytes(b))
+    }
+    fn len(&mut self) -> io::Result<usize> {
+        let x = self.u64()?;
+        if x > MAX_LEN {
+            return Err(bad("length field exceeds sanity cap"));
+        }
+        Ok(x as usize)
+    }
+    fn opt_u32(&mut self) -> io::Result<Option<u32>> {
+        let x = self.u32()?;
+        Ok(if x == u32::MAX { None } else { Some(x) })
+    }
+    fn u32_vec(&mut self) -> io::Result<Vec<u32>> {
+        let n = self.len()?;
+        let mut out = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            out.push(self.u32()?);
+        }
+        Ok(out)
+    }
+    fn usize_vec(&mut self) -> io::Result<Vec<usize>> {
+        let n = self.len()?;
+        let mut out = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            out.push(self.u64()? as usize);
+        }
+        Ok(out)
+    }
+    fn sparse(&mut self) -> io::Result<SparseVector> {
+        let n = self.len()?;
+        let mut entries: Vec<(NodeId, f64)> = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let id = self.u32()?;
+            let x = self.f64()?;
+            entries.push((id, x));
+        }
+        Ok(SparseVector::from_entries(entries))
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+// ------------------------------------------------------------- public API
+
+/// Write `index` to `writer`.
+pub fn save_hgpa<W: Write>(index: &HgpaIndex, writer: W) -> io::Result<()> {
+    let mut s = Sink { w: writer };
+    s.w.write_all(MAGIC)?;
+    s.u32(VERSION)?;
+
+    let (n, cfg, machines, hierarchy, base, hub_rank, hub_ids, skeletons, machine_of_hub, machine_of_base) =
+        index.persist_parts();
+
+    s.usize(n)?;
+    s.f64(cfg.alpha)?;
+    s.f64(cfg.epsilon)?;
+    s.u32(cfg.max_iterations)?;
+    s.usize(machines)?;
+
+    // Hierarchy.
+    s.usize(hierarchy.nodes.len())?;
+    for node in &hierarchy.nodes {
+        s.u32(node.level)?;
+        s.opt_u32(node.parent.map(|p| p as u32))?;
+        s.usize_slice(&node.children)?;
+        s.u32_slice(&node.members)?;
+        s.u32_slice(&node.hubs)?;
+    }
+    s.usize_slice(&hierarchy.home)?;
+    s.usize(hierarchy.hub_level.len())?;
+    for &hl in &hierarchy.hub_level {
+        s.opt_u32(hl)?;
+    }
+    s.u32(hierarchy.depth)?;
+
+    // Vectors.
+    s.usize(base.len())?;
+    for v in base {
+        s.sparse(v)?;
+    }
+    s.u32_slice(hub_rank)?;
+    s.u32_slice(hub_ids)?;
+    s.usize(skeletons.len())?;
+    for v in skeletons {
+        s.sparse(v)?;
+    }
+    s.u32_slice(machine_of_hub)?;
+    s.u32_slice(machine_of_base)?;
+    s.w.flush()
+}
+
+/// Read an index previously written by [`save_hgpa`].
+pub fn load_hgpa<R: Read>(reader: R) -> io::Result<HgpaIndex> {
+    let mut s = Source { r: reader };
+    let mut magic = [0u8; 4];
+    s.r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not an exact-ppr index file (bad magic)"));
+    }
+    let version = s.u32()?;
+    if version != VERSION {
+        return Err(bad("unsupported index format version"));
+    }
+
+    let n = s.len()?;
+    let cfg = PprConfig {
+        alpha: s.f64()?,
+        epsilon: s.f64()?,
+        max_iterations: s.u32()?,
+    };
+    cfg.validate();
+    let machines = s.len()?;
+
+    let node_count = s.len()?;
+    let mut nodes = Vec::with_capacity(node_count.min(1 << 20));
+    for _ in 0..node_count {
+        let level = s.u32()?;
+        let parent = s.opt_u32()?.map(|p| p as usize);
+        let children = s.usize_vec()?;
+        let members = s.u32_vec()?;
+        let hubs = s.u32_vec()?;
+        nodes.push(SubgraphNode {
+            level,
+            parent,
+            children,
+            members,
+            hubs,
+        });
+    }
+    let home = s.usize_vec()?;
+    let hl_count = s.len()?;
+    let mut hub_level = Vec::with_capacity(hl_count.min(1 << 20));
+    for _ in 0..hl_count {
+        hub_level.push(s.opt_u32()?);
+    }
+    let depth = s.u32()?;
+    let hierarchy = Hierarchy {
+        nodes,
+        home,
+        hub_level,
+        depth,
+    };
+
+    let base_count = s.len()?;
+    if base_count != n {
+        return Err(bad("base vector count does not match node count"));
+    }
+    let mut base = Vec::with_capacity(base_count.min(1 << 20));
+    for _ in 0..base_count {
+        base.push(s.sparse()?);
+    }
+    let hub_rank = s.u32_vec()?;
+    let hub_ids = s.u32_vec()?;
+    let skel_count = s.len()?;
+    if skel_count != hub_ids.len() {
+        return Err(bad("skeleton count does not match hub count"));
+    }
+    let mut skeletons = Vec::with_capacity(skel_count.min(1 << 20));
+    for _ in 0..skel_count {
+        skeletons.push(s.sparse()?);
+    }
+    let machine_of_hub = s.u32_vec()?;
+    let machine_of_base = s.u32_vec()?;
+
+    if hub_rank.len() != n || machine_of_base.len() != n || machine_of_hub.len() != hub_ids.len() {
+        return Err(bad("inconsistent array lengths in index file"));
+    }
+    if hierarchy.home.len() != n || hierarchy.hub_level.len() != n {
+        return Err(bad("hierarchy does not match node count"));
+    }
+
+    Ok(HgpaIndex::from_persist_parts(
+        n,
+        cfg,
+        machines,
+        hierarchy,
+        base,
+        hub_rank,
+        hub_ids,
+        skeletons,
+        machine_of_hub,
+        machine_of_base,
+    ))
+}
+
+/// Convenience: save to a filesystem path.
+pub fn save_hgpa_file<P: AsRef<std::path::Path>>(index: &HgpaIndex, path: P) -> io::Result<()> {
+    save_hgpa(index, io::BufWriter::new(std::fs::File::create(path)?))
+}
+
+/// Convenience: load from a filesystem path.
+pub fn load_hgpa_file<P: AsRef<std::path::Path>>(path: P) -> io::Result<HgpaIndex> {
+    load_hgpa(io::BufReader::new(std::fs::File::open(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hgpa::HgpaBuildOptions;
+    use ppr_graph::generators::{hierarchical_sbm, HsbmConfig};
+
+    fn sample_index() -> (ppr_graph::CsrGraph, HgpaIndex) {
+        let g = hierarchical_sbm(
+            &HsbmConfig {
+                nodes: 150,
+                ..Default::default()
+            },
+            61,
+        );
+        let idx = HgpaIndex::build(
+            &g,
+            &PprConfig {
+                epsilon: 1e-7,
+                ..Default::default()
+            },
+            &HgpaBuildOptions::default(),
+        );
+        (g, idx)
+    }
+
+    #[test]
+    fn roundtrip_preserves_queries() {
+        let (_, idx) = sample_index();
+        let mut buf = Vec::new();
+        save_hgpa(&idx, &mut buf).unwrap();
+        let loaded = load_hgpa(buf.as_slice()).unwrap();
+        for u in [0u32, 42, 149] {
+            let a = idx.query(u);
+            let b = loaded.query(u);
+            assert_eq!(a, b, "u {u}");
+        }
+        assert_eq!(idx.machines(), loaded.machines());
+        assert_eq!(idx.hub_ids(), loaded.hub_ids());
+        assert_eq!(idx.stored_entries(), loaded.stored_entries());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = load_hgpa(&b"NOPE00000000"[..]).unwrap_err();
+        assert!(err.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 64]);
+        let err = load_hgpa(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let (_, idx) = sample_index();
+        let mut buf = Vec::new();
+        save_hgpa(&idx, &mut buf).unwrap();
+        for cut in [10usize, buf.len() / 2, buf.len() - 3] {
+            assert!(load_hgpa(&buf[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (_, idx) = sample_index();
+        let dir = std::env::temp_dir().join("ppr_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("idx.pprx");
+        save_hgpa_file(&idx, &path).unwrap();
+        let loaded = load_hgpa_file(&path).unwrap();
+        assert_eq!(idx.query(7), loaded.query(7));
+    }
+
+    #[test]
+    fn machine_vectors_survive_roundtrip() {
+        let (_, idx) = sample_index();
+        let mut buf = Vec::new();
+        save_hgpa(&idx, &mut buf).unwrap();
+        let loaded = load_hgpa(buf.as_slice()).unwrap();
+        for m in 0..idx.machines() as u32 {
+            assert_eq!(idx.machine_vector(33, m), loaded.machine_vector(33, m));
+        }
+    }
+}

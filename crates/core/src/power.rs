@@ -1,0 +1,275 @@
+//! Power iteration (the paper's Algorithm 2, Appendix C).
+//!
+//! The reference method every other algorithm is compared against:
+//! iterate `r_{k+1} = α·x_q + (1-α)·Aᵀ·r_k` until the per-entry change
+//! falls below the tolerance. An active-queue optimisation (exactly the
+//! `valuedNodes` queue of Algorithm 2) restricts each sweep to nodes
+//! holding mass.
+
+use crate::{PprConfig, SparseVector};
+use ppr_graph::{Adjacency, NodeId};
+
+/// What happens to the `(1-α)` continuation mass at a node with no
+/// traversable out-edges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DanglingPolicy {
+    /// Tours end; the mass is absorbed. This is the inverse-P-distance
+    /// semantics (§2.1) under which the decomposition theorems are exact,
+    /// and the default everywhere in this workspace.
+    #[default]
+    Absorb,
+    /// Algorithm 2's choice: dangling nodes gain a virtual arc back to the
+    /// query node, so all mass stays in circulation and the PPV sums to 1
+    /// on dangling-free reachable sets.
+    RestartToSource,
+}
+
+/// Result of a power-iteration run.
+#[derive(Clone, Debug)]
+pub struct PowerResult {
+    /// The converged PPV, dense over the (sub)graph's id space.
+    pub ppv: Vec<f64>,
+    /// Sweeps executed.
+    pub iterations: u32,
+    /// Whether the tolerance was met within the iteration cap.
+    pub converged: bool,
+}
+
+/// Run power iteration for a single preference node `source`.
+pub fn power_iteration_full<A: Adjacency>(
+    adj: &A,
+    source: NodeId,
+    cfg: &PprConfig,
+    policy: DanglingPolicy,
+) -> PowerResult {
+    power_iteration_pref(adj, &[(source, 1.0)], cfg, policy)
+}
+
+/// Run power iteration for a weighted preference set (weights should sum
+/// to 1 for the probabilistic reading, but any non-negative weights work).
+pub fn power_iteration_pref<A: Adjacency>(
+    adj: &A,
+    preference: &[(NodeId, f64)],
+    cfg: &PprConfig,
+    policy: DanglingPolicy,
+) -> PowerResult {
+    cfg.validate();
+    let n = adj.n();
+    let alpha = cfg.alpha;
+    let mut cur = vec![0.0f64; n];
+    let mut next = vec![0.0f64; n];
+    // r_0 = preference vector (any start converges; this one starts close).
+    for &(u, w) in preference {
+        cur[u as usize] += w;
+    }
+
+    // Active set: nodes with mass, maintained as in Algorithm 2. A stamp
+    // array (one epoch per sweep) avoids reallocating a visited set.
+    let mut active: Vec<NodeId> = preference.iter().map(|&(u, _)| u).collect();
+    let mut stamp = vec![0u32; n];
+
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < cfg.max_iterations {
+        iterations += 1;
+        // next = α x_pref
+        for &(u, w) in preference {
+            next[u as usize] += alpha * w;
+        }
+        let mut new_active: Vec<NodeId> = preference.iter().map(|&(u, _)| u).collect();
+        for &u in &new_active {
+            stamp[u as usize] = iterations;
+        }
+
+        for &u in &active {
+            let mass = cur[u as usize];
+            if mass == 0.0 {
+                continue;
+            }
+            let outs = adj.out(u);
+            let deg = adj.degree(u);
+            if deg == 0 {
+                if policy == DanglingPolicy::RestartToSource {
+                    // Algorithm 2 lines 14–16: route continuation mass back
+                    // to the preference nodes.
+                    for &(q, w) in preference {
+                        next[q as usize] += (1.0 - alpha) * mass * w;
+                        if stamp[q as usize] != iterations {
+                            stamp[q as usize] = iterations;
+                            new_active.push(q);
+                        }
+                    }
+                }
+                continue;
+            }
+            let share = (1.0 - alpha) * mass / deg as f64;
+            for &v in outs {
+                next[v as usize] += share;
+                if stamp[v as usize] != iterations {
+                    stamp[v as usize] = iterations;
+                    new_active.push(v);
+                }
+            }
+            // Mass on edges leaving a subgraph view (deg > outs.len()) is
+            // absorbed by the virtual node — nothing to do.
+        }
+
+        // Convergence: max per-entry change over touched nodes.
+        let mut max_diff = 0.0f64;
+        for &u in active.iter().chain(new_active.iter()) {
+            let d = (next[u as usize] - cur[u as usize]).abs();
+            if d > max_diff {
+                max_diff = d;
+            }
+        }
+
+        std::mem::swap(&mut cur, &mut next);
+        for &u in &active {
+            next[u as usize] = 0.0;
+        }
+        for &u in &new_active {
+            next[u as usize] = 0.0;
+        }
+        active = new_active;
+
+        if max_diff <= cfg.epsilon {
+            converged = true;
+            break;
+        }
+    }
+
+    PowerResult {
+        ppv: cur,
+        iterations,
+        converged,
+    }
+}
+
+/// Convenience wrapper returning only the dense PPV.
+pub fn power_iteration<A: Adjacency>(adj: &A, source: NodeId, cfg: &PprConfig) -> Vec<f64> {
+    power_iteration_full(adj, source, cfg, DanglingPolicy::Absorb).ppv
+}
+
+/// Global (non-personalized) PageRank: the PPV of the uniform preference
+/// vector. Used by the FastPPV baseline's hub selection and handy for
+/// applications.
+pub fn global_pagerank<A: Adjacency>(adj: &A, cfg: &PprConfig) -> Vec<f64> {
+    let n = adj.n();
+    if n == 0 {
+        return Vec::new();
+    }
+    let uniform: Vec<(NodeId, f64)> = (0..n as NodeId).map(|v| (v, 1.0 / n as f64)).collect();
+    power_iteration_pref(adj, &uniform, cfg, DanglingPolicy::Absorb).ppv
+}
+
+/// Sparse convenience wrapper (threshold 0: keep all nonzeros).
+pub fn power_iteration_sparse<A: Adjacency>(
+    adj: &A,
+    source: NodeId,
+    cfg: &PprConfig,
+) -> SparseVector {
+    SparseVector::from_dense(&power_iteration(adj, source, cfg), None, 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppr_graph::csr::from_edges;
+    use ppr_graph::dense::dense_ppv;
+    use ppr_graph::generators::{hierarchical_sbm, HsbmConfig};
+
+    fn tight() -> PprConfig {
+        PprConfig {
+            epsilon: 1e-12,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn matches_dense_on_cycle() {
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let exact = dense_ppv(&g, 0, 0.15);
+        let got = power_iteration(&g, 0, &tight());
+        for i in 0..4 {
+            assert!((exact[i] - got[i]).abs() < 1e-9, "node {i}");
+        }
+    }
+
+    #[test]
+    fn matches_dense_on_random_graph() {
+        let g = hierarchical_sbm(
+            &HsbmConfig {
+                nodes: 120,
+                ..Default::default()
+            },
+            5,
+        );
+        for s in [0u32, 17, 63] {
+            let exact = dense_ppv(&g, s, 0.15);
+            let got = power_iteration(&g, s, &tight());
+            for i in 0..120 {
+                assert!((exact[i] - got[i]).abs() < 1e-9, "src {s} node {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn absorb_leaks_mass_at_dangling() {
+        let g = from_edges(2, &[(0, 1)]); // 1 dangling
+        let r = power_iteration(&g, 0, &tight());
+        let sum: f64 = r.iter().sum();
+        assert!(sum < 1.0);
+        assert!((r[1] - 0.15 * 0.85).abs() < 1e-9);
+    }
+
+    #[test]
+    fn restart_policy_conserves_mass() {
+        let g = from_edges(2, &[(0, 1)]);
+        let r = power_iteration_full(&g, 0, &tight(), DanglingPolicy::RestartToSource);
+        let sum: f64 = r.ppv.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-8, "sum = {sum}");
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn preference_set_linearity() {
+        let g = from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let a = power_iteration(&g, 0, &tight());
+        let b = power_iteration(&g, 1, &tight());
+        let mix =
+            power_iteration_pref(&g, &[(0, 0.4), (1, 0.6)], &tight(), DanglingPolicy::Absorb).ppv;
+        for i in 0..3 {
+            assert!((mix[i] - (0.4 * a[i] + 0.6 * b[i])).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn loose_epsilon_converges_fast() {
+        let g = hierarchical_sbm(
+            &HsbmConfig {
+                nodes: 300,
+                ..Default::default()
+            },
+            6,
+        );
+        let res = power_iteration_full(
+            &g,
+            0,
+            &PprConfig {
+                epsilon: 1e-2,
+                ..Default::default()
+            },
+            DanglingPolicy::Absorb,
+        );
+        assert!(res.converged);
+        assert!(res.iterations < 40, "iters = {}", res.iterations);
+    }
+
+    #[test]
+    fn unreachable_nodes_stay_zero() {
+        // 0 -> 1; node 2 isolated.
+        let g = from_edges(3, &[(0, 1)]);
+        let r = power_iteration(&g, 0, &tight());
+        assert_eq!(r[2], 0.0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Sparse PPV vectors.
+//!
+//! Precomputed partial vectors, skeleton columns, and query results are all
+//! sparse: supports are confined to subgraphs (that is the whole point of
+//! hub-based partitioning, §3.2) and tolerance truncation drops tiny
+//! entries. The representation is a sorted `(node, value)` array — compact,
+//! cache-friendly to scan, and O(log n) to probe, mirroring how the paper
+//! ships vectors over the wire (its communication costs are byte counts of
+//! exactly these arrays).
+
+use ppr_graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Immutable-ish sparse vector with entries sorted by node id.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SparseVector {
+    entries: Vec<(NodeId, f64)>,
+}
+
+impl SparseVector {
+    /// Empty vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// From unsorted entries; ids must be distinct.
+    pub fn from_entries(mut entries: Vec<(NodeId, f64)>) -> Self {
+        entries.sort_unstable_by_key(|e| e.0);
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "duplicate ids in sparse vector"
+        );
+        Self { entries }
+    }
+
+    /// From a dense slice, keeping entries with `|value| > threshold`.
+    /// Node ids are taken from `ids[i]` (pass `None` for identity).
+    pub fn from_dense(dense: &[f64], ids: Option<&[NodeId]>, threshold: f64) -> Self {
+        let mut entries = Vec::new();
+        for (i, &v) in dense.iter().enumerate() {
+            if v.abs() > threshold {
+                let id = match ids {
+                    Some(m) => m[i],
+                    None => i as NodeId,
+                };
+                entries.push((id, v));
+            }
+        }
+        if ids.is_some() {
+            entries.sort_unstable_by_key(|e| e.0);
+        }
+        Self { entries }
+    }
+
+    /// Value at `id` (0.0 if absent).
+    pub fn get(&self, id: NodeId) -> f64 {
+        match self.entries.binary_search_by_key(&id, |e| e.0) {
+            Ok(i) => self.entries[i].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate `(id, value)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Sum of values (all PPV vectors are non-negative, so this is the L1
+    /// norm as well as the retained probability mass).
+    pub fn l1_norm(&self) -> f64 {
+        self.entries.iter().map(|e| e.1.abs()).sum()
+    }
+
+    /// Largest absolute value.
+    pub fn l_inf(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|e| e.1.abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// `self += scale * other`, implemented by merge. Prefer
+    /// [`SparseVector::scatter_into`] + a dense accumulator in hot loops.
+    pub fn add_scaled(&self, other: &SparseVector, scale: f64) -> SparseVector {
+        let mut out = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.entries.len() && j < other.entries.len() {
+            let (a, b) = (self.entries[i], other.entries[j]);
+            match a.0.cmp(&b.0) {
+                std::cmp::Ordering::Less => {
+                    out.push(a);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push((b.0, scale * b.1));
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push((a.0, a.1 + scale * b.1));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.entries[i..]);
+        out.extend(other.entries[j..].iter().map(|&(id, v)| (id, scale * v)));
+        SparseVector { entries: out }
+    }
+
+    /// Accumulate `scale * self` into a dense buffer, recording first
+    /// touches in `touched`.
+    pub fn scatter_into(&self, dense: &mut [f64], touched: &mut Vec<NodeId>, scale: f64) {
+        for &(id, v) in &self.entries {
+            let slot = &mut dense[id as usize];
+            if *slot == 0.0 {
+                touched.push(id);
+            }
+            *slot += scale * v;
+        }
+    }
+
+    /// Top-k entries by value, descending (ties by node id ascending) —
+    /// the ranking the paper's Precision/Kendall metrics consume.
+    pub fn top_k(&self, k: usize) -> Vec<(NodeId, f64)> {
+        let mut v: Vec<(NodeId, f64)> = self.entries.clone();
+        v.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// Drop entries with `|value| <= threshold` (the HGPA_ad adaptation of
+    /// §6.2.9). Returns the number of dropped entries.
+    pub fn truncate_below(&mut self, threshold: f64) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.1.abs() > threshold);
+        before - self.entries.len()
+    }
+
+    /// Wire size in bytes under the simulator's serialization model:
+    /// 4 bytes node id + 8 bytes f64 per entry, plus an 8-byte length
+    /// header (matches how the paper reports communication KB).
+    pub fn wire_bytes(&self) -> u64 {
+        8 + 12 * self.entries.len() as u64
+    }
+
+    /// Dense materialisation of length `n`.
+    pub fn to_dense(&self, n: usize) -> Vec<f64> {
+        let mut d = vec![0.0; n];
+        for &(id, v) in &self.entries {
+            d[id as usize] = v;
+        }
+        d
+    }
+}
+
+impl FromIterator<(NodeId, f64)> for SparseVector {
+    fn from_iter<T: IntoIterator<Item = (NodeId, f64)>>(iter: T) -> Self {
+        Self::from_entries(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_dense_thresholds() {
+        let v = SparseVector::from_dense(&[0.5, 0.0, 1e-9, 0.25], None, 1e-6);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.get(0), 0.5);
+        assert_eq!(v.get(2), 0.0);
+        assert_eq!(v.get(3), 0.25);
+    }
+
+    #[test]
+    fn from_dense_with_id_mapping() {
+        let v = SparseVector::from_dense(&[0.1, 0.2], Some(&[7, 3]), 0.0);
+        assert_eq!(v.get(7), 0.1);
+        assert_eq!(v.get(3), 0.2);
+        let ids: Vec<_> = v.iter().map(|e| e.0).collect();
+        assert_eq!(ids, vec![3, 7]); // sorted after mapping
+    }
+
+    #[test]
+    fn add_scaled_merges() {
+        let a = SparseVector::from_entries(vec![(0, 1.0), (2, 2.0)]);
+        let b = SparseVector::from_entries(vec![(1, 1.0), (2, 1.0), (5, 4.0)]);
+        let c = a.add_scaled(&b, 0.5);
+        assert_eq!(c.get(0), 1.0);
+        assert_eq!(c.get(1), 0.5);
+        assert_eq!(c.get(2), 2.5);
+        assert_eq!(c.get(5), 2.0);
+        assert_eq!(c.nnz(), 4);
+    }
+
+    #[test]
+    fn scatter_tracks_touched() {
+        let a = SparseVector::from_entries(vec![(1, 1.0), (3, 2.0)]);
+        let mut dense = vec![0.0; 5];
+        let mut touched = Vec::new();
+        a.scatter_into(&mut dense, &mut touched, 2.0);
+        a.scatter_into(&mut dense, &mut touched, 1.0);
+        assert_eq!(dense[1], 3.0);
+        assert_eq!(dense[3], 6.0);
+        assert_eq!(touched, vec![1, 3]); // second scatter adds no new touches
+    }
+
+    #[test]
+    fn top_k_orders_by_value() {
+        let v = SparseVector::from_entries(vec![(0, 0.1), (1, 0.5), (2, 0.5), (3, 0.3)]);
+        let top = v.top_k(3);
+        assert_eq!(top, vec![(1, 0.5), (2, 0.5), (3, 0.3)]);
+    }
+
+    #[test]
+    fn truncate_below_drops_small() {
+        let mut v = SparseVector::from_entries(vec![(0, 1e-5), (1, 0.5), (2, 2e-4)]);
+        let dropped = v.truncate_below(1e-4);
+        assert_eq!(dropped, 1);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.get(0), 0.0);
+    }
+
+    #[test]
+    fn norms_and_bytes() {
+        let v = SparseVector::from_entries(vec![(0, 0.25), (9, 0.5)]);
+        assert!((v.l1_norm() - 0.75).abs() < 1e-15);
+        assert_eq!(v.l_inf(), 0.5);
+        assert_eq!(v.wire_bytes(), 8 + 24);
+        assert_eq!(SparseVector::new().wire_bytes(), 8);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let v = SparseVector::from_entries(vec![(1, 0.5), (4, 0.1)]);
+        let d = v.to_dense(6);
+        let back = SparseVector::from_dense(&d, None, 0.0);
+        assert_eq!(back, v);
+    }
+}

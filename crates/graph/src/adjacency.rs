@@ -1,0 +1,84 @@
+//! The access trait shared by every PPR kernel.
+//!
+//! Kernels (power iteration, selective expansion, skeleton columns, the
+//! dense solver) are generic over [`Adjacency`] so that the *same code*
+//! runs on the whole graph and on virtual subgraphs. The trait models the
+//! paper's random-surfer semantics directly:
+//!
+//! * a surfer at `v` leaves along each *traversable* edge with probability
+//!   `(1 - alpha) / degree(v)`, where `degree(v)` is the **original**
+//!   out-degree of `v` in the full graph;
+//! * if `degree(v) > out(v).len()` the remaining mass is absorbed (it walked
+//!   to the virtual node of Definition 3 and the tour ends there);
+//! * if `degree(v) == 0` the node is dangling and all continuation mass is
+//!   absorbed (see [`DanglingPolicy`](https://docs.rs) in `ppr-core` for the
+//!   alternative treatments offered by the power-iteration kernel).
+
+use crate::NodeId;
+
+/// Read-only adjacency access in a compact local id space `0..n()`.
+pub trait Adjacency {
+    /// Number of nodes in this (sub)graph. Valid ids are `0..n() as u32`.
+    fn n(&self) -> usize;
+
+    /// Traversable out-neighbours of `v` *within* this (sub)graph.
+    fn out(&self, v: NodeId) -> &[NodeId];
+
+    /// Out-degree of `v` in the **original** graph — the denominator of the
+    /// per-edge transition probability. Always `>= out(v).len()`.
+    fn degree(&self, v: NodeId) -> u32;
+
+    /// Total traversable edges.
+    fn edge_count(&self) -> usize;
+
+    /// Convenience: true when the node retains every original out-edge.
+    fn is_boundary_free(&self, v: NodeId) -> bool {
+        self.out(v).len() as u32 == self.degree(v)
+    }
+}
+
+/// Adjacency that can also enumerate in-neighbours (required by the
+/// residual-push skeleton kernel, which distributes residuals backwards
+/// along edges).
+pub trait InAdjacency: Adjacency {
+    /// Traversable in-neighbours of `v` within this (sub)graph.
+    fn inn(&self, v: NodeId) -> &[NodeId];
+}
+
+impl<A: InAdjacency + ?Sized> InAdjacency for &A {
+    fn inn(&self, v: NodeId) -> &[NodeId] {
+        (**self).inn(v)
+    }
+}
+
+impl<A: Adjacency + ?Sized> Adjacency for &A {
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+    fn out(&self, v: NodeId) -> &[NodeId] {
+        (**self).out(v)
+    }
+    fn degree(&self, v: NodeId) -> u32 {
+        (**self).degree(v)
+    }
+    fn edge_count(&self) -> usize {
+        (**self).edge_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::GraphBuilder;
+
+    #[test]
+    fn blanket_ref_impl_delegates() {
+        let g = GraphBuilder::new(3).edge(0, 1).edge(1, 2).build();
+        let r = &g;
+        assert_eq!(Adjacency::n(&r), 3);
+        assert_eq!(r.out(0), &[1]);
+        assert_eq!(r.degree(1), 1);
+        assert_eq!(r.edge_count(), 2);
+        assert!(r.is_boundary_free(0));
+    }
+}

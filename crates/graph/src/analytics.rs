@@ -1,0 +1,205 @@
+//! Structural analytics used by the partitioner, the workload generators'
+//! validation, and downstream applications: components, BFS, transpose,
+//! degree distributions.
+
+use crate::csr::{CsrGraph, GraphBuilder};
+use crate::NodeId;
+use std::collections::VecDeque;
+
+/// Weakly connected components: returns (component id per node, count).
+pub fn weakly_connected_components(g: &CsrGraph) -> (Vec<u32>, usize) {
+    let n = g.node_count();
+    let mut comp = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..n as NodeId {
+        if comp[start as usize] != u32::MAX {
+            continue;
+        }
+        comp[start as usize] = count;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for &w in g.out_neighbors(v).iter().chain(g.in_neighbors(v)) {
+                if comp[w as usize] == u32::MAX {
+                    comp[w as usize] = count;
+                    queue.push_back(w);
+                }
+            }
+        }
+        count += 1;
+    }
+    (comp, count as usize)
+}
+
+/// BFS hop distance from `source` along out-edges (`u32::MAX` =
+/// unreachable).
+pub fn bfs_distances(g: &CsrGraph, source: NodeId) -> Vec<u32> {
+    let n = g.node_count();
+    let mut dist = vec![u32::MAX; n];
+    dist[source as usize] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        for &w in g.out_neighbors(v) {
+            if dist[w as usize] == u32::MAX {
+                dist[w as usize] = d + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// The transpose graph (every edge reversed).
+pub fn transpose(g: &CsrGraph) -> CsrGraph {
+    let mut b = GraphBuilder::new(g.node_count());
+    for (u, v) in g.edges() {
+        b.push_edge(v, u);
+    }
+    b.build()
+}
+
+/// Out-degree histogram: `hist[d]` = number of nodes with out-degree `d`.
+pub fn out_degree_histogram(g: &CsrGraph) -> Vec<usize> {
+    let max = (0..g.node_count() as NodeId)
+        .map(|v| g.out_degree(v))
+        .max()
+        .unwrap_or(0) as usize;
+    let mut hist = vec![0usize; max + 1];
+    for v in 0..g.node_count() as NodeId {
+        hist[g.out_degree(v) as usize] += 1;
+    }
+    hist
+}
+
+/// Nodes reachable from `source` (including itself) along out-edges.
+pub fn reachable_set(g: &CsrGraph, source: NodeId) -> Vec<NodeId> {
+    bfs_distances(g, source)
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d != u32::MAX)
+        .map(|(v, _)| v as NodeId)
+        .collect()
+}
+
+/// The subgraph induced by `members`, re-labelled densely in the order of
+/// the sorted member list. Returns (graph, local -> global map). Unlike
+/// [`crate::view::SubView`] the result is a standalone [`CsrGraph`] whose
+/// degrees are *internal* degrees (no virtual node) — use it for
+/// standalone analyses, not PPR decomposition.
+pub fn induced_subgraph(g: &CsrGraph, members: &[NodeId]) -> (CsrGraph, Vec<NodeId>) {
+    let mut map = members.to_vec();
+    map.sort_unstable();
+    map.dedup();
+    let local_of = |x: NodeId| map.binary_search(&x).ok();
+    let mut b = GraphBuilder::new(map.len());
+    for (lu, &gu) in map.iter().enumerate() {
+        for &gv in g.out_neighbors(gu) {
+            if let Some(lv) = local_of(gv) {
+                b.push_edge(lu as NodeId, lv as NodeId);
+            }
+        }
+    }
+    (b.build(), map)
+}
+
+/// Return a copy of `g` with a self-loop added to every dangling node.
+///
+/// This is the classic alternative treatment of dangling nodes (§ Appendix
+/// C discusses redirect-to-source; self-loops instead make the transition
+/// matrix stochastic while keeping the graph query-independent, so the
+/// decomposition indexes can be built on the result). Under self-loop
+/// semantics a surfer at a dead end simply waits until teleporting.
+pub fn add_dangling_self_loops(g: &CsrGraph) -> CsrGraph {
+    let mut b = GraphBuilder::new(g.node_count()).allow_self_loops();
+    for (u, v) in g.edges() {
+        b.push_edge(u, v);
+    }
+    for v in g.dangling_nodes() {
+        b.push_edge(v, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::from_edges;
+
+    fn two_islands() -> CsrGraph {
+        // island A: 0 -> 1 -> 2 -> 0; island B: 3 <-> 4
+        from_edges(5, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 3)])
+    }
+
+    #[test]
+    fn components_found() {
+        let g = two_islands();
+        let (comp, count) = weakly_connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+    }
+
+    #[test]
+    fn bfs_distances_and_reachability() {
+        let g = two_islands();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(&d[..3], &[0, 1, 2]);
+        assert_eq!(d[3], u32::MAX);
+        assert_eq!(reachable_set(&g, 0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = from_edges(3, &[(0, 1), (1, 2)]);
+        let t = transpose(&g);
+        assert!(t.has_edge(1, 0));
+        assert!(t.has_edge(2, 1));
+        assert_eq!(t.edge_count(), 2);
+        // Double transpose is the identity.
+        let tt = transpose(&t);
+        assert!(g.edges().eq(tt.edges()));
+    }
+
+    #[test]
+    fn degree_histogram_sums_to_n() {
+        let g = two_islands();
+        let hist = out_degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<usize>(), 5);
+        assert_eq!(hist[1], 5); // every node has out-degree 1
+    }
+
+    #[test]
+    fn induced_subgraph_extracts_internal_edges() {
+        let g = two_islands();
+        let (sub, map) = induced_subgraph(&g, &[0, 1, 3]);
+        assert_eq!(map, vec![0, 1, 3]);
+        assert_eq!(sub.node_count(), 3);
+        // Only 0 -> 1 survives (2 and 4 are outside).
+        assert_eq!(sub.edge_count(), 1);
+        assert!(sub.has_edge(0, 1));
+    }
+
+    #[test]
+    fn self_loop_preprocessing_makes_stochastic() {
+        let g = from_edges(3, &[(0, 1), (0, 2)]); // 1 and 2 dangling
+        let fixed = add_dangling_self_loops(&g);
+        assert!(fixed.dangling_nodes().is_empty());
+        assert!(fixed.has_edge(1, 1));
+        assert!(fixed.has_edge(2, 2));
+        assert_eq!(fixed.out_degree(0), 2); // untouched
+        // PPV mass now conserves exactly (stochastic matrix).
+        let r = crate::dense::dense_ppv(&fixed, 0, 0.15);
+        assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = from_edges(0, &[]);
+        assert_eq!(weakly_connected_components(&g).1, 0);
+        assert_eq!(out_degree_histogram(&g), vec![0]);
+    }
+}

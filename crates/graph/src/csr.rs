@@ -1,0 +1,346 @@
+//! Immutable compressed-sparse-row directed graph.
+//!
+//! [`CsrGraph`] stores both out- and in-adjacency. Out-adjacency drives the
+//! random-surfer kernels; in-adjacency is used by the partitioner (which
+//! works on the symmetrised structure) and by generators/analytics.
+
+use crate::adjacency::{Adjacency, InAdjacency};
+use crate::NodeId;
+
+/// Immutable directed graph in CSR form.
+///
+/// Construction goes through [`GraphBuilder`], which sorts and deduplicates
+/// edges. Self-loops are rejected by default (a PPR tour stepping `v -> v`
+/// is permitted by the model, but none of the paper's datasets contain
+/// self-loops and the partitioner assumes their absence; enable them
+/// explicitly with [`GraphBuilder::allow_self_loops`] if needed).
+#[derive(Clone, Debug)]
+pub struct CsrGraph {
+    n: usize,
+    out_offsets: Vec<usize>,
+    out_targets: Vec<NodeId>,
+    in_offsets: Vec<usize>,
+    in_sources: Vec<NodeId>,
+}
+
+impl CsrGraph {
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of (deduplicated) directed edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Out-neighbours of `v`, sorted ascending.
+    #[inline]
+    pub fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.out_targets[self.out_offsets[v]..self.out_offsets[v + 1]]
+    }
+
+    /// In-neighbours of `v`, sorted ascending.
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.in_sources[self.in_offsets[v]..self.in_offsets[v + 1]]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> u32 {
+        (self.out_offsets[v as usize + 1] - self.out_offsets[v as usize]) as u32
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> u32 {
+        (self.in_offsets[v as usize + 1] - self.in_offsets[v as usize]) as u32
+    }
+
+    /// Iterator over all edges `(src, dst)` in source order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.n as NodeId)
+            .flat_map(move |v| self.out_neighbors(v).iter().map(move |&w| (v, w)))
+    }
+
+    /// True if the directed edge `u -> v` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Nodes with no outgoing edges (dangling nodes).
+    pub fn dangling_nodes(&self) -> Vec<NodeId> {
+        (0..self.n as NodeId)
+            .filter(|&v| self.out_degree(v) == 0)
+            .collect()
+    }
+
+    /// Undirected-degree of `v` counting each distinct neighbour once in
+    /// each direction (used by the partitioner for balance weights).
+    pub fn total_degree(&self, v: NodeId) -> u32 {
+        self.out_degree(v) + self.in_degree(v)
+    }
+
+    /// Basic structural statistics used by the workload harness.
+    pub fn stats(&self) -> GraphStats {
+        let n = self.n;
+        let m = self.edge_count();
+        let mut max_out = 0u32;
+        let mut dangling = 0usize;
+        for v in 0..n as NodeId {
+            let d = self.out_degree(v);
+            max_out = max_out.max(d);
+            if d == 0 {
+                dangling += 1;
+            }
+        }
+        GraphStats {
+            nodes: n,
+            edges: m,
+            max_out_degree: max_out,
+            dangling_nodes: dangling,
+            avg_out_degree: if n == 0 { 0.0 } else { m as f64 / n as f64 },
+        }
+    }
+}
+
+impl Adjacency for CsrGraph {
+    #[inline]
+    fn n(&self) -> usize {
+        self.n
+    }
+    #[inline]
+    fn out(&self, v: NodeId) -> &[NodeId] {
+        self.out_neighbors(v)
+    }
+    #[inline]
+    fn degree(&self, v: NodeId) -> u32 {
+        self.out_degree(v)
+    }
+    #[inline]
+    fn edge_count(&self) -> usize {
+        self.out_targets.len()
+    }
+}
+
+impl InAdjacency for CsrGraph {
+    #[inline]
+    fn inn(&self, v: NodeId) -> &[NodeId] {
+        self.in_neighbors(v)
+    }
+}
+
+/// Summary statistics for a graph.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Node count.
+    pub nodes: usize,
+    /// Directed edge count.
+    pub edges: usize,
+    /// Maximum out-degree.
+    pub max_out_degree: u32,
+    /// Number of nodes with zero out-degree.
+    pub dangling_nodes: usize,
+    /// Mean out-degree.
+    pub avg_out_degree: f64,
+}
+
+/// Incremental builder for [`CsrGraph`].
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+    allow_self_loops: bool,
+}
+
+impl GraphBuilder {
+    /// Start a builder for a graph with `n` nodes (ids `0..n`).
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "graphs are limited to u32 ids");
+        Self {
+            n,
+            edges: Vec::new(),
+            allow_self_loops: false,
+        }
+    }
+
+    /// Permit self-loop edges `v -> v` (dropped silently by default).
+    pub fn allow_self_loops(mut self) -> Self {
+        self.allow_self_loops = true;
+        self
+    }
+
+    /// Add the directed edge `u -> v`. Duplicates are deduplicated at
+    /// [`build`](Self::build) time.
+    pub fn edge(mut self, u: NodeId, v: NodeId) -> Self {
+        self.push_edge(u, v);
+        self
+    }
+
+    /// Add an edge through a mutable reference (builder-loop friendly).
+    pub fn push_edge(&mut self, u: NodeId, v: NodeId) {
+        assert!((u as usize) < self.n, "source {u} out of range");
+        assert!((v as usize) < self.n, "target {v} out of range");
+        if u == v && !self.allow_self_loops {
+            return;
+        }
+        self.edges.push((u, v));
+    }
+
+    /// Add every edge in the iterator.
+    pub fn extend_edges<I: IntoIterator<Item = (NodeId, NodeId)>>(&mut self, it: I) {
+        for (u, v) in it {
+            self.push_edge(u, v);
+        }
+    }
+
+    /// Number of edges currently staged (before dedup).
+    pub fn staged_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finish construction: sorts, deduplicates, and builds both CSR sides.
+    pub fn build(self) -> CsrGraph {
+        let n = self.n;
+        let mut edges = self.edges;
+        edges.sort_unstable();
+        edges.dedup();
+
+        let mut out_offsets = vec![0usize; n + 1];
+        for &(u, _) in &edges {
+            out_offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let out_targets: Vec<NodeId> = edges.iter().map(|&(_, v)| v).collect();
+
+        // In-CSR via counting sort on target.
+        let mut in_offsets = vec![0usize; n + 1];
+        for &(_, v) in &edges {
+            in_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut cursor = in_offsets.clone();
+        let mut in_sources = vec![0 as NodeId; edges.len()];
+        for &(u, v) in &edges {
+            let c = &mut cursor[v as usize];
+            in_sources[*c] = u;
+            *c += 1;
+        }
+        // Sources arrive in sorted order because `edges` is sorted by (u, v),
+        // so each in-list is already ascending.
+
+        CsrGraph {
+            n,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+        }
+    }
+}
+
+/// Build a graph directly from an edge slice.
+pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> CsrGraph {
+    let mut b = GraphBuilder::new(n);
+    b.extend_edges(edges.iter().copied());
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> CsrGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3, 3 -> 0
+        from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 0)])
+    }
+
+    #[test]
+    fn builds_out_adjacency() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.out_neighbors(3), &[0]);
+        assert_eq!(g.out_degree(0), 2);
+    }
+
+    #[test]
+    fn builds_in_adjacency() {
+        let g = diamond();
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        assert_eq!(g.in_neighbors(0), &[3]);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.in_degree(1), 1);
+    }
+
+    #[test]
+    fn dedup_and_self_loop_filtering() {
+        let g = from_edges(3, &[(0, 1), (0, 1), (1, 1), (1, 2)]);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.out_neighbors(1), &[2]);
+    }
+
+    #[test]
+    fn self_loops_kept_when_allowed() {
+        let mut b = GraphBuilder::new(2).allow_self_loops();
+        b.push_edge(0, 0);
+        b.push_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.out_neighbors(0), &[0, 1]);
+    }
+
+    #[test]
+    fn dangling_detection() {
+        let g = from_edges(3, &[(0, 1), (0, 2)]);
+        assert_eq!(g.dangling_nodes(), vec![1, 2]);
+        assert_eq!(g.stats().dangling_nodes, 2);
+    }
+
+    #[test]
+    fn edges_iterator_roundtrip() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3), (3, 0)]);
+    }
+
+    #[test]
+    fn has_edge_binary_search() {
+        let g = diamond();
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(2, 0));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = from_edges(0, &[]);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn stats_avg_degree() {
+        let g = diamond();
+        let s = g.stats();
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.edges, 5);
+        assert!((s.avg_out_degree - 1.25).abs() < 1e-12);
+        assert_eq!(s.max_out_degree, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.push_edge(0, 5);
+    }
+}

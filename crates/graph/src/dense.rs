@@ -1,0 +1,199 @@
+//! Dense linear-system PPR solver — the ground truth oracle for tests.
+//!
+//! The PPV of a source `u` is the solution of
+//! `(I - (1-α)·Pᵀ) r = α·x_u` where `P(v, w) = 1/degree(v)` for each
+//! traversable edge `v -> w` (degree is the *original* out-degree, so this
+//! solver is virtual-subgraph aware through [`Adjacency`]). Gaussian
+//! elimination with partial pivoting gives machine-precision answers on
+//! graphs small enough for an O(n³) solve, letting every iterative kernel
+//! and both distributed indexes be validated against exact algebra.
+
+use crate::adjacency::Adjacency;
+use crate::NodeId;
+
+/// Hard cap: dense solves are for tests and tiny examples only.
+pub const DENSE_MAX_NODES: usize = 4096;
+
+/// Solve the PPV of `source` exactly. O(n³) time, O(n²) space.
+///
+/// # Panics
+/// Panics if the graph exceeds [`DENSE_MAX_NODES`] or `alpha` is outside
+/// `(0, 1)`.
+pub fn dense_ppv<A: Adjacency>(adj: &A, source: NodeId, alpha: f64) -> Vec<f64> {
+    let n = adj.n();
+    assert!(n <= DENSE_MAX_NODES, "dense solver capped at {DENSE_MAX_NODES} nodes");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must lie in (0,1)");
+    assert!((source as usize) < n, "source out of range");
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // Build M = I - (1-α) Pᵀ, row-major.
+    let mut m = vec![0.0f64; n * n];
+    for i in 0..n {
+        m[i * n + i] = 1.0;
+    }
+    for v in 0..n as NodeId {
+        let d = adj.degree(v);
+        if d == 0 {
+            continue;
+        }
+        let w = (1.0 - alpha) / d as f64;
+        for &t in adj.out(v) {
+            // Row t (target), column v (source of mass).
+            m[t as usize * n + v as usize] -= w;
+        }
+    }
+
+    let mut b = vec![0.0f64; n];
+    b[source as usize] = alpha;
+    solve_in_place(&mut m, &mut b, n);
+    b
+}
+
+/// Exact PPV for a multi-node preference set with weights summing to 1.
+pub fn dense_ppv_preference<A: Adjacency>(
+    adj: &A,
+    preference: &[(NodeId, f64)],
+    alpha: f64,
+) -> Vec<f64> {
+    let n = adj.n();
+    assert!(n <= DENSE_MAX_NODES);
+    let mut out = vec![0.0f64; n];
+    // Linearity (Jeh–Widom Theorem 1): PPV of a preference vector is the
+    // weighted sum of single-node PPVs.
+    for &(u, w) in preference {
+        let r = dense_ppv(adj, u, alpha);
+        for (o, x) in out.iter_mut().zip(r) {
+            *o += w * x;
+        }
+    }
+    out
+}
+
+/// In-place Gaussian elimination with partial pivoting; solves `m x = b`,
+/// leaving the solution in `b`.
+fn solve_in_place(m: &mut [f64], b: &mut [f64], n: usize) {
+    for col in 0..n {
+        // Pivot.
+        let mut piv = col;
+        let mut best = m[col * n + col].abs();
+        for r in col + 1..n {
+            let v = m[r * n + col].abs();
+            if v > best {
+                best = v;
+                piv = r;
+            }
+        }
+        assert!(best > 1e-14, "singular PPR system (should be impossible: matrix is strictly diagonally dominant)");
+        if piv != col {
+            for c in 0..n {
+                m.swap(piv * n + c, col * n + c);
+            }
+            b.swap(piv, col);
+        }
+        let inv = 1.0 / m[col * n + col];
+        for r in col + 1..n {
+            let f = m[r * n + col] * inv;
+            if f == 0.0 {
+                continue;
+            }
+            m[r * n + col] = 0.0;
+            for c in col + 1..n {
+                m[r * n + c] -= f * m[col * n + c];
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for c in col + 1..n {
+            acc -= m[col * n + c] * b[c];
+        }
+        b[col] = acc / m[col * n + col];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::from_edges;
+    use crate::view::full_view;
+
+    const ALPHA: f64 = 0.15;
+
+    #[test]
+    fn single_node_no_edges() {
+        let g = from_edges(1, &[]);
+        let r = dense_ppv(&g, 0, ALPHA);
+        // Dangling source: only the length-0 tour, weight α.
+        assert!((r[0] - ALPHA).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_cycle_closed_form() {
+        // 0 <-> 1. Tours from 0 to 0 have even length 2k with weight
+        // α(1-α)^{2k}; r0(0) = α / (1 - (1-α)^2), r0(1) = α(1-α)/(1-(1-α)^2).
+        let g = from_edges(2, &[(0, 1), (1, 0)]);
+        let r = dense_ppv(&g, 0, ALPHA);
+        let q = 1.0 - ALPHA;
+        let denom = 1.0 - q * q;
+        assert!((r[0] - ALPHA / denom).abs() < 1e-12);
+        assert!((r[1] - ALPHA * q / denom).abs() < 1e-12);
+        // No dangling nodes: mass conserves to exactly 1.
+        assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_absorbs_at_dangling_end() {
+        // 0 -> 1 -> 2 (2 dangling). Mass sum < 1.
+        let g = from_edges(3, &[(0, 1), (1, 2)]);
+        let r = dense_ppv(&g, 0, ALPHA);
+        let q = 1.0 - ALPHA;
+        assert!((r[0] - ALPHA).abs() < 1e-12);
+        assert!((r[1] - ALPHA * q).abs() < 1e-12);
+        // All mass reaching node 2 is absorbed there: r2 counts tours ending
+        // at 2 with the trailing α plus the leaked continuation. Under the
+        // tour semantics r2 = α(1-α)^2 only.
+        assert!((r[2] - ALPHA * q * q).abs() < 1e-12);
+        assert!(r.iter().sum::<f64>() < 1.0);
+    }
+
+    #[test]
+    fn preference_set_is_linear_combination() {
+        let g = from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let a = dense_ppv(&g, 0, ALPHA);
+        let b = dense_ppv(&g, 1, ALPHA);
+        let mix = dense_ppv_preference(&g, &[(0, 0.3), (1, 0.7)], ALPHA);
+        for i in 0..3 {
+            assert!((mix[i] - (0.3 * a[i] + 0.7 * b[i])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn full_view_matches_graph_solution() {
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (1, 0)]);
+        let v = full_view(&g);
+        for s in 0..4 {
+            let a = dense_ppv(&g, s, ALPHA);
+            let b = dense_ppv(&v, s, ALPHA);
+            for i in 0..4 {
+                assert!((a[i] - b[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn non_negative_and_bounded() {
+        let g = from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        for s in 0..5 {
+            let r = dense_ppv(&g, s, ALPHA);
+            for &x in &r {
+                assert!(x >= -1e-15);
+            }
+            let sum: f64 = r.iter().sum();
+            assert!(sum <= 1.0 + 1e-12);
+        }
+    }
+}

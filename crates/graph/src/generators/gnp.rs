@@ -1,0 +1,97 @@
+//! Directed Erdős–Rényi G(n, p) via geometric edge skipping.
+
+use crate::csr::{CsrGraph, GraphBuilder};
+use crate::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate a directed G(n, p) graph (no self-loops), deterministic in
+/// `seed`. Uses the skip-length trick so the cost is O(n²p), not O(n²).
+pub fn gnp_directed(n: usize, p: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut b = GraphBuilder::new(n);
+    if n == 0 || p == 0.0 {
+        return b.build();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    if p >= 1.0 {
+        for u in 0..n as NodeId {
+            for v in 0..n as NodeId {
+                if u != v {
+                    b.push_edge(u, v);
+                }
+            }
+        }
+        return b.build();
+    }
+
+    let log_q = (1.0 - p).ln();
+    // Walk the n*(n-1) potential-edge index space with geometric jumps.
+    let total = (n as u64) * (n as u64 - 1);
+    let mut idx: u64 = 0;
+    loop {
+        let u: f64 = rng.random();
+        // Number of misses before the next hit.
+        let skip = ((1.0 - u).ln() / log_q).floor() as u64;
+        idx = idx.saturating_add(skip);
+        if idx >= total {
+            break;
+        }
+        let src = (idx / (n as u64 - 1)) as NodeId;
+        let mut dst = (idx % (n as u64 - 1)) as NodeId;
+        if dst >= src {
+            dst += 1; // skip the diagonal
+        }
+        b.push_edge(src, dst);
+        idx += 1;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = gnp_directed(200, 0.05, 42);
+        let b = gnp_directed(200, 0.05, 42);
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert!(a.edges().eq(b.edges()));
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let a = gnp_directed(200, 0.05, 1);
+        let b = gnp_directed(200, 0.05, 2);
+        assert!(!a.edges().eq(b.edges()));
+    }
+
+    #[test]
+    fn edge_count_near_expectation() {
+        let n = 500;
+        let p = 0.02;
+        let g = gnp_directed(n, p, 9);
+        let expect = (n * (n - 1)) as f64 * p;
+        let got = g.edge_count() as f64;
+        assert!(
+            (got - expect).abs() < 4.0 * expect.sqrt() + 10.0,
+            "got {got}, expected ~{expect}"
+        );
+    }
+
+    #[test]
+    fn extremes() {
+        assert_eq!(gnp_directed(10, 0.0, 3).edge_count(), 0);
+        assert_eq!(gnp_directed(5, 1.0, 3).edge_count(), 20);
+        assert_eq!(gnp_directed(0, 0.5, 3).node_count(), 0);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = gnp_directed(50, 0.3, 11);
+        for (u, v) in g.edges() {
+            assert_ne!(u, v);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Hierarchical stochastic block model — the dataset stand-in engine.
+//!
+//! Nodes `0..n` are leaves of an implicit balanced binary tree of depth
+//! `depth`; the block of a node at level `d` is the contiguous id range
+//! under its depth-`d` ancestor. Each node draws a power-law out-degree;
+//! each edge independently walks up from the leaf block with probability
+//! `1 - locality` per level and then targets a uniform node inside the
+//! chosen ancestor block.
+//!
+//! With `locality` close to 1, the expected number of edges crossing the
+//! top-level bisection is a small fraction of `m`, so balanced partitions
+//! have small vertex separators — the property (Appendix D) that makes
+//! GPA/HGPA space costs collapse, and the property real community-structured
+//! graphs exhibit. `reciprocity` optionally mirrors edges to imitate social
+//! graphs (Youtube, Meetup); web-like configs leave it low.
+
+use crate::csr::{CsrGraph, GraphBuilder};
+use crate::generators::power_law_degree;
+use crate::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`hierarchical_sbm`].
+#[derive(Clone, Copy, Debug)]
+pub struct HsbmConfig {
+    /// Node count.
+    pub nodes: usize,
+    /// Depth of the community hierarchy (>= 1).
+    pub depth: u32,
+    /// Minimum out-degree.
+    pub min_degree: u32,
+    /// Maximum out-degree.
+    pub max_degree: u32,
+    /// Power-law exponent of the out-degree distribution.
+    pub degree_exponent: f64,
+    /// Per-level probability that an edge stays inside the current block.
+    pub locality: f64,
+    /// Probability that each edge is mirrored (`v -> u` added for `u -> v`).
+    pub reciprocity: f64,
+    /// Probability that an edge ignores the hierarchy entirely and picks a
+    /// uniform global target. Real graphs' community boundaries are fuzzy;
+    /// without this, top-level cuts are unrealistically close to empty and
+    /// the hierarchy's upper levels select no hubs (unlike the paper's
+    /// Tables 2–5).
+    pub noise: f64,
+}
+
+impl Default for HsbmConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 1000,
+            depth: 5,
+            min_degree: 2,
+            max_degree: 100,
+            degree_exponent: 2.3,
+            locality: 0.9,
+            reciprocity: 0.0,
+            noise: 0.05,
+        }
+    }
+}
+
+/// Block (id range) of node `u` at hierarchy level `d` when `[0, n)` is
+/// split by repeated halving.
+fn block_range(n: usize, u: NodeId, d: u32) -> (usize, usize) {
+    let (mut lo, mut hi) = (0usize, n);
+    for _ in 0..d {
+        if hi - lo <= 1 {
+            break;
+        }
+        let mid = lo + (hi - lo) / 2;
+        if (u as usize) < mid {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    (lo, hi)
+}
+
+/// Generate a hierarchical SBM graph, deterministic in `seed`.
+pub fn hierarchical_sbm(cfg: &HsbmConfig, seed: u64) -> CsrGraph {
+    assert!(cfg.depth >= 1);
+    assert!((0.0..=1.0).contains(&cfg.locality));
+    assert!((0.0..=1.0).contains(&cfg.reciprocity));
+    assert!((0.0..=1.0).contains(&cfg.noise));
+    let n = cfg.nodes;
+    let mut b = GraphBuilder::new(n);
+    if n < 2 {
+        return b.build();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    for u in 0..n as NodeId {
+        let deg = power_law_degree(&mut rng, cfg.min_degree, cfg.max_degree, cfg.degree_exponent);
+        for _ in 0..deg {
+            // Choose the level: global noise edges pick level 0 outright;
+            // otherwise start at the leaves and climb with prob 1-locality.
+            let mut d = if rng.random::<f64>() < cfg.noise {
+                0
+            } else {
+                cfg.depth
+            };
+            while d > 0 && rng.random::<f64>() >= cfg.locality {
+                d -= 1;
+            }
+            let (lo, hi) = block_range(n, u, d);
+            let span = hi - lo;
+            if span <= 1 {
+                continue; // block is just `u` itself
+            }
+            // Uniform target in the block, excluding u.
+            let mut v = lo + rng.random_range(0..span - 1);
+            if v >= u as usize {
+                v += 1;
+            }
+            let v = v as NodeId;
+            b.push_edge(u, v);
+            if cfg.reciprocity > 0.0 && rng.random::<f64>() < cfg.reciprocity {
+                b.push_edge(v, u);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_range_halving() {
+        assert_eq!(block_range(8, 0, 0), (0, 8));
+        assert_eq!(block_range(8, 0, 1), (0, 4));
+        assert_eq!(block_range(8, 5, 1), (4, 8));
+        assert_eq!(block_range(8, 5, 2), (4, 6));
+        assert_eq!(block_range(8, 5, 3), (5, 6));
+        // Odd sizes keep working.
+        assert_eq!(block_range(7, 6, 1), (3, 7));
+        assert_eq!(block_range(7, 0, 10), (0, 1));
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = HsbmConfig::default();
+        let a = hierarchical_sbm(&cfg, 8);
+        let b = hierarchical_sbm(&cfg, 8);
+        assert!(a.edges().eq(b.edges()));
+    }
+
+    #[test]
+    fn locality_limits_top_level_cut() {
+        let cfg = HsbmConfig {
+            nodes: 4000,
+            depth: 6,
+            locality: 0.95,
+            ..Default::default()
+        };
+        let g = hierarchical_sbm(&cfg, 21);
+        let mid = cfg.nodes / 2;
+        let crossing = g
+            .edges()
+            .filter(|&(u, v)| ((u as usize) < mid) != ((v as usize) < mid))
+            .count();
+        let frac = crossing as f64 / g.edge_count() as f64;
+        // With locality 0.95 an edge crosses the top split only if it climbs
+        // all 6 levels: expected fraction ~0.05^... « 5%.
+        assert!(frac < 0.05, "crossing fraction {frac}");
+    }
+
+    #[test]
+    fn low_locality_mixes_globally() {
+        let cfg = HsbmConfig {
+            nodes: 4000,
+            depth: 6,
+            locality: 0.0,
+            ..Default::default()
+        };
+        let g = hierarchical_sbm(&cfg, 21);
+        let mid = cfg.nodes / 2;
+        let crossing = g
+            .edges()
+            .filter(|&(u, v)| ((u as usize) < mid) != ((v as usize) < mid))
+            .count();
+        let frac = crossing as f64 / g.edge_count() as f64;
+        assert!(frac > 0.4, "crossing fraction {frac}");
+    }
+
+    #[test]
+    fn reciprocity_adds_back_edges() {
+        let cfg = HsbmConfig {
+            nodes: 500,
+            reciprocity: 1.0,
+            ..Default::default()
+        };
+        let g = hierarchical_sbm(&cfg, 4);
+        for (u, v) in g.edges() {
+            assert!(g.has_edge(v, u), "missing reciprocal of ({u},{v})");
+        }
+    }
+
+    #[test]
+    fn degrees_respect_bounds_before_dedup() {
+        let cfg = HsbmConfig {
+            nodes: 300,
+            min_degree: 3,
+            max_degree: 10,
+            ..Default::default()
+        };
+        let g = hierarchical_sbm(&cfg, 4);
+        for v in 0..g.node_count() as NodeId {
+            // Dedup can only reduce the sampled degree.
+            assert!(g.out_degree(v) <= 10);
+        }
+        assert!(g.stats().avg_out_degree >= 2.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Seeded synthetic graph generators.
+//!
+//! The paper evaluates on five real graphs (Email, Web, Youtube, PLD,
+//! Meetup). Those crawls are not redistributable here, so `ppr-workload`
+//! parameterises the generators in this module to produce structural
+//! stand-ins. The key property the GPA/HGPA algorithms rely on — and that
+//! Appendix D argues real social/web graphs have — is *small vertex
+//! separators*: community-structured topology where balanced partitions cut
+//! few edges. [`hsbm`] reproduces exactly that (recursive communities with
+//! geometrically decaying inter-community traffic) together with power-law
+//! degree skew.
+
+pub mod chung_lu;
+pub mod gnp;
+pub mod hsbm;
+
+pub use chung_lu::{chung_lu_directed, ChungLuConfig};
+pub use gnp::gnp_directed;
+pub use hsbm::{hierarchical_sbm, HsbmConfig};
+
+use rand::Rng;
+
+/// Sample a power-law out-degree in `[d_min, d_max]` with exponent `gamma`
+/// (density ∝ d^-gamma) by inverse-transform sampling.
+pub(crate) fn power_law_degree<R: Rng>(rng: &mut R, d_min: u32, d_max: u32, gamma: f64) -> u32 {
+    debug_assert!(d_min >= 1 && d_max >= d_min && gamma > 1.0);
+    let u: f64 = rng.random();
+    let a = d_min as f64;
+    let b = d_max as f64 + 1.0;
+    let e = 1.0 - gamma;
+    // CDF inversion for the continuous Pareto truncated to [a, b).
+    let x = (a.powf(e) + u * (b.powf(e) - a.powf(e))).powf(1.0 / e);
+    (x as u32).clamp(d_min, d_max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn power_law_degrees_in_range_and_skewed() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 2]; // [d <= 3, d > 3]
+        for _ in 0..10_000 {
+            let d = power_law_degree(&mut rng, 1, 100, 2.5);
+            assert!((1..=100).contains(&d));
+            if d <= 3 {
+                counts[0] += 1;
+            } else {
+                counts[1] += 1;
+            }
+        }
+        // Heavy skew toward small degrees.
+        assert!(counts[0] > counts[1] * 2, "{counts:?}");
+    }
+}

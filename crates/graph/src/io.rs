@@ -1,0 +1,136 @@
+//! Edge-list IO in the SNAP plain-text format the paper's datasets use.
+//!
+//! Format: one `src<TAB or space>dst` pair per line; lines starting with
+//! `#` or `%` are comments. Node ids need not be contiguous — they are
+//! remapped densely on load and the mapping is returned.
+
+use crate::csr::{CsrGraph, GraphBuilder};
+use crate::NodeId;
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Result of loading an edge list with arbitrary ids.
+pub struct LoadedGraph {
+    /// The graph with dense ids `0..n`.
+    pub graph: CsrGraph,
+    /// Dense id -> original id.
+    pub original_ids: Vec<u64>,
+}
+
+/// Read an edge list from any reader.
+pub fn read_edge_list<R: Read>(reader: R) -> io::Result<LoadedGraph> {
+    let mut ids: HashMap<u64, NodeId> = HashMap::new();
+    let mut original_ids: Vec<u64> = Vec::new();
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut line = String::new();
+    let mut r = BufReader::new(reader);
+
+    let intern = |raw: u64, ids: &mut HashMap<u64, NodeId>, orig: &mut Vec<u64>| -> NodeId {
+        *ids.entry(raw).or_insert_with(|| {
+            let id = orig.len() as NodeId;
+            orig.push(raw);
+            id
+        })
+    };
+
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse = |s: Option<&str>| -> io::Result<u64> {
+            s.and_then(|x| x.parse().ok()).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed edge at line {lineno}"),
+                )
+            })
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        let lu = intern(u, &mut ids, &mut original_ids);
+        let lv = intern(v, &mut ids, &mut original_ids);
+        edges.push((lu, lv));
+    }
+
+    let mut b = GraphBuilder::new(original_ids.len());
+    b.extend_edges(edges);
+    Ok(LoadedGraph {
+        graph: b.build(),
+        original_ids,
+    })
+}
+
+/// Read an edge list from a file path.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> io::Result<LoadedGraph> {
+    read_edge_list(std::fs::File::open(path)?)
+}
+
+/// Write a graph as a plain edge list (dense ids).
+pub fn write_edge_list<W: Write>(graph: &CsrGraph, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# exact-ppr edge list: {} nodes, {} edges", graph.node_count(), graph.edge_count())?;
+    for (u, v) in graph.edges() {
+        writeln!(w, "{u}\t{v}")?;
+    }
+    w.flush()
+}
+
+/// Write a graph to a file path.
+pub fn write_edge_list_file<P: AsRef<Path>>(graph: &CsrGraph, path: P) -> io::Result<()> {
+    write_edge_list(graph, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::from_edges;
+
+    #[test]
+    fn parses_comments_and_whitespace() {
+        let text = "# comment\n% also comment\n\n10 20\n20\t30\n10 30\n";
+        let loaded = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(loaded.graph.node_count(), 3);
+        assert_eq!(loaded.graph.edge_count(), 3);
+        assert_eq!(loaded.original_ids, vec![10, 20, 30]);
+        // 10 -> {20, 30} under dense ids 0 -> {1, 2}.
+        assert_eq!(loaded.graph.out_neighbors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let loaded = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(loaded.graph.node_count(), 4);
+        let got: Vec<_> = loaded.graph.edges().collect();
+        let want: Vec<_> = g.edges().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn malformed_line_is_error() {
+        let text = "1 2\nbogus\n";
+        assert!(read_edge_list(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = from_edges(3, &[(0, 1), (1, 2)]);
+        let dir = std::env::temp_dir().join("ppr_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        write_edge_list_file(&g, &path).unwrap();
+        let loaded = read_edge_list_file(&path).unwrap();
+        assert_eq!(loaded.graph.edge_count(), 2);
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! Directed-graph substrate for the exact-ppr workspace.
+//!
+//! This crate provides everything the Personalized PageRank algorithms need
+//! from a graph library:
+//!
+//! * [`CsrGraph`] — an immutable compressed-sparse-row directed graph with
+//!   both out- and in-adjacency, built from edge lists.
+//! * [`Adjacency`] — the minimal access trait all PPR kernels are generic
+//!   over. Crucially it separates *traversable out-neighbours* from the
+//!   *original out-degree*, which is how the paper's "virtual subgraph"
+//!   (Definition 3, Theorem 2) is realised: a [`view::SubView`] keeps the
+//!   original out-degree as the transition denominator while only exposing
+//!   in-subgraph targets, so the missing probability mass flows to the
+//!   implicit absorbing virtual node.
+//! * [`generators`] — seeded synthetic graph generators (G(n,p), Chung–Lu
+//!   power-law, planted-partition SBM, hierarchical SBM) used as stand-ins
+//!   for the paper's five real-world datasets.
+//! * [`io`] — plain edge-list reading/writing.
+//! * [`dense`] — a dense linear-system PPR solver used as machine-precision
+//!   ground truth in tests.
+
+pub mod adjacency;
+pub mod analytics;
+pub mod csr;
+pub mod dense;
+pub mod generators;
+pub mod io;
+pub mod scc;
+pub mod view;
+
+pub use adjacency::{Adjacency, InAdjacency};
+pub use csr::{CsrGraph, GraphBuilder};
+pub use view::{SubView, ViewBuilder};
+
+/// Node identifier. Graphs are limited to `u32::MAX` nodes, which keeps
+/// adjacency arrays and precomputed vectors compact (see the type-size
+/// guidance in the Rust perf book).
+pub type NodeId = u32;

@@ -1,0 +1,173 @@
+#![warn(missing_docs)]
+
+//! Accuracy metrics used in the paper's evaluation (§6.1, §6.2.6, §6.2.10).
+//!
+//! * [`avg_l1`] / [`l_inf`] — vector-difference norms against the power
+//!   iteration reference (Figure 19, Figure 25).
+//! * [`precision_at_k`] — overlap of top-k node sets (Figure 26).
+//! * [`rag_at_k`] — Relative Aggregated Goodness [Chakrabarti et al.]:
+//!   how much exact PPV mass the approximate top-k captures relative to
+//!   the best possible k nodes (Figure 26's "RAG").
+//! * [`kendall_tau_top_k`] — fraction of correctly ordered pairs among the
+//!   exact top-k, the "percentage of the correct node pair order" of
+//!   §6.2.10 (ties counted half).
+//!
+//! All functions accept plain score slices indexed by node id, decoupling
+//! the metrics from the vector representations of the other crates.
+
+/// Average L1 distance: `Σ_v |a(v) − b(v)| / n` (the paper's `L1_avg`).
+pub fn avg_l1(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vectors must share the id space");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum();
+    sum / a.len() as f64
+}
+
+/// L∞ distance: `max_v |a(v) − b(v)|`.
+pub fn l_inf(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vectors must share the id space");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Node ids of the k largest scores, descending (ties by id ascending —
+/// the deterministic tiebreak every ranking metric here assumes).
+pub fn top_k_ids(scores: &[f64], k: usize) -> Vec<u32> {
+    let mut ids: Vec<u32> = (0..scores.len() as u32).collect();
+    ids.sort_unstable_by(|&a, &b| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    ids.truncate(k);
+    ids
+}
+
+/// Precision@k: `|top_k(approx) ∩ top_k(exact)| / k`.
+pub fn precision_at_k(exact: &[f64], approx: &[f64], k: usize) -> f64 {
+    assert!(k > 0);
+    let te = top_k_ids(exact, k);
+    let ta = top_k_ids(approx, k);
+    let set: std::collections::HashSet<u32> = te.into_iter().collect();
+    let hits = ta.iter().filter(|id| set.contains(id)).count();
+    hits as f64 / k.min(exact.len()).max(1) as f64
+}
+
+/// Relative Aggregated Goodness@k: exact mass captured by the approximate
+/// top-k relative to the exact top-k's mass. 1.0 means the approximate
+/// ranking loses nothing that matters.
+pub fn rag_at_k(exact: &[f64], approx: &[f64], k: usize) -> f64 {
+    assert!(k > 0);
+    let ta = top_k_ids(approx, k);
+    let te = top_k_ids(exact, k);
+    let got: f64 = ta.iter().map(|&v| exact[v as usize]).sum();
+    let best: f64 = te.iter().map(|&v| exact[v as usize]).sum();
+    if best == 0.0 {
+        1.0
+    } else {
+        got / best
+    }
+}
+
+/// Kendall-style pair-order agreement over the exact top-k: the fraction
+/// of strictly-ordered exact pairs that the approximate scores order the
+/// same way (ties in the approximate scores count half).
+pub fn kendall_tau_top_k(exact: &[f64], approx: &[f64], k: usize) -> f64 {
+    let ids = top_k_ids(exact, k);
+    let mut pairs = 0.0f64;
+    let mut agree = 0.0f64;
+    for i in 0..ids.len() {
+        for j in i + 1..ids.len() {
+            let (a, b) = (ids[i], ids[j]);
+            let (ea, eb) = (exact[a as usize], exact[b as usize]);
+            if ea == eb {
+                continue; // unordered in the reference: skip
+            }
+            pairs += 1.0;
+            let (xa, xb) = (approx[a as usize], approx[b as usize]);
+            if (ea > eb && xa > xb) || (ea < eb && xa < xb) {
+                agree += 1.0;
+            } else if xa == xb {
+                agree += 0.5;
+            }
+        }
+    }
+    if pairs == 0.0 {
+        1.0
+    } else {
+        agree / pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms_basic() {
+        let a = [0.5, 0.3, 0.2];
+        let b = [0.4, 0.3, 0.1];
+        assert!((avg_l1(&a, &b) - 0.2 / 3.0).abs() < 1e-12);
+        assert!((l_inf(&a, &b) - 0.1).abs() < 1e-12);
+        assert_eq!(avg_l1(&a, &a), 0.0);
+        assert_eq!(l_inf(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn top_k_deterministic_ties() {
+        let s = [0.5, 0.5, 0.1, 0.9];
+        assert_eq!(top_k_ids(&s, 3), vec![3, 0, 1]);
+    }
+
+    #[test]
+    fn precision_perfect_and_disjoint() {
+        let exact = [0.9, 0.8, 0.1, 0.0];
+        assert_eq!(precision_at_k(&exact, &exact, 2), 1.0);
+        let flipped = [0.0, 0.1, 0.8, 0.9];
+        assert_eq!(precision_at_k(&exact, &flipped, 2), 0.0);
+    }
+
+    #[test]
+    fn rag_rewards_mass_not_order() {
+        let exact = [0.5, 0.4, 0.05, 0.05];
+        // Approx swaps the top two: same set, RAG = 1.
+        let approx = [0.4, 0.5, 0.05, 0.05];
+        assert!((rag_at_k(&exact, &approx, 2) - 1.0).abs() < 1e-12);
+        // Approx promotes a negligible node into top-2.
+        let bad = [0.5, 0.0, 0.4, 0.05];
+        let rag = rag_at_k(&exact, &bad, 2);
+        assert!(rag < 0.7, "{rag}");
+    }
+
+    #[test]
+    fn kendall_detects_swaps() {
+        let exact = [0.9, 0.6, 0.3, 0.1];
+        assert_eq!(kendall_tau_top_k(&exact, &exact, 4), 1.0);
+        let reversed = [0.1, 0.3, 0.6, 0.9];
+        assert_eq!(kendall_tau_top_k(&exact, &reversed, 4), 0.0);
+        // One adjacent swap among 4 items: 5/6 pairs still agree.
+        let swapped = [0.9, 0.3, 0.6, 0.1];
+        assert!((kendall_tau_top_k(&exact, &swapped, 4) - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_ties_count_half() {
+        let exact = [0.9, 0.6];
+        let tied = [0.5, 0.5];
+        assert_eq!(kendall_tau_top_k(&exact, &tied, 2), 0.5);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty: [f64; 0] = [];
+        assert_eq!(avg_l1(&empty, &empty), 0.0);
+        let flat = [0.25, 0.25];
+        assert_eq!(kendall_tau_top_k(&flat, &flat, 2), 1.0); // no ordered pairs
+        assert_eq!(rag_at_k(&[0.0, 0.0], &[0.0, 0.0], 1), 1.0);
+    }
+}

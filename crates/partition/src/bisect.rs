@@ -1,0 +1,172 @@
+//! Greedy graph-growing initial bisection (the METIS GGGP scheme).
+//!
+//! On the coarsest graph a region is grown from a random seed node, always
+//! absorbing the frontier node with the highest gain (cut-weight decrease),
+//! until the region holds the target fraction of total node weight. Several
+//! attempts are made and the best cut wins.
+
+use crate::work::WorkGraph;
+use ppr_graph::NodeId;
+use rand::rngs::StdRng;
+use std::collections::BinaryHeap;
+
+/// Grow one region to `target_weight`. Returns 0/1 labels (region = 0).
+pub fn grow_bisection(wg: &WorkGraph, target_weight: u64, rng: &mut StdRng) -> Vec<u32> {
+    let n = wg.n();
+    let mut labels = vec![1u32; n];
+    if n == 0 || target_weight == 0 {
+        return labels;
+    }
+
+    // gain[v] = (edge weight to region) - (edge weight to non-region).
+    // Lazy max-heap: stale entries are skipped by comparing stored gain.
+    let mut gain = vec![i64::MIN; n];
+    let mut heap: BinaryHeap<(i64, NodeId)> = BinaryHeap::new();
+    let mut in_region = vec![false; n];
+    let mut region_weight = 0u64;
+
+    let seed = crate::coarsen::random_node(n, rng);
+    let mut pending_seed = Some(seed);
+
+    while region_weight < target_weight {
+        let v = loop {
+            match heap.pop() {
+                Some((g, v)) => {
+                    if in_region[v as usize] || g != gain[v as usize] {
+                        continue; // stale
+                    }
+                    break v;
+                }
+                None => {
+                    // Frontier exhausted (disconnected component filled or
+                    // fresh start): seed a new random untouched node.
+                    let s = pending_seed.take().unwrap_or_else(|| {
+                        let mut s = crate::coarsen::random_node(n, rng);
+                        while in_region[s as usize] {
+                            s = crate::coarsen::random_node(n, rng);
+                        }
+                        s
+                    });
+                    if in_region[s as usize] {
+                        continue;
+                    }
+                    break s;
+                }
+            }
+        };
+
+        in_region[v as usize] = true;
+        labels[v as usize] = 0;
+        region_weight += wg.vwgt[v as usize] as u64;
+
+        for (w, ew) in wg.neighbors(v) {
+            if in_region[w as usize] {
+                continue;
+            }
+            let g = if gain[w as usize] == i64::MIN {
+                // First touch: all its edges currently point outside except
+                // the one to v.
+                let tot: i64 = wg.neighbors(w).map(|(_, e)| e as i64).sum();
+                2 * ew as i64 - tot
+            } else {
+                gain[w as usize] + 2 * ew as i64
+            };
+            gain[w as usize] = g;
+            heap.push((g, w));
+        }
+    }
+    labels
+}
+
+/// Best-of-`tries` initial bisection at `target_weight` for side 0.
+pub fn initial_bisection(
+    wg: &WorkGraph,
+    target_weight: u64,
+    tries: u32,
+    rng: &mut StdRng,
+) -> Vec<u32> {
+    let mut best: Option<(u64, Vec<u32>)> = None;
+    for _ in 0..tries.max(1) {
+        let labels = grow_bisection(wg, target_weight, rng);
+        let cut = wg.cut(&labels);
+        if best.as_ref().map(|(c, _)| cut < *c).unwrap_or(true) {
+            best = Some((cut, labels));
+        }
+    }
+    best.unwrap().1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppr_graph::GraphBuilder;
+    use rand::SeedableRng;
+
+    /// Two 10-cliques joined by one edge: the ideal bisection cuts it.
+    fn two_cliques() -> WorkGraph {
+        let mut b = GraphBuilder::new(20);
+        for base in [0u32, 10] {
+            for i in 0..10 {
+                for j in 0..10 {
+                    if i != j {
+                        b.push_edge(base + i, base + j);
+                    }
+                }
+            }
+        }
+        b.push_edge(0, 10);
+        WorkGraph::from_graph(&b.build())
+    }
+
+    #[test]
+    fn finds_the_obvious_cut() {
+        let wg = two_cliques();
+        let mut rng = StdRng::seed_from_u64(7);
+        let labels = initial_bisection(&wg, 10, 8, &mut rng);
+        let cut = wg.cut(&labels);
+        assert_eq!(cut, 1, "labels: {labels:?}");
+        // Both sides populated with 10 nodes each.
+        let left = labels.iter().filter(|&&l| l == 0).count();
+        assert_eq!(left, 10);
+    }
+
+    #[test]
+    fn respects_target_weight_approximately() {
+        let wg = two_cliques();
+        let mut rng = StdRng::seed_from_u64(9);
+        let labels = grow_bisection(&wg, 5, &mut rng);
+        let left_w: u64 = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == 0)
+            .map(|(v, _)| wg.vwgt[v] as u64)
+            .sum();
+        // Growth stops as soon as the target is reached; unit weights mean
+        // it lands exactly.
+        assert_eq!(left_w, 5);
+    }
+
+    #[test]
+    fn handles_disconnected_graphs() {
+        // Two disjoint 4-cycles.
+        let mut b = GraphBuilder::new(8);
+        for base in [0u32, 4] {
+            for i in 0..4 {
+                b.push_edge(base + i, base + (i + 1) % 4);
+                b.push_edge(base + (i + 1) % 4, base + i);
+            }
+        }
+        let wg = WorkGraph::from_graph(&b.build());
+        let mut rng = StdRng::seed_from_u64(3);
+        let labels = grow_bisection(&wg, 4, &mut rng);
+        assert_eq!(labels.iter().filter(|&&l| l == 0).count(), 4);
+    }
+
+    #[test]
+    fn zero_target_leaves_all_right() {
+        let wg = two_cliques();
+        let mut rng = StdRng::seed_from_u64(1);
+        let labels = grow_bisection(&wg, 0, &mut rng);
+        assert!(labels.iter().all(|&l| l == 1));
+    }
+}

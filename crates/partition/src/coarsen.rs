@@ -1,0 +1,193 @@
+//! Coarsening via heavy-edge matching (the METIS HEM scheme).
+//!
+//! Each coarsening step computes a matching that prefers heavy edges —
+//! contracting them first removes the most cut-expensive edges from the
+//! problem — then contracts matched pairs into single coarse nodes whose
+//! weights add and whose adjacencies merge.
+
+use crate::work::WorkGraph;
+use ppr_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+const UNMATCHED: u32 = u32::MAX;
+
+/// One coarsening step: heavy-edge matching + contraction.
+///
+/// Returns the coarse graph and the fine-to-coarse node map.
+pub fn coarsen_step(wg: &WorkGraph, rng: &mut StdRng) -> (WorkGraph, Vec<u32>) {
+    let n = wg.n();
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    order.shuffle(rng);
+
+    // Heavy-edge matching: visit nodes in random order; match each
+    // unmatched node with its unmatched neighbour of maximum edge weight
+    // (ties broken randomly by visit order).
+    let mut mate = vec![UNMATCHED; n];
+    for &v in &order {
+        if mate[v as usize] != UNMATCHED {
+            continue;
+        }
+        let mut best: Option<(NodeId, u32)> = None;
+        for (w, ew) in wg.neighbors(v) {
+            if mate[w as usize] == UNMATCHED && w != v {
+                match best {
+                    Some((_, bw)) if bw >= ew => {}
+                    _ => best = Some((w, ew)),
+                }
+            }
+        }
+        match best {
+            Some((w, _)) => {
+                mate[v as usize] = w;
+                mate[w as usize] = v;
+            }
+            None => mate[v as usize] = v, // matched with itself
+        }
+    }
+
+    // Assign coarse ids: the smaller endpoint of each pair owns the id.
+    let mut coarse_of = vec![UNMATCHED; n];
+    let mut next = 0u32;
+    for v in 0..n as u32 {
+        if coarse_of[v as usize] != UNMATCHED {
+            continue;
+        }
+        let m = mate[v as usize];
+        coarse_of[v as usize] = next;
+        if m != v && m != UNMATCHED {
+            coarse_of[m as usize] = next;
+        }
+        next += 1;
+    }
+    let nc = next as usize;
+
+    // Contract.
+    let mut vwgt = vec![0u32; nc];
+    for v in 0..n {
+        vwgt[coarse_of[v] as usize] += wg.vwgt[v];
+    }
+    let mut edges: Vec<(NodeId, NodeId, u32)> = Vec::with_capacity(wg.adjncy.len() / 2);
+    for v in 0..n as NodeId {
+        let cv = coarse_of[v as usize];
+        for (w, ew) in wg.neighbors(v) {
+            let cw = coarse_of[w as usize];
+            if cv < cw {
+                edges.push((cv, cw, ew));
+            }
+        }
+    }
+    (
+        WorkGraph::from_weighted_edges(nc, &mut edges, vwgt),
+        coarse_of,
+    )
+}
+
+/// Coarsen until `target` nodes remain or the shrink rate stalls.
+///
+/// Returns the ladder of graphs (finest first, coarsest last) and the
+/// fine-to-coarse maps (`maps[i]` maps `graphs[i]` ids to `graphs[i+1]`
+/// ids).
+pub fn coarsen_ladder(
+    finest: &WorkGraph,
+    target: usize,
+    rng: &mut StdRng,
+) -> (Vec<WorkGraph>, Vec<Vec<u32>>) {
+    let mut graphs = vec![finest.clone()];
+    let mut maps = Vec::new();
+    loop {
+        let cur = graphs.last().unwrap();
+        if cur.n() <= target.max(2) {
+            break;
+        }
+        let (coarse, map) = coarsen_step(cur, rng);
+        // Matching stalls on star-like graphs; stop when shrink < 10%.
+        if coarse.n() as f64 > cur.n() as f64 * 0.95 {
+            break;
+        }
+        graphs.push(coarse);
+        maps.push(map);
+    }
+    (graphs, maps)
+}
+
+/// Random helper shared with the initial partitioner.
+pub(crate) fn random_node(n: usize, rng: &mut StdRng) -> NodeId {
+    rng.random_range(0..n) as NodeId
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppr_graph::csr::from_edges;
+    use rand::SeedableRng;
+
+    fn path_graph(n: usize) -> WorkGraph {
+        let mut edges = Vec::new();
+        for i in 0..n - 1 {
+            edges.push((i as NodeId, i as NodeId + 1));
+        }
+        let mut b = ppr_graph::GraphBuilder::new(n);
+        b.extend_edges(edges);
+        WorkGraph::from_graph(&b.build())
+    }
+
+    #[test]
+    fn step_preserves_total_weight() {
+        let wg = path_graph(100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (coarse, map) = coarsen_step(&wg, &mut rng);
+        assert_eq!(coarse.total_weight(), wg.total_weight());
+        assert_eq!(map.len(), 100);
+        assert!(coarse.n() < 100);
+        assert!(coarse.n() >= 50);
+    }
+
+    #[test]
+    fn map_is_surjective_onto_coarse_ids() {
+        let wg = path_graph(64);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (coarse, map) = coarsen_step(&wg, &mut rng);
+        let mut seen = vec![false; coarse.n()];
+        for &c in &map {
+            seen[c as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn contraction_merges_parallel_edges() {
+        // Triangle 0-1-2: contracting 0,1 must merge their edges to 2.
+        let g = from_edges(3, &[(0, 1), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1)]);
+        let wg = WorkGraph::from_graph(&g);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (coarse, _) = coarsen_step(&wg, &mut rng);
+        assert_eq!(coarse.n(), 2);
+        // One undirected edge of weight 2+2 = 4 between the two coarse nodes.
+        let (_, w) = coarse.neighbors(0).next().unwrap();
+        assert_eq!(w, 4);
+    }
+
+    #[test]
+    fn ladder_reaches_target() {
+        let wg = path_graph(512);
+        let mut rng = StdRng::seed_from_u64(4);
+        let (graphs, maps) = coarsen_ladder(&wg, 32, &mut rng);
+        assert!(graphs.last().unwrap().n() <= 64); // within a factor of the target
+        assert_eq!(maps.len(), graphs.len() - 1);
+        for g in &graphs {
+            assert_eq!(g.total_weight(), 512);
+        }
+    }
+
+    #[test]
+    fn edgeless_graph_stalls_gracefully() {
+        let mut edges: Vec<(NodeId, NodeId, u32)> = Vec::new();
+        let wg = WorkGraph::from_weighted_edges(10, &mut edges, vec![1; 10]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let (graphs, _) = coarsen_ladder(&wg, 2, &mut rng);
+        // No edges -> nothing can match -> single level.
+        assert_eq!(graphs.len(), 1);
+    }
+}

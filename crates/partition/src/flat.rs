@@ -1,0 +1,137 @@
+//! Flat m-way partition structure — what the GPA algorithm (§3) consumes.
+
+use crate::kway::partition_graph_kway;
+use crate::separator::{select_hubs, verify_separation, CoverAlgorithm};
+use crate::PartitionConfig;
+use ppr_graph::{CsrGraph, NodeId};
+
+/// A graph split into `m` disjoint subgraphs separated by hub nodes.
+#[derive(Clone, Debug)]
+pub struct FlatPartition {
+    /// Hub nodes (sorted): a vertex cover of all cut edges.
+    pub hubs: Vec<NodeId>,
+    /// Non-hub members of each part, sorted.
+    pub subgraphs: Vec<Vec<NodeId>>,
+    /// Per node: `Some(part)` for non-hub nodes, `None` for hubs.
+    pub part_of: Vec<Option<u32>>,
+}
+
+impl FlatPartition {
+    /// True if `v` is a hub.
+    pub fn is_hub(&self, v: NodeId) -> bool {
+        self.part_of[v as usize].is_none()
+    }
+
+    /// Number of parts.
+    pub fn parts(&self) -> usize {
+        self.subgraphs.len()
+    }
+}
+
+/// Partition `g` into `m` balanced subgraphs and pick hub nodes from the
+/// cut edges (paper §3.1: "the bridging nodes between subgraphs form the
+/// hub nodes").
+pub fn flat_partition(
+    g: &CsrGraph,
+    m: usize,
+    cover: CoverAlgorithm,
+    cfg: &PartitionConfig,
+) -> FlatPartition {
+    let n = g.node_count();
+    let labels = partition_graph_kway(g, m, cfg);
+    let members: Vec<NodeId> = (0..n as NodeId).collect();
+    let hubs = select_hubs(g, &members, &labels, cover);
+    debug_assert!(verify_separation(g, &members, &labels, &hubs));
+
+    let mut part_of: Vec<Option<u32>> = labels.iter().map(|&l| Some(l)).collect();
+    for &h in &hubs {
+        part_of[h as usize] = None;
+    }
+    let mut subgraphs = vec![Vec::new(); m];
+    for v in 0..n as NodeId {
+        if let Some(p) = part_of[v as usize] {
+            subgraphs[p as usize].push(v);
+        }
+    }
+    FlatPartition {
+        hubs,
+        subgraphs,
+        part_of,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppr_graph::generators::{hierarchical_sbm, HsbmConfig};
+
+    fn sample() -> CsrGraph {
+        hierarchical_sbm(
+            &HsbmConfig {
+                nodes: 400,
+                depth: 4,
+                locality: 0.92,
+                ..Default::default()
+            },
+            123,
+        )
+    }
+
+    #[test]
+    fn partitions_cover_all_nodes_disjointly() {
+        let g = sample();
+        let fp = flat_partition(&g, 4, CoverAlgorithm::Greedy, &PartitionConfig::default());
+        let mut seen = vec![0u8; 400];
+        for &h in &fp.hubs {
+            seen[h as usize] += 1;
+        }
+        for part in &fp.subgraphs {
+            for &v in part {
+                seen[v as usize] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "every node exactly once");
+    }
+
+    #[test]
+    fn separation_invariant_holds() {
+        let g = sample();
+        for m in [2usize, 3, 6] {
+            let fp = flat_partition(&g, m, CoverAlgorithm::Greedy, &PartitionConfig::default());
+            // No edge may connect non-hub nodes of different parts.
+            for (u, v) in g.edges() {
+                if let (Some(pu), Some(pv)) = (fp.part_of[u as usize], fp.part_of[v as usize]) {
+                    assert_eq!(pu, pv, "edge ({u},{v}) crosses parts without hub");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hub_count_is_small_on_community_graph() {
+        let g = sample();
+        let fp = flat_partition(&g, 2, CoverAlgorithm::KonigExact, &PartitionConfig::default());
+        assert!(
+            fp.hubs.len() < g.node_count() / 4,
+            "|H| = {} of {}",
+            fp.hubs.len(),
+            g.node_count()
+        );
+    }
+
+    #[test]
+    fn konig_not_larger_than_greedy() {
+        let g = sample();
+        let k = flat_partition(&g, 2, CoverAlgorithm::KonigExact, &PartitionConfig::default());
+        let gr = flat_partition(&g, 2, CoverAlgorithm::Greedy, &PartitionConfig::default());
+        assert!(k.hubs.len() <= gr.hubs.len() + 1, "{} vs {}", k.hubs.len(), gr.hubs.len());
+    }
+
+    #[test]
+    fn single_part_no_hubs() {
+        let g = sample();
+        let fp = flat_partition(&g, 1, CoverAlgorithm::Greedy, &PartitionConfig::default());
+        assert!(fp.hubs.is_empty());
+        assert_eq!(fp.subgraphs[0].len(), 400);
+    }
+}

@@ -1,0 +1,228 @@
+//! Hopcroft–Karp maximum bipartite matching and König minimum vertex cover.
+//!
+//! The paper (§4.2) selects hub nodes for a 2-way cut as a **minimum**
+//! vertex cover of the cut edges, which form a bipartite graph (one side
+//! per part). By König's theorem the minimum cover equals the maximum
+//! matching and is extracted from the alternating-path reachability set.
+
+/// Bipartite graph: left vertices `0..nl`, right vertices `0..nr`, edges
+/// stored as adjacency from the left side.
+#[derive(Clone, Debug, Default)]
+pub struct Bipartite {
+    adj: Vec<Vec<u32>>,
+    nr: usize,
+}
+
+const NIL: u32 = u32::MAX;
+
+impl Bipartite {
+    /// Create with `nl` left and `nr` right vertices.
+    pub fn new(nl: usize, nr: usize) -> Self {
+        Self {
+            adj: vec![Vec::new(); nl],
+            nr,
+        }
+    }
+
+    /// Add edge (left `l`, right `r`).
+    pub fn add_edge(&mut self, l: u32, r: u32) {
+        debug_assert!((l as usize) < self.adj.len() && (r as usize) < self.nr);
+        self.adj[l as usize].push(r);
+    }
+
+    /// Number of left vertices.
+    pub fn nl(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Maximum matching: returns (`match_l`, `match_r`) with `NIL = u32::MAX`
+    /// for unmatched, plus the matching size.
+    pub fn hopcroft_karp(&self) -> (Vec<u32>, Vec<u32>, usize) {
+        let nl = self.adj.len();
+        let nr = self.nr;
+        let mut match_l = vec![NIL; nl];
+        let mut match_r = vec![NIL; nr];
+        let mut dist = vec![u32::MAX; nl];
+        let mut size = 0usize;
+
+        loop {
+            // BFS: layer unmatched left vertices at distance 0.
+            let mut queue: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+            for l in 0..nl as u32 {
+                if match_l[l as usize] == NIL {
+                    dist[l as usize] = 0;
+                    queue.push_back(l);
+                } else {
+                    dist[l as usize] = u32::MAX;
+                }
+            }
+            let mut found_augmenting = false;
+            while let Some(l) = queue.pop_front() {
+                for &r in &self.adj[l as usize] {
+                    let nl2 = match_r[r as usize];
+                    if nl2 == NIL {
+                        found_augmenting = true;
+                    } else if dist[nl2 as usize] == u32::MAX {
+                        dist[nl2 as usize] = dist[l as usize] + 1;
+                        queue.push_back(nl2);
+                    }
+                }
+            }
+            if !found_augmenting {
+                break;
+            }
+            // DFS augmentation along layered structure.
+            fn dfs(
+                l: u32,
+                adj: &[Vec<u32>],
+                match_l: &mut [u32],
+                match_r: &mut [u32],
+                dist: &mut [u32],
+            ) -> bool {
+                for &r in &adj[l as usize] {
+                    let nl2 = match_r[r as usize];
+                    if nl2 == NIL
+                        || (dist[nl2 as usize] == dist[l as usize] + 1
+                            && dfs(nl2, adj, match_l, match_r, dist))
+                    {
+                        match_l[l as usize] = r;
+                        match_r[r as usize] = l;
+                        return true;
+                    }
+                }
+                dist[l as usize] = u32::MAX;
+                false
+            }
+            for l in 0..nl as u32 {
+                if match_l[l as usize] == NIL
+                    && dfs(l, &self.adj, &mut match_l, &mut match_r, &mut dist)
+                {
+                    size += 1;
+                }
+            }
+        }
+        (match_l, match_r, size)
+    }
+
+    /// Minimum vertex cover via König's theorem. Returns (left cover,
+    /// right cover); their sizes sum to the maximum matching size.
+    pub fn min_vertex_cover(&self) -> (Vec<u32>, Vec<u32>) {
+        let (match_l, match_r, _) = self.hopcroft_karp();
+        let nl = self.adj.len();
+        let nr = self.nr;
+
+        // Z = vertices reachable from unmatched left vertices along
+        // alternating paths (unmatched edge L->R, matched edge R->L).
+        let mut z_l = vec![false; nl];
+        let mut z_r = vec![false; nr];
+        let mut stack: Vec<u32> = (0..nl as u32)
+            .filter(|&l| match_l[l as usize] == NIL)
+            .collect();
+        for &l in &stack {
+            z_l[l as usize] = true;
+        }
+        while let Some(l) = stack.pop() {
+            for &r in &self.adj[l as usize] {
+                if match_l[l as usize] == r || z_r[r as usize] {
+                    continue; // matched edge or already visited
+                }
+                z_r[r as usize] = true;
+                let l2 = match_r[r as usize];
+                if l2 != NIL && !z_l[l2 as usize] {
+                    z_l[l2 as usize] = true;
+                    stack.push(l2);
+                }
+            }
+        }
+        let cover_l: Vec<u32> = (0..nl as u32).filter(|&l| !z_l[l as usize] && match_l[l as usize] != NIL).collect();
+        let cover_r: Vec<u32> = (0..nr as u32).filter(|&r| z_r[r as usize]).collect();
+        (cover_l, cover_r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn covers_all(b: &Bipartite, cl: &[u32], cr: &[u32]) -> bool {
+        let sl: std::collections::HashSet<_> = cl.iter().collect();
+        let sr: std::collections::HashSet<_> = cr.iter().collect();
+        for l in 0..b.nl() as u32 {
+            for &r in &b.adj[l as usize] {
+                if !sl.contains(&l) && !sr.contains(&r) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn perfect_matching_on_cycle() {
+        // L0-R0, L0-R1, L1-R1, L1-R0: perfect matching size 2.
+        let mut b = Bipartite::new(2, 2);
+        b.add_edge(0, 0);
+        b.add_edge(0, 1);
+        b.add_edge(1, 1);
+        b.add_edge(1, 0);
+        let (_, _, size) = b.hopcroft_karp();
+        assert_eq!(size, 2);
+    }
+
+    #[test]
+    fn star_needs_one_cover_vertex() {
+        // L0 connected to R0..R4: matching 1, cover = {L0}.
+        let mut b = Bipartite::new(1, 5);
+        for r in 0..5 {
+            b.add_edge(0, r);
+        }
+        let (cl, cr) = b.min_vertex_cover();
+        assert_eq!(cl.len() + cr.len(), 1);
+        assert!(covers_all(&b, &cl, &cr));
+    }
+
+    #[test]
+    fn koenig_equals_matching_size() {
+        let mut b = Bipartite::new(4, 4);
+        let edges = [(0, 0), (0, 1), (1, 0), (2, 2), (3, 2), (3, 3)];
+        for (l, r) in edges {
+            b.add_edge(l, r);
+        }
+        let (_, _, m) = b.hopcroft_karp();
+        let (cl, cr) = b.min_vertex_cover();
+        assert_eq!(cl.len() + cr.len(), m);
+        assert!(covers_all(&b, &cl, &cr));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let b = Bipartite::new(3, 3);
+        let (_, _, m) = b.hopcroft_karp();
+        assert_eq!(m, 0);
+        let (cl, cr) = b.min_vertex_cover();
+        assert!(cl.is_empty() && cr.is_empty());
+    }
+
+    #[test]
+    fn random_instances_cover_validity() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..30 {
+            let nl = rng.random_range(1..20);
+            let nr = rng.random_range(1..20);
+            let mut b = Bipartite::new(nl, nr);
+            let m = rng.random_range(0..60);
+            for _ in 0..m {
+                b.add_edge(
+                    rng.random_range(0..nl) as u32,
+                    rng.random_range(0..nr) as u32,
+                );
+            }
+            let (_, _, msize) = b.hopcroft_karp();
+            let (cl, cr) = b.min_vertex_cover();
+            assert_eq!(cl.len() + cr.len(), msize, "trial {trial}");
+            assert!(covers_all(&b, &cl, &cr), "trial {trial}");
+        }
+    }
+}

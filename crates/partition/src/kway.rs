@@ -1,0 +1,177 @@
+//! k-way partitioning by recursive bisection (as in multilevel METIS).
+
+use crate::multilevel::bisect_multilevel;
+use crate::work::WorkGraph;
+use crate::PartitionConfig;
+use ppr_graph::{CsrGraph, NodeId};
+
+/// Partition `wg` into `k` parts of near-equal node weight. Returns a part
+/// label in `0..k` for every node.
+pub fn partition_kway(wg: &WorkGraph, k: usize, cfg: &PartitionConfig) -> Vec<u32> {
+    assert!(k >= 1, "k must be positive");
+    let n = wg.n();
+    let mut labels = vec![0u32; n];
+    if k == 1 || n == 0 {
+        return labels;
+    }
+    let members: Vec<NodeId> = (0..n as NodeId).collect();
+    recurse(wg, &members, k, 0, cfg, &mut labels, cfg.seed);
+    labels
+}
+
+fn recurse(
+    parent: &WorkGraph,
+    members: &[NodeId],
+    k: usize,
+    base_label: u32,
+    cfg: &PartitionConfig,
+    out: &mut [u32],
+    seed: u64,
+) {
+    if k == 1 || members.len() <= 1 {
+        for &m in members {
+            out[m as usize] = base_label;
+        }
+        return;
+    }
+    let k_left = k / 2;
+    let k_right = k - k_left;
+    let frac = k_left as f64 / k as f64;
+
+    // Induced sub-working-graph on `members` (already in parent id space).
+    let (sub, map) = induce(parent, members);
+    let sub_cfg = PartitionConfig { seed, ..*cfg };
+    let side = bisect_multilevel(&sub, frac, &sub_cfg);
+
+    let mut left: Vec<NodeId> = Vec::new();
+    let mut right: Vec<NodeId> = Vec::new();
+    for (local, &side) in side.iter().enumerate() {
+        if side == 0 {
+            left.push(map[local]);
+        } else {
+            right.push(map[local]);
+        }
+    }
+    // Guard: a degenerate split would recurse forever; fall back to an
+    // arbitrary even split (exactness of PPV does not depend on quality).
+    if left.is_empty() || right.is_empty() {
+        let mid = members.len() / 2;
+        left = members[..mid].to_vec();
+        right = members[mid..].to_vec();
+    }
+
+    recurse(parent, &left, k_left, base_label, cfg, out, seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+    recurse(parent, &right, k_right, base_label + k_left as u32, cfg, out, seed.wrapping_mul(0x9E37_79B9).wrapping_add(2));
+}
+
+/// Induced sub-working-graph of `members`; returns it with local->parent map.
+fn induce(parent: &WorkGraph, members: &[NodeId]) -> (WorkGraph, Vec<NodeId>) {
+    let mut map = members.to_vec();
+    map.sort_unstable();
+    let local_of = |x: NodeId| map.binary_search(&x).ok();
+    let mut edges: Vec<(NodeId, NodeId, u32)> = Vec::new();
+    let mut vwgt = Vec::with_capacity(map.len());
+    for (lu, &gu) in map.iter().enumerate() {
+        vwgt.push(parent.vwgt[gu as usize]);
+        for (gv, ew) in parent.neighbors(gu) {
+            if let Some(lv) = local_of(gv) {
+                if lu < lv {
+                    edges.push((lu as NodeId, lv as NodeId, ew));
+                }
+            }
+        }
+    }
+    let n = map.len();
+    (WorkGraph::from_weighted_edges(n, &mut edges, vwgt), map)
+}
+
+/// Convenience: k-way partition of a directed graph's symmetrised structure.
+pub fn partition_graph_kway(g: &CsrGraph, k: usize, cfg: &PartitionConfig) -> Vec<u32> {
+    partition_kway(&WorkGraph::from_graph(g), k, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppr_graph::generators::{hierarchical_sbm, HsbmConfig};
+
+    fn community_graph(n: usize) -> CsrGraph {
+        hierarchical_sbm(
+            &HsbmConfig {
+                nodes: n,
+                depth: 5,
+                locality: 0.92,
+                ..Default::default()
+            },
+            77,
+        )
+    }
+
+    #[test]
+    fn produces_k_nonempty_balanced_parts() {
+        let g = community_graph(800);
+        for k in [2usize, 3, 4, 6, 8] {
+            let labels = partition_graph_kway(&g, k, &PartitionConfig::default());
+            let mut sizes = vec![0usize; k];
+            for &l in &labels {
+                assert!((l as usize) < k);
+                sizes[l as usize] += 1;
+            }
+            let ideal = 800 / k;
+            for (i, &s) in sizes.iter().enumerate() {
+                assert!(s > 0, "part {i} empty for k={k}");
+                assert!(
+                    s as f64 <= 1.5 * ideal as f64 + 8.0,
+                    "part {i} size {s} too large for k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k_equals_one_is_identity() {
+        let g = community_graph(50);
+        let labels = partition_graph_kway(&g, 1, &PartitionConfig::default());
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn k_exceeding_n_still_labels_validly() {
+        let g = community_graph(6);
+        let labels = partition_graph_kway(&g, 4, &PartitionConfig::default());
+        assert_eq!(labels.len(), 6);
+        for &l in &labels {
+            assert!(l < 4);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = community_graph(300);
+        let a = partition_graph_kway(&g, 4, &PartitionConfig::default());
+        let b = partition_graph_kway(&g, 4, &PartitionConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cut_quality_beats_random() {
+        let g = community_graph(1000);
+        let wg = WorkGraph::from_graph(&g);
+        let labels = partition_kway(&wg, 4, &PartitionConfig::default());
+        let cut = {
+            // count undirected cut edges
+            let mut c = 0u64;
+            for v in 0..wg.n() as NodeId {
+                for (w, ew) in wg.neighbors(v) {
+                    if w > v && labels[v as usize] != labels[w as usize] {
+                        c += ew as u64;
+                    }
+                }
+            }
+            c
+        };
+        let total: u64 = wg.adjwgt.iter().map(|&w| w as u64).sum::<u64>() / 2;
+        // Random 4-way labelling cuts ~75%; demand far better.
+        assert!((cut as f64) < 0.3 * total as f64, "cut {cut}/{total}");
+    }
+}

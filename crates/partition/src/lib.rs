@@ -1,0 +1,76 @@
+#![warn(missing_docs)]
+
+//! METIS-like multilevel graph partitioning and hub-node selection.
+//!
+//! The paper's algorithms (GPA §3, HGPA §4) need two things from a
+//! partitioner:
+//!
+//! 1. **Balanced partitions with small edge cuts.** The paper uses METIS
+//!    [26]; this crate implements the same multilevel family from scratch:
+//!    heavy-edge-matching coarsening ([`coarsen`]), greedy-graph-growing
+//!    initial bisection ([`bisect`]), and boundary FM refinement
+//!    ([`refine`]), driven by [`multilevel`] and extended to k parts by
+//!    recursive bisection in [`kway`].
+//! 2. **Hub nodes = vertex separators from cut edges** (Appendix D).
+//!    [`separator`] extracts the cut edges of a labelled partition and
+//!    selects a vertex cover of them: exact minimum cover via König's
+//!    theorem / Hopcroft–Karp matching for 2-way cuts
+//!    ([`hopcroft_karp`]), and approximate covers for the general case
+//!    ([`vertex_cover`]).
+//!
+//! [`hierarchy`] composes these into the recursive structure HGPA consumes:
+//! a tree of subgraphs where each internal node records the hub set that
+//! separates its children (paper Figure 6/7), and [`flat`] produces the
+//! single-level m-way structure GPA consumes.
+//!
+//! Exactness of the PPV algorithms **never** depends on partition quality:
+//! any vertex set whose removal disconnects the parts yields correct
+//! results (Theorem 1/3); quality only affects space and time. Property
+//! tests in this crate therefore focus on the *separation invariant*.
+
+pub mod bisect;
+pub mod coarsen;
+pub mod flat;
+pub mod hierarchy;
+pub mod hopcroft_karp;
+pub mod kway;
+pub mod multilevel;
+pub mod quality;
+pub mod refine;
+pub mod separator;
+pub mod vertex_cover;
+pub mod work;
+
+pub use flat::{flat_partition, FlatPartition};
+pub use hierarchy::{Hierarchy, HierarchyConfig, SubgraphNode};
+pub use kway::partition_kway;
+pub use separator::{select_hubs, CoverAlgorithm};
+pub use work::WorkGraph;
+
+/// Options shared by all partitioning entry points.
+#[derive(Clone, Copy, Debug)]
+pub struct PartitionConfig {
+    /// Allowed imbalance: the heavier side may carry at most
+    /// `imbalance * total / 2` weight in a bisection (default 1.05).
+    pub imbalance: f64,
+    /// RNG seed for matching order and initial-partition starts.
+    pub seed: u64,
+    /// Stop coarsening when at most this many coarse nodes remain.
+    pub coarsen_until: usize,
+    /// Number of greedy-growing attempts for the initial bisection.
+    pub init_tries: u32,
+    /// Maximum FM refinement passes per uncoarsening level.
+    pub fm_passes: u32,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        Self {
+            imbalance: 1.05,
+            seed: 0x5eed,
+            coarsen_until: 64,
+            init_tries: 8,
+            fm_passes: 4,
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! The multilevel bisection driver: coarsen → initial partition → project
+//! and refine back up the ladder.
+
+use crate::bisect::initial_bisection;
+use crate::coarsen::coarsen_ladder;
+use crate::refine::{force_balance, refine_bisection, BalanceWindow};
+use crate::work::WorkGraph;
+use crate::PartitionConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Multilevel bisection of `wg`, putting roughly `frac` of the total node
+/// weight on side 0. Returns 0/1 labels.
+pub fn bisect_multilevel(wg: &WorkGraph, frac: f64, cfg: &PartitionConfig) -> Vec<u32> {
+    assert!(frac > 0.0 && frac < 1.0, "frac must be in (0,1)");
+    let n = wg.n();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![0];
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let total = wg.total_weight();
+    let window = BalanceWindow::around(total, frac, cfg.imbalance);
+    let target = (frac * total as f64).round() as u64;
+
+    let (graphs, maps) = coarsen_ladder(wg, cfg.coarsen_until, &mut rng);
+
+    // Initial partition on the coarsest level.
+    let coarsest = graphs.last().unwrap();
+    let mut labels = initial_bisection(coarsest, target, cfg.init_tries, &mut rng);
+    force_balance(coarsest, &mut labels, window);
+    refine_bisection(coarsest, &mut labels, window, cfg.fm_passes);
+
+    // Uncoarsen: project and refine at every finer level.
+    for lvl in (0..maps.len()).rev() {
+        let fine = &graphs[lvl];
+        let map = &maps[lvl];
+        let mut fine_labels = vec![0u32; fine.n()];
+        for v in 0..fine.n() {
+            fine_labels[v] = labels[map[v] as usize];
+        }
+        labels = fine_labels;
+        force_balance(fine, &mut labels, window);
+        refine_bisection(fine, &mut labels, window, cfg.fm_passes);
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppr_graph::generators::{hierarchical_sbm, HsbmConfig};
+    use ppr_graph::GraphBuilder;
+
+    #[test]
+    fn splits_two_communities() {
+        let mut b = GraphBuilder::new(40);
+        for base in [0u32, 20] {
+            for i in 0..20 {
+                for j in 1..4 {
+                    b.push_edge(base + i, base + (i + j) % 20);
+                }
+            }
+        }
+        b.push_edge(0, 20);
+        b.push_edge(20, 0);
+        let wg = WorkGraph::from_graph(&b.build());
+        let labels = bisect_multilevel(&wg, 0.5, &PartitionConfig::default());
+        let cut = wg.cut(&labels);
+        assert!(cut <= 2, "cut = {cut}");
+        let left = labels.iter().filter(|&&l| l == 0).count();
+        assert!((15..=25).contains(&left), "left = {left}");
+    }
+
+    #[test]
+    fn respects_fraction() {
+        let g = hierarchical_sbm(
+            &HsbmConfig {
+                nodes: 600,
+                ..Default::default()
+            },
+            3,
+        );
+        let wg = WorkGraph::from_graph(&g);
+        let cfg = PartitionConfig::default();
+        let labels = bisect_multilevel(&wg, 0.25, &cfg);
+        let left = labels.iter().filter(|&&l| l == 0).count() as f64;
+        let frac = left / 600.0;
+        assert!((0.2..=0.32).contains(&frac), "frac = {frac}");
+    }
+
+    #[test]
+    fn cut_is_small_on_community_graph() {
+        let g = hierarchical_sbm(
+            &HsbmConfig {
+                nodes: 1000,
+                depth: 4,
+                locality: 0.93,
+                ..Default::default()
+            },
+            11,
+        );
+        let wg = WorkGraph::from_graph(&g);
+        let labels = bisect_multilevel(&wg, 0.5, &PartitionConfig::default());
+        let cut = wg.cut(&labels);
+        let total_w: u64 = wg.adjwgt.iter().map(|&w| w as u64).sum::<u64>() / 2;
+        // Multilevel should find a cut far below a random split (~50%).
+        assert!(
+            (cut as f64) < 0.15 * total_w as f64,
+            "cut {cut} of {total_w}"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = hierarchical_sbm(
+            &HsbmConfig {
+                nodes: 300,
+                ..Default::default()
+            },
+            5,
+        );
+        let wg = WorkGraph::from_graph(&g);
+        let cfg = PartitionConfig::default();
+        let a = bisect_multilevel(&wg, 0.5, &cfg);
+        let b = bisect_multilevel(&wg, 0.5, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        let mut edges: Vec<(u32, u32, u32)> = vec![];
+        let wg = WorkGraph::from_weighted_edges(1, &mut edges, vec![1]);
+        assert_eq!(bisect_multilevel(&wg, 0.5, &PartitionConfig::default()), vec![0]);
+    }
+}

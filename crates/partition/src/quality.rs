@@ -1,0 +1,210 @@
+//! Partition-quality diagnostics.
+//!
+//! Exactness never depends on these numbers (Theorems 1/3), but space and
+//! offline cost do (§3.2/§4.5): smaller separators and better balance mean
+//! smaller stored vectors. These helpers quantify what the multilevel
+//! partitioner achieved and power the König-vs-greedy ablation bench.
+
+use crate::flat::FlatPartition;
+use crate::hierarchy::Hierarchy;
+use ppr_graph::{CsrGraph, NodeId};
+
+/// Quality summary of a flat partition.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PartitionQuality {
+    /// Number of parts.
+    pub parts: usize,
+    /// Hub (separator) nodes.
+    pub hubs: usize,
+    /// Directed edges with endpoints in different parts (pre-separator).
+    pub cut_edges: usize,
+    /// Largest part size divided by ideal part size.
+    pub balance: f64,
+    /// Hub nodes as a fraction of all nodes.
+    pub hub_fraction: f64,
+}
+
+/// Measure a flat partition against its graph.
+pub fn flat_quality(g: &CsrGraph, fp: &FlatPartition) -> PartitionQuality {
+    let n = g.node_count();
+    let parts = fp.parts();
+    let mut cut = 0usize;
+    for (u, v) in g.edges() {
+        // A cut edge joins different parts, counting hubs as belonging to
+        // their (pre-removal) side — approximate by treating hub edges as
+        // cut only when both endpoints are non-hub and differ.
+        if let (Some(pu), Some(pv)) = (fp.part_of[u as usize], fp.part_of[v as usize]) {
+            if pu != pv {
+                cut += 1;
+            }
+        } else {
+            cut += 1; // incident to a separator node
+        }
+    }
+    let largest = fp.subgraphs.iter().map(Vec::len).max().unwrap_or(0);
+    let ideal = (n - fp.hubs.len()) as f64 / parts.max(1) as f64;
+    PartitionQuality {
+        parts,
+        hubs: fp.hubs.len(),
+        cut_edges: cut,
+        balance: if ideal > 0.0 {
+            largest as f64 / ideal
+        } else {
+            1.0
+        },
+        hub_fraction: fp.hubs.len() as f64 / n.max(1) as f64,
+    }
+}
+
+/// Quality summary of a hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HierarchyQuality {
+    /// Levels in the hierarchy.
+    pub depth: u32,
+    /// Number of leaf subgraphs.
+    pub leaves: usize,
+    /// Largest leaf size.
+    pub max_leaf: usize,
+    /// Total hubs across levels.
+    pub total_hubs: usize,
+    /// Hub fraction of |V|.
+    pub hub_fraction: f64,
+    /// Mean children per internal subgraph.
+    pub mean_fanout: f64,
+}
+
+/// Measure a hierarchy.
+pub fn hierarchy_quality(g: &CsrGraph, h: &Hierarchy) -> HierarchyQuality {
+    let leaves: Vec<usize> = h.leaves().collect();
+    let max_leaf = leaves
+        .iter()
+        .map(|&l| h.nodes[l].members.len())
+        .max()
+        .unwrap_or(0);
+    let internal: Vec<&crate::hierarchy::SubgraphNode> =
+        h.nodes.iter().filter(|n| !n.is_leaf()).collect();
+    let mean_fanout = if internal.is_empty() {
+        0.0
+    } else {
+        internal.iter().map(|n| n.children.len()).sum::<usize>() as f64 / internal.len() as f64
+    };
+    HierarchyQuality {
+        depth: h.depth,
+        leaves: leaves.len(),
+        max_leaf,
+        total_hubs: h.total_hubs(),
+        hub_fraction: h.total_hubs() as f64 / g.node_count().max(1) as f64,
+        mean_fanout,
+    }
+}
+
+/// Count directed edges crossing a labelled split of all nodes (utility
+/// shared by experiments).
+pub fn directed_cut(g: &CsrGraph, labels: &[u32]) -> usize {
+    g.edges()
+        .filter(|&(u, v)| labels[u as usize] != labels[v as usize])
+        .count()
+}
+
+/// Separator verification over an entire hierarchy: true iff every
+/// internal subgraph's hubs cover all child-crossing edges.
+pub fn verify_hierarchy_separation(g: &CsrGraph, h: &Hierarchy) -> bool {
+    for node in &h.nodes {
+        if node.is_leaf() {
+            continue;
+        }
+        let child_of = |v: NodeId| -> Option<usize> {
+            node.children
+                .iter()
+                .position(|&c| h.nodes[c].members.binary_search(&v).is_ok())
+        };
+        for &u in &node.members {
+            if node.hubs.binary_search(&u).is_ok() {
+                continue;
+            }
+            for &v in g.out_neighbors(u) {
+                if node.members.binary_search(&v).is_err() || node.hubs.binary_search(&v).is_ok() {
+                    continue;
+                }
+                if child_of(u) != child_of(v) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::flat_partition;
+    use crate::hierarchy::HierarchyConfig;
+    use crate::separator::CoverAlgorithm;
+    use crate::PartitionConfig;
+    use ppr_graph::generators::{hierarchical_sbm, HsbmConfig};
+
+    fn sample() -> CsrGraph {
+        hierarchical_sbm(
+            &HsbmConfig {
+                nodes: 500,
+                depth: 4,
+                locality: 0.9,
+                ..Default::default()
+            },
+            3,
+        )
+    }
+
+    #[test]
+    fn flat_quality_reports_sane_numbers() {
+        let g = sample();
+        let fp = flat_partition(&g, 4, CoverAlgorithm::Greedy, &PartitionConfig::default());
+        let q = flat_quality(&g, &fp);
+        assert_eq!(q.parts, 4);
+        assert!(q.hubs > 0);
+        assert!(q.balance >= 1.0 && q.balance < 2.0, "balance {}", q.balance);
+        assert!(q.hub_fraction < 0.5);
+        assert!(q.cut_edges > 0);
+    }
+
+    #[test]
+    fn hierarchy_quality_consistent_with_hierarchy() {
+        let g = sample();
+        let h = Hierarchy::build(&g, &HierarchyConfig::default());
+        let q = hierarchy_quality(&g, &h);
+        assert_eq!(q.depth, h.depth);
+        assert_eq!(q.total_hubs, h.total_hubs());
+        assert!(q.leaves >= 2);
+        assert!(q.max_leaf > 0);
+        assert!(q.mean_fanout >= 2.0 - 1e-9);
+    }
+
+    #[test]
+    fn hierarchy_separation_verified() {
+        let g = sample();
+        let h = Hierarchy::build(&g, &HierarchyConfig::default());
+        assert!(verify_hierarchy_separation(&g, &h));
+    }
+
+    #[test]
+    fn directed_cut_counts() {
+        let g = ppr_graph::csr::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(directed_cut(&g, &[0, 0, 1, 1]), 1);
+        assert_eq!(directed_cut(&g, &[0, 1, 0, 1]), 3);
+    }
+
+    #[test]
+    fn konig_yields_no_more_hubs_than_matching() {
+        // The exact cover can never exceed the 2-approximation.
+        let g = sample();
+        let k = flat_partition(&g, 2, CoverAlgorithm::KonigExact, &PartitionConfig::default());
+        let m = flat_partition(&g, 2, CoverAlgorithm::Matching, &PartitionConfig::default());
+        assert!(
+            k.hubs.len() <= m.hubs.len(),
+            "König {} vs matching {}",
+            k.hubs.len(),
+            m.hubs.len()
+        );
+    }
+}

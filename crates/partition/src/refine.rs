@@ -1,0 +1,214 @@
+//! Boundary FM refinement for bisections.
+//!
+//! After projecting coarse labels to a finer level, each pass visits
+//! boundary nodes in descending gain order and applies moves that reduce
+//! the cut (or keep it equal while improving balance), subject to the
+//! balance window. This is the classic Fiduccia–Mattheyses scheme without
+//! the rollback tail — simpler, and in practice within a few percent of
+//! full FM on community-structured graphs.
+
+use crate::work::WorkGraph;
+use ppr_graph::NodeId;
+
+/// Balance window for side 0's weight.
+#[derive(Clone, Copy, Debug)]
+pub struct BalanceWindow {
+    /// Minimum allowed weight of side 0.
+    pub lo: u64,
+    /// Maximum allowed weight of side 0.
+    pub hi: u64,
+}
+
+impl BalanceWindow {
+    /// Window centred on `frac * total` with multiplicative slack
+    /// `imbalance` (>= 1.0).
+    pub fn around(total: u64, frac: f64, imbalance: f64) -> Self {
+        let target = frac * total as f64;
+        let hi = (target * imbalance).min(total as f64).round() as u64;
+        let lo = (total as f64 - (total as f64 - target) * imbalance)
+            .max(0.0)
+            .round() as u64;
+        Self { lo: lo.min(hi), hi }
+    }
+
+    fn contains(&self, w: u64) -> bool {
+        (self.lo..=self.hi).contains(&w)
+    }
+}
+
+/// Cut-weight gain of moving `v` to the other side.
+fn move_gain(wg: &WorkGraph, labels: &[u32], v: NodeId) -> i64 {
+    let mine = labels[v as usize];
+    let mut g = 0i64;
+    for (w, ew) in wg.neighbors(v) {
+        if labels[w as usize] == mine {
+            g -= ew as i64;
+        } else {
+            g += ew as i64;
+        }
+    }
+    g
+}
+
+/// Run up to `passes` refinement passes. Returns the final cut weight.
+pub fn refine_bisection(
+    wg: &WorkGraph,
+    labels: &mut [u32],
+    window: BalanceWindow,
+    passes: u32,
+) -> u64 {
+    let n = wg.n();
+    let mut w0: u64 = (0..n)
+        .filter(|&v| labels[v] == 0)
+        .map(|v| wg.vwgt[v] as u64)
+        .sum();
+    let total = wg.total_weight();
+
+    for _ in 0..passes {
+        // Collect boundary nodes with positive-or-zero gain.
+        let mut cands: Vec<(i64, NodeId)> = (0..n as NodeId)
+            .filter_map(|v| {
+                let g = move_gain(wg, labels, v);
+                (g >= 0 && wg.neighbors(v).any(|(w, _)| labels[w as usize] != labels[v as usize]))
+                    .then_some((g, v))
+            })
+            .collect();
+        cands.sort_unstable_by(|a, b| b.cmp(a));
+
+        let mut moved = false;
+        for (_, v) in cands {
+            // Gains go stale as neighbours move; recompute.
+            let g = move_gain(wg, labels, v);
+            let vw = wg.vwgt[v as usize] as u64;
+            let new_w0 = if labels[v as usize] == 0 {
+                w0 - vw
+            } else {
+                w0 + vw
+            };
+            if !window.contains(new_w0) {
+                continue;
+            }
+            let balance_improves =
+                new_w0.abs_diff(total / 2) < w0.abs_diff(total / 2);
+            if g > 0 || (g == 0 && balance_improves) {
+                labels[v as usize] ^= 1;
+                w0 = new_w0;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    wg.cut(labels)
+}
+
+/// Rebalance a bisection into the window by moving lowest-loss boundary
+/// nodes from the heavy side, ignoring cut degradation. Used when label
+/// projection lands outside the window.
+pub fn force_balance(wg: &WorkGraph, labels: &mut [u32], window: BalanceWindow) {
+    let n = wg.n();
+    let mut w0: u64 = (0..n)
+        .filter(|&v| labels[v] == 0)
+        .map(|v| wg.vwgt[v] as u64)
+        .sum();
+    let mut guard = 0usize;
+    while !window.contains(w0) && guard <= n {
+        guard += 1;
+        let from = if w0 > window.hi { 0 } else { 1 };
+        // Cheapest move = max gain among the heavy side.
+        let best = (0..n as NodeId)
+            .filter(|&v| labels[v as usize] == from)
+            .max_by_key(|&v| move_gain(wg, labels, v));
+        match best {
+            Some(v) => {
+                let vw = wg.vwgt[v as usize] as u64;
+                labels[v as usize] ^= 1;
+                if from == 0 {
+                    w0 -= vw;
+                } else {
+                    w0 += vw;
+                }
+            }
+            None => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppr_graph::GraphBuilder;
+
+    fn two_cliques_bridge() -> WorkGraph {
+        let mut b = GraphBuilder::new(12);
+        for base in [0u32, 6] {
+            for i in 0..6 {
+                for j in 0..6 {
+                    if i != j {
+                        b.push_edge(base + i, base + j);
+                    }
+                }
+            }
+        }
+        b.push_edge(5, 6);
+        WorkGraph::from_graph(&b.build())
+    }
+
+    #[test]
+    fn window_math() {
+        let w = BalanceWindow::around(100, 0.5, 1.1);
+        assert_eq!(w.hi, 55);
+        assert_eq!(w.lo, 45);
+        assert!(w.contains(50));
+        assert!(!w.contains(60));
+    }
+
+    #[test]
+    fn repairs_a_bad_split() {
+        let wg = two_cliques_bridge();
+        // Deliberately wrong: node 5 on the wrong side.
+        let mut labels = vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1];
+        let window = BalanceWindow::around(12, 0.5, 1.2);
+        let cut = refine_bisection(&wg, &mut labels, window, 4);
+        assert_eq!(cut, 1, "labels {labels:?}");
+        assert_eq!(labels[5], 0);
+    }
+
+    #[test]
+    fn respects_balance_window() {
+        let wg = two_cliques_bridge();
+        // All on side 1 except one node; tight window forbids fixing fully.
+        let mut labels = vec![0, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1];
+        let window = BalanceWindow { lo: 1, hi: 1 };
+        refine_bisection(&wg, &mut labels, window, 4);
+        let w0 = labels.iter().filter(|&&l| l == 0).count();
+        assert_eq!(w0, 1);
+    }
+
+    #[test]
+    fn force_balance_reaches_window() {
+        let wg = two_cliques_bridge();
+        let mut labels = vec![0; 12];
+        let window = BalanceWindow::around(12, 0.5, 1.0);
+        force_balance(&wg, &mut labels, window);
+        let w0: u64 = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == 0)
+            .map(|(v, _)| wg.vwgt[v] as u64)
+            .sum();
+        assert!(window.contains(w0), "w0 = {w0}");
+    }
+
+    #[test]
+    fn perfect_split_is_stable() {
+        let wg = two_cliques_bridge();
+        let mut labels: Vec<u32> = (0..12).map(|v| u32::from(v >= 6)).collect();
+        let before = labels.clone();
+        let window = BalanceWindow::around(12, 0.5, 1.2);
+        let cut = refine_bisection(&wg, &mut labels, window, 4);
+        assert_eq!(cut, 1);
+        assert_eq!(labels, before);
+    }
+}

@@ -1,0 +1,218 @@
+//! Cut-edge extraction and hub-node (vertex separator) selection.
+//!
+//! Given a labelled partition of a member set, the *hub nodes* are a vertex
+//! cover of the edges whose endpoints carry different labels (Appendix D).
+//! Removing the hubs then disconnects the parts — the **separation
+//! invariant** every PPV correctness theorem rests on — because each cut
+//! edge lost at least one endpoint.
+
+use crate::hopcroft_karp::Bipartite;
+use crate::vertex_cover::{greedy_cover, matching_cover};
+use ppr_graph::{CsrGraph, NodeId};
+
+/// Which vertex-cover algorithm selects the hubs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CoverAlgorithm {
+    /// Exact minimum cover by König's theorem — only valid for 2-way cuts;
+    /// multiway cuts automatically fall back to [`CoverAlgorithm::Greedy`].
+    #[default]
+    KonigExact,
+    /// Greedy max-degree cover.
+    Greedy,
+    /// Matching-based 2-approximation (Papadimitriou–Steiglitz, the paper's
+    /// reference [39]).
+    Matching,
+}
+
+/// Undirected cut edges among `members` under `labels` (parallel arrays;
+/// `members` must be sorted ascending). Each crossing pair appears once as
+/// `(min, max)` in global ids.
+pub fn cut_edges(g: &CsrGraph, members: &[NodeId], labels: &[u32]) -> Vec<(NodeId, NodeId)> {
+    debug_assert_eq!(members.len(), labels.len());
+    debug_assert!(members.windows(2).all(|w| w[0] < w[1]));
+    let mut out = Vec::new();
+    for (i, &u) in members.iter().enumerate() {
+        for &v in g.out_neighbors(u) {
+            if let Ok(j) = members.binary_search(&v) {
+                if labels[i] != labels[j] {
+                    out.push((u.min(v), u.max(v)));
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Select hub nodes covering every cut edge. Returns sorted global ids.
+pub fn select_hubs(
+    g: &CsrGraph,
+    members: &[NodeId],
+    labels: &[u32],
+    algo: CoverAlgorithm,
+) -> Vec<NodeId> {
+    let edges = cut_edges(g, members, labels);
+    if edges.is_empty() {
+        return Vec::new();
+    }
+    let parts = {
+        let mut ls: Vec<u32> = labels.to_vec();
+        ls.sort_unstable();
+        ls.dedup();
+        ls.len()
+    };
+    match (algo, parts) {
+        (CoverAlgorithm::KonigExact, 0..=2) => konig_hubs(members, labels, &edges),
+        (CoverAlgorithm::KonigExact, _) | (CoverAlgorithm::Greedy, _) => greedy_cover(&edges),
+        (CoverAlgorithm::Matching, _) => matching_cover(&edges),
+    }
+}
+
+/// Exact minimum cover of a bipartite (2-way) cut via König's theorem.
+fn konig_hubs(members: &[NodeId], labels: &[u32], edges: &[(NodeId, NodeId)]) -> Vec<NodeId> {
+    let label_of = |v: NodeId| labels[members.binary_search(&v).expect("endpoint not a member")];
+
+    // Dense-index the touched endpoints per side.
+    let mut left_ids: Vec<NodeId> = Vec::new();
+    let mut right_ids: Vec<NodeId> = Vec::new();
+    for &(u, v) in edges {
+        let (l, r) = if label_of(u) == labels_min(labels) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        left_ids.push(l);
+        right_ids.push(r);
+    }
+    left_ids.sort_unstable();
+    left_ids.dedup();
+    right_ids.sort_unstable();
+    right_ids.dedup();
+
+    let mut b = Bipartite::new(left_ids.len(), right_ids.len());
+    for &(u, v) in edges {
+        let (l, r) = if label_of(u) == labels_min(labels) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        let li = left_ids.binary_search(&l).unwrap() as u32;
+        let ri = right_ids.binary_search(&r).unwrap() as u32;
+        b.add_edge(li, ri);
+    }
+    let (cl, cr) = b.min_vertex_cover();
+    let mut hubs: Vec<NodeId> = cl
+        .into_iter()
+        .map(|i| left_ids[i as usize])
+        .chain(cr.into_iter().map(|i| right_ids[i as usize]))
+        .collect();
+    hubs.sort_unstable();
+    hubs
+}
+
+fn labels_min(labels: &[u32]) -> u32 {
+    labels.iter().copied().min().unwrap_or(0)
+}
+
+/// Verify the separation invariant: no edge of `g` connects two non-hub
+/// members with different labels.
+pub fn verify_separation(
+    g: &CsrGraph,
+    members: &[NodeId],
+    labels: &[u32],
+    hubs: &[NodeId],
+) -> bool {
+    let is_hub = |v: NodeId| hubs.binary_search(&v).is_ok();
+    cut_edges(g, members, labels)
+        .iter()
+        .all(|&(u, v)| is_hub(u) || is_hub(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppr_graph::csr::from_edges;
+
+    /// Paper Figure 2: G1 = {u1, u3}, G2 = {u2, u4, u5}; ids 0..5 in order.
+    /// Cut edges connect u1,u2 across parts; hubs {u1, u2} in the paper.
+    fn fig2() -> CsrGraph {
+        // u1=0, u2=1, u3=2, u4=3, u5=4
+        from_edges(
+            5,
+            &[
+                (0, 2),
+                (2, 0), // u1 <-> u3 inside G1
+                (1, 3),
+                (3, 1), // u2 <-> u4 inside G2
+                (3, 4),
+                (4, 3), // u4 <-> u5 inside G2
+                (0, 1),
+                (1, 0), // u1 <-> u2 across
+                (0, 3), // u1 -> u4 across
+                (4, 0), // u5 -> u1 across
+            ],
+        )
+    }
+
+    #[test]
+    fn cut_edges_cross_parts_only() {
+        let g = fig2();
+        let members: Vec<NodeId> = vec![0, 1, 2, 3, 4];
+        let labels = vec![0, 1, 0, 1, 1]; // G1 = {0,2}, G2 = {1,3,4}
+        let cut = cut_edges(&g, &members, &labels);
+        assert_eq!(cut, vec![(0, 1), (0, 3), (0, 4)]);
+    }
+
+    #[test]
+    fn konig_picks_minimum_cover() {
+        let g = fig2();
+        let members: Vec<NodeId> = vec![0, 1, 2, 3, 4];
+        let labels = vec![0, 1, 0, 1, 1];
+        let hubs = select_hubs(&g, &members, &labels, CoverAlgorithm::KonigExact);
+        // All three cut edges share endpoint u1 (0): minimum cover is {0}.
+        assert_eq!(hubs, vec![0]);
+        assert!(verify_separation(&g, &members, &labels, &hubs));
+    }
+
+    #[test]
+    fn greedy_and_matching_also_separate() {
+        let g = fig2();
+        let members: Vec<NodeId> = vec![0, 1, 2, 3, 4];
+        let labels = vec![0, 1, 0, 1, 1];
+        for algo in [CoverAlgorithm::Greedy, CoverAlgorithm::Matching] {
+            let hubs = select_hubs(&g, &members, &labels, algo);
+            assert!(verify_separation(&g, &members, &labels, &hubs), "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn no_cut_no_hubs() {
+        let g = from_edges(4, &[(0, 1), (2, 3)]);
+        let members = vec![0, 1, 2, 3];
+        let labels = vec![0, 0, 1, 1];
+        assert!(select_hubs(&g, &members, &labels, CoverAlgorithm::KonigExact).is_empty());
+    }
+
+    #[test]
+    fn multiway_falls_back_to_greedy() {
+        // Triangle of parts: 0-1, 1-2, 2-0 cut edges, 3 labels.
+        let g = from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let members = vec![0, 1, 2];
+        let labels = vec![0, 1, 2];
+        let hubs = select_hubs(&g, &members, &labels, CoverAlgorithm::KonigExact);
+        assert!(verify_separation(&g, &members, &labels, &hubs));
+        assert!(hubs.len() <= 2);
+    }
+
+    #[test]
+    fn subset_members_ignore_outside_edges() {
+        let g = fig2();
+        // Only consider {1, 3, 4}; edges to node 0 are outside the member
+        // set and must not produce cut pairs.
+        let members = vec![1, 3, 4];
+        let labels = vec![0, 0, 1];
+        let cut = cut_edges(&g, &members, &labels);
+        assert_eq!(cut, vec![(3, 4)]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Approximate vertex covers for general (multiway) cut-edge sets.
+//!
+//! For more than two parts the cut edges need not form a bipartite graph,
+//! so König no longer applies. The paper (Appendix D) uses the classic
+//! matching-based 2-approximation [Papadimitriou–Steiglitz]; we provide it
+//! plus greedy max-degree, which empirically yields smaller covers on
+//! skewed cut structures. Either is valid: hub correctness only requires
+//! *covering* every cut edge (the separation invariant).
+
+use ppr_graph::NodeId;
+use std::collections::HashMap;
+
+/// Greedy max-degree cover: repeatedly take the vertex covering the most
+/// uncovered edges.
+pub fn greedy_cover(edges: &[(NodeId, NodeId)]) -> Vec<NodeId> {
+    if edges.is_empty() {
+        return Vec::new();
+    }
+    // Adjacency over the touched vertices only.
+    let mut adj: HashMap<NodeId, Vec<usize>> = HashMap::new();
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        adj.entry(u).or_default().push(i);
+        adj.entry(v).or_default().push(i);
+    }
+    let mut covered = vec![false; edges.len()];
+    let mut remaining = edges.len();
+    let mut cover = Vec::new();
+
+    // Bucketed greedy: recompute a vertex's live degree lazily.
+    let mut heap: std::collections::BinaryHeap<(usize, NodeId)> = adj
+        .iter()
+        .map(|(&v, es)| (es.len(), v))
+        .collect();
+    while remaining > 0 {
+        let (claimed, v) = heap.pop().expect("edges remain but heap is empty");
+        let live = adj[&v].iter().filter(|&&e| !covered[e]).count();
+        if live == 0 {
+            continue;
+        }
+        if live < claimed {
+            heap.push((live, v)); // stale entry, re-insert with true degree
+            continue;
+        }
+        cover.push(v);
+        for &e in &adj[&v] {
+            if !covered[e] {
+                covered[e] = true;
+                remaining -= 1;
+            }
+        }
+    }
+    cover.sort_unstable();
+    cover
+}
+
+/// Matching-based 2-approximation: take both endpoints of a maximal
+/// matching.
+pub fn matching_cover(edges: &[(NodeId, NodeId)]) -> Vec<NodeId> {
+    let mut in_cover: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+    for &(u, v) in edges {
+        if !in_cover.contains(&u) && !in_cover.contains(&v) {
+            in_cover.insert(u);
+            in_cover.insert(v);
+        }
+    }
+    let mut cover: Vec<NodeId> = in_cover.into_iter().collect();
+    cover.sort_unstable();
+    cover
+}
+
+/// Check that `cover` covers every edge (test / debug helper).
+pub fn is_cover(edges: &[(NodeId, NodeId)], cover: &[NodeId]) -> bool {
+    let set: std::collections::HashSet<NodeId> = cover.iter().copied().collect();
+    edges.iter().all(|(u, v)| set.contains(u) || set.contains(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_star_takes_center() {
+        let edges = vec![(0, 1), (0, 2), (0, 3), (0, 4)];
+        let cover = greedy_cover(&edges);
+        assert_eq!(cover, vec![0]);
+    }
+
+    #[test]
+    fn greedy_path_is_small() {
+        // Path 0-1-2-3-4: optimal cover {1,3} size 2.
+        let edges = vec![(0, 1), (1, 2), (2, 3), (3, 4)];
+        let cover = greedy_cover(&edges);
+        assert!(is_cover(&edges, &cover));
+        assert!(cover.len() <= 2, "{cover:?}");
+    }
+
+    #[test]
+    fn matching_cover_at_most_double() {
+        let edges = vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)];
+        let cover = matching_cover(&edges);
+        assert!(is_cover(&edges, &cover));
+        // Optimal is 3 (e.g. {1, 3, 5} covers ... actually {1,3,4}); 2-approx <= 6.
+        assert!(cover.len() <= 6);
+    }
+
+    #[test]
+    fn empty_edges() {
+        assert!(greedy_cover(&[]).is_empty());
+        assert!(matching_cover(&[]).is_empty());
+    }
+
+    #[test]
+    fn random_edge_sets_always_covered() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..25 {
+            let n = rng.random_range(2..40u32);
+            let m = rng.random_range(1..120usize);
+            let edges: Vec<(NodeId, NodeId)> = (0..m)
+                .filter_map(|_| {
+                    let u = rng.random_range(0..n);
+                    let v = rng.random_range(0..n);
+                    (u != v).then_some((u, v))
+                })
+                .collect();
+            let g = greedy_cover(&edges);
+            let m2 = matching_cover(&edges);
+            assert!(is_cover(&edges, &g));
+            assert!(is_cover(&edges, &m2));
+            // Greedy never exceeds the 2-approx by much in practice; just
+            // sanity-bound both by the trivial cover.
+            let touched: std::collections::HashSet<_> =
+                edges.iter().flat_map(|&(u, v)| [u, v]).collect();
+            assert!(g.len() <= touched.len());
+            assert!(m2.len() <= touched.len());
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! The weighted undirected working graph the multilevel partitioner runs on.
+//!
+//! Partitioning quality concerns *structure*, not edge direction, so the
+//! directed input is symmetrised: an edge pair `u -> v`, `v -> u` becomes a
+//! single undirected edge of weight 2. Node weights start at 1 and
+//! accumulate under coarsening so balance constraints always refer to
+//! counts of original nodes (the paper balances subgraph node counts).
+
+use ppr_graph::{CsrGraph, NodeId};
+
+/// Weighted undirected graph in CSR form with node weights.
+#[derive(Clone, Debug)]
+pub struct WorkGraph {
+    /// CSR offsets, length `n + 1`.
+    pub xadj: Vec<usize>,
+    /// Neighbour lists.
+    pub adjncy: Vec<NodeId>,
+    /// Edge weights, parallel to `adjncy`.
+    pub adjwgt: Vec<u32>,
+    /// Node weights (number of original nodes a coarse node represents).
+    pub vwgt: Vec<u32>,
+}
+
+impl WorkGraph {
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.vwgt.len()
+    }
+
+    /// Neighbours of `v` with their edge weights.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, u32)> + '_ {
+        let v = v as usize;
+        self.adjncy[self.xadj[v]..self.xadj[v + 1]]
+            .iter()
+            .copied()
+            .zip(self.adjwgt[self.xadj[v]..self.xadj[v + 1]].iter().copied())
+    }
+
+    /// Degree (number of distinct neighbours) of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.xadj[v as usize + 1] - self.xadj[v as usize]
+    }
+
+    /// Total node weight.
+    pub fn total_weight(&self) -> u64 {
+        self.vwgt.iter().map(|&w| w as u64).sum()
+    }
+
+    /// Sum of edge weights crossing the labelled partition (each undirected
+    /// edge counted once).
+    pub fn cut(&self, labels: &[u32]) -> u64 {
+        let mut cut = 0u64;
+        for v in 0..self.n() as NodeId {
+            for (w, ew) in self.neighbors(v) {
+                if w > v && labels[v as usize] != labels[w as usize] {
+                    cut += ew as u64;
+                }
+            }
+        }
+        cut
+    }
+
+    /// Build from an arbitrary undirected weighted edge list (used by
+    /// coarsening and tests). Edges must satisfy `u != v`; duplicates are
+    /// merged by summing weights.
+    pub fn from_weighted_edges(n: usize, edges: &mut [(NodeId, NodeId, u32)], vwgt: Vec<u32>) -> Self {
+        debug_assert_eq!(vwgt.len(), n);
+        // Normalise to (min, max) and merge duplicates.
+        for e in edges.iter_mut() {
+            if e.0 > e.1 {
+                std::mem::swap(&mut e.0, &mut e.1);
+            }
+        }
+        edges.sort_unstable();
+        let mut merged: Vec<(NodeId, NodeId, u32)> = Vec::with_capacity(edges.len());
+        for &(u, v, w) in edges.iter() {
+            debug_assert_ne!(u, v, "self-loop in working graph");
+            if let Some(last) = merged.last_mut() {
+                if last.0 == u && last.1 == v {
+                    last.2 += w;
+                    continue;
+                }
+            }
+            merged.push((u, v, w));
+        }
+
+        let mut deg = vec![0usize; n + 1];
+        for &(u, v, _) in &merged {
+            deg[u as usize + 1] += 1;
+            deg[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            deg[i + 1] += deg[i];
+        }
+        let xadj = deg.clone();
+        let mut cursor = deg;
+        let m2 = merged.len() * 2;
+        let mut adjncy = vec![0 as NodeId; m2];
+        let mut adjwgt = vec![0u32; m2];
+        for &(u, v, w) in &merged {
+            let cu = &mut cursor[u as usize];
+            adjncy[*cu] = v;
+            adjwgt[*cu] = w;
+            *cu += 1;
+            let cv = &mut cursor[v as usize];
+            adjncy[*cv] = u;
+            adjwgt[*cv] = w;
+            *cv += 1;
+        }
+        WorkGraph {
+            xadj,
+            adjncy,
+            adjwgt,
+            vwgt,
+        }
+    }
+
+    /// Symmetrised working graph of a full directed graph.
+    pub fn from_graph(g: &CsrGraph) -> Self {
+        let mut edges: Vec<(NodeId, NodeId, u32)> = g.edges().map(|(u, v)| (u, v, 1)).collect();
+        Self::from_weighted_edges(g.node_count(), &mut edges, vec![1; g.node_count()])
+    }
+
+    /// Working graph induced by `members` (global ids, any order). Returns
+    /// the graph in local id space and the local -> global mapping.
+    pub fn from_members(g: &CsrGraph, members: &[NodeId]) -> (Self, Vec<NodeId>) {
+        let mut globals = members.to_vec();
+        globals.sort_unstable();
+        let local = |x: NodeId| globals.binary_search(&x).ok();
+        let mut edges: Vec<(NodeId, NodeId, u32)> = Vec::new();
+        for (lu, &gu) in globals.iter().enumerate() {
+            for &gv in g.out_neighbors(gu) {
+                if let Some(lv) = local(gv) {
+                    if lv != lu {
+                        edges.push((lu as NodeId, lv as NodeId, 1));
+                    }
+                }
+            }
+        }
+        let n = globals.len();
+        (
+            Self::from_weighted_edges(n, &mut edges, vec![1; n]),
+            globals,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppr_graph::csr::from_edges;
+
+    #[test]
+    fn symmetrises_and_weights_reciprocal_edges() {
+        let g = from_edges(3, &[(0, 1), (1, 0), (1, 2)]);
+        let wg = WorkGraph::from_graph(&g);
+        assert_eq!(wg.n(), 3);
+        let n0: Vec<_> = wg.neighbors(0).collect();
+        assert_eq!(n0, vec![(1, 2)]); // both directions merged, weight 2
+        let n2: Vec<_> = wg.neighbors(2).collect();
+        assert_eq!(n2, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn cut_counts_undirected_once() {
+        let g = from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 3)]);
+        let wg = WorkGraph::from_graph(&g);
+        // Split {0,1} | {2,3}: crossing undirected edge 1-2, weight 1.
+        assert_eq!(wg.cut(&[0, 0, 1, 1]), 1);
+        // Split {0} | {1,2,3}: crossing 0-1 with weight 2.
+        assert_eq!(wg.cut(&[0, 1, 1, 1]), 2);
+    }
+
+    #[test]
+    fn induced_members_graph() {
+        let g = from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let (wg, globals) = WorkGraph::from_members(&g, &[1, 2, 3]);
+        assert_eq!(globals, vec![1, 2, 3]);
+        assert_eq!(wg.n(), 3);
+        // Internal edges: 1-2, 2-3 only.
+        let total_adj: usize = (0..3).map(|v| wg.degree(v)).sum();
+        assert_eq!(total_adj, 4); // 2 undirected edges x 2 endpoints
+    }
+
+    #[test]
+    fn total_weight_accumulates() {
+        let mut edges = vec![(0, 1, 3), (1, 2, 1)];
+        let wg = WorkGraph::from_weighted_edges(3, &mut edges, vec![5, 1, 2]);
+        assert_eq!(wg.total_weight(), 8);
+        let n1: Vec<_> = wg.neighbors(1).collect();
+        assert_eq!(n1, vec![(0, 3), (2, 1)]);
+    }
+}

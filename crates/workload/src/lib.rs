@@ -1,0 +1,282 @@
+#![warn(missing_docs)]
+
+//! Synthetic stand-ins for the paper's five datasets, plus query workloads.
+//!
+//! The paper evaluates on SNAP Email, Google Web, Youtube, the Common
+//! Crawl PLD hyperlink graph, and a Meetup crawl (§6.1, Table 6). Those
+//! crawls are not shipped here; each [`Dataset`] instead parameterises the
+//! hierarchical-SBM generator to match the *structural* features the
+//! algorithms are sensitive to — community depth (separator size), degree
+//! skew, reciprocity (web vs social), and density — at roughly 1–3% of
+//! the original node counts so the full experiment suite runs on one
+//! machine. The scale-down is uniform across all competing algorithms, so
+//! the figures' comparative shapes survive; see DESIGN.md §3.
+//!
+//! Every generator call is seeded: a dataset name always produces the
+//! identical graph.
+
+use ppr_graph::generators::{hierarchical_sbm, HsbmConfig};
+use ppr_graph::{CsrGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Named dataset stand-ins (paper §6.1 + Table 6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Email-EuAll: 265k nodes, 420k edges — sparse, many dangling nodes.
+    Email,
+    /// web-Google: 876k nodes, 5.1M edges — crawl with strong locality.
+    Web,
+    /// com-Youtube: 1.13M nodes, 3.0M edges — social, high reciprocity.
+    Youtube,
+    /// PLD sample: 3M nodes, 18.2M edges — domain-level hyperlink graph.
+    Pld,
+    /// PLD_full: 101M nodes, 1.94B edges (Appendix B) — largest stand-in.
+    PldFull,
+    /// Meetup event graphs M1–M5 (Table 6) — dense social graphs of
+    /// increasing size; `Meetup(1)` through `Meetup(5)`.
+    Meetup(u8),
+}
+
+/// Generator recipe + provenance for one dataset.
+#[derive(Clone, Debug)]
+pub struct DatasetSpec {
+    /// Paper-facing name (matches the figures' axis labels).
+    pub name: &'static str,
+    /// Original graph size in the paper.
+    pub paper_nodes: usize,
+    /// Original edge count in the paper.
+    pub paper_edges: usize,
+    /// Generator configuration for the scaled stand-in.
+    pub config: HsbmConfig,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Dataset {
+    /// All non-Meetup datasets (the paper's main table).
+    pub const MAIN: [Dataset; 4] = [Dataset::Email, Dataset::Web, Dataset::Youtube, Dataset::Pld];
+
+    /// The Meetup scalability series M1–M5 (§6.2.7).
+    pub fn meetup_series() -> Vec<Dataset> {
+        (1..=5).map(Dataset::Meetup).collect()
+    }
+
+    /// The generator recipe for this dataset.
+    pub fn spec(self) -> DatasetSpec {
+        match self {
+            Dataset::Email => DatasetSpec {
+                name: "Email",
+                paper_nodes: 265_214,
+                paper_edges: 420_045,
+                config: HsbmConfig {
+                    nodes: 6_000,
+                    depth: 6,
+                    min_degree: 1,
+                    max_degree: 60,
+                    degree_exponent: 2.4,
+                    locality: 0.88,
+                    reciprocity: 0.2,
+                    noise: 0.06,
+                },
+                seed: 0xE3A1,
+            },
+            Dataset::Web => DatasetSpec {
+                name: "Web",
+                paper_nodes: 875_713,
+                paper_edges: 5_105_039,
+                config: HsbmConfig {
+                    nodes: 10_000,
+                    depth: 7,
+                    min_degree: 2,
+                    max_degree: 200,
+                    degree_exponent: 2.1,
+                    locality: 0.92,
+                    reciprocity: 0.1,
+                    noise: 0.04,
+                },
+                seed: 0x3EB0,
+            },
+            Dataset::Youtube => DatasetSpec {
+                name: "Youtube",
+                paper_nodes: 1_134_890,
+                paper_edges: 2_987_624,
+                config: HsbmConfig {
+                    nodes: 12_000,
+                    depth: 7,
+                    min_degree: 1,
+                    max_degree: 150,
+                    degree_exponent: 2.2,
+                    locality: 0.9,
+                    reciprocity: 0.5,
+                    noise: 0.05,
+                },
+                seed: 0x707B,
+            },
+            Dataset::Pld => DatasetSpec {
+                name: "PLD",
+                paper_nodes: 3_000_000,
+                paper_edges: 18_185_350,
+                config: HsbmConfig {
+                    nodes: 16_000,
+                    depth: 8,
+                    min_degree: 2,
+                    max_degree: 300,
+                    degree_exponent: 2.05,
+                    locality: 0.93,
+                    reciprocity: 0.15,
+                    noise: 0.04,
+                },
+                seed: 0x91D0,
+            },
+            Dataset::PldFull => DatasetSpec {
+                name: "PLD_full",
+                paper_nodes: 101_000_000,
+                paper_edges: 1_940_000_000,
+                config: HsbmConfig {
+                    nodes: 30_000,
+                    depth: 9,
+                    min_degree: 3,
+                    max_degree: 400,
+                    degree_exponent: 2.0,
+                    locality: 0.94,
+                    reciprocity: 0.15,
+                    noise: 0.04,
+                },
+                seed: 0x91D1,
+            },
+            Dataset::Meetup(i) => {
+                assert!((1..=5).contains(&i), "Meetup graphs are M1..M5");
+                // Table 6: ~1.0M..1.8M nodes, 83M..194M edges (avg deg
+                // 83–108). Scaled: 3k..5.4k nodes at avg degree ~25.
+                let paper = [
+                    (997_304, 82_966_338),
+                    (1_197_009, 107_393_088),
+                    (1_396_054, 129_774_158),
+                    (1_596_455, 163_320_390),
+                    (1_796_226, 194_083_414),
+                ][(i - 1) as usize];
+                static NAMES: [&str; 5] = ["M1", "M2", "M3", "M4", "M5"];
+                DatasetSpec {
+                    name: NAMES[(i - 1) as usize],
+                    paper_nodes: paper.0,
+                    paper_edges: paper.1,
+                    config: HsbmConfig {
+                        nodes: 3_000 + 600 * (i as usize - 1),
+                        depth: 6,
+                        min_degree: 8,
+                        max_degree: 200,
+                        degree_exponent: 1.9,
+                        locality: 0.93,
+                        reciprocity: 0.6,
+                        noise: 0.05,
+                    },
+                    seed: 0x3EE7 + i as u64,
+                }
+            }
+        }
+    }
+
+    /// Generate the scaled stand-in graph (deterministic).
+    pub fn generate(self) -> CsrGraph {
+        let spec = self.spec();
+        hierarchical_sbm(&spec.config, spec.seed)
+    }
+
+    /// Generate at a custom node count (keeps all shape parameters; used
+    /// by quick tests and by benches that need smaller instances).
+    pub fn generate_with_nodes(self, nodes: usize) -> CsrGraph {
+        let spec = self.spec();
+        hierarchical_sbm(
+            &HsbmConfig {
+                nodes,
+                ..spec.config
+            },
+            spec.seed,
+        )
+    }
+
+    /// Paper-facing name.
+    pub fn name(self) -> &'static str {
+        self.spec().name
+    }
+}
+
+/// Random query workload: `count` distinct nodes with at least one
+/// out-edge (the paper queries 1000 random nodes per graph, §6.1).
+pub fn query_nodes(g: &CsrGraph, count: usize, seed: u64) -> Vec<NodeId> {
+    let n = g.node_count();
+    assert!(n > 0, "empty graph");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    while out.len() < count && attempts < count * 100 + 1000 {
+        attempts += 1;
+        let v = rng.random_range(0..n) as NodeId;
+        if g.out_degree(v) > 0 && seen.insert(v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_datasets_generate_deterministically() {
+        for d in Dataset::MAIN {
+            let a = d.generate();
+            let b = d.generate();
+            assert_eq!(a.node_count(), b.node_count());
+            assert_eq!(a.edge_count(), b.edge_count());
+            assert!(a.edges().eq(b.edges()), "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn dataset_shapes_differ_as_in_paper() {
+        let email = Dataset::Email.generate().stats();
+        let web = Dataset::Web.generate().stats();
+        let meetup = Dataset::Meetup(1).generate().stats();
+        // Email is sparse; Web denser; Meetup densest (Table 6 avg ~83).
+        assert!(email.avg_out_degree < web.avg_out_degree);
+        assert!(web.avg_out_degree < meetup.avg_out_degree);
+        assert!(meetup.avg_out_degree > 10.0);
+    }
+
+    #[test]
+    fn meetup_series_grows() {
+        let sizes: Vec<usize> = Dataset::meetup_series()
+            .into_iter()
+            .map(|d| d.generate().node_count())
+            .collect();
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]), "{sizes:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "M1..M5")]
+    fn meetup_out_of_range_panics() {
+        Dataset::Meetup(6).spec();
+    }
+
+    #[test]
+    fn query_nodes_are_valid_and_distinct() {
+        let g = Dataset::Email.generate_with_nodes(500);
+        let qs = query_nodes(&g, 50, 7);
+        assert_eq!(qs.len(), 50);
+        let set: std::collections::HashSet<_> = qs.iter().collect();
+        assert_eq!(set.len(), 50);
+        for &q in &qs {
+            assert!(g.out_degree(q) > 0);
+        }
+    }
+
+    #[test]
+    fn custom_node_count() {
+        let g = Dataset::Web.generate_with_nodes(800);
+        assert_eq!(g.node_count(), 800);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based invariants over randomly generated graphs:
+//!
+//! * partitioning: hubs separate subgraphs; homes partition the node set;
+//! * PPV axioms: non-negativity, mass bound, monotone tolerance error;
+//! * decomposition: HGPA ≡ power iteration on arbitrary random graphs.
+
+use exact_ppr::core::hgpa::{HgpaBuildOptions, HgpaIndex};
+use exact_ppr::core::power::power_iteration;
+use exact_ppr::core::sparse::SparseVector;
+use exact_ppr::core::PprConfig;
+use exact_ppr::graph::csr::from_edges;
+use exact_ppr::graph::CsrGraph;
+use exact_ppr::partition::{Hierarchy, HierarchyConfig};
+use proptest::prelude::*;
+
+/// Strategy: a random directed graph with 8..=60 nodes.
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (8usize..=60).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 1..(n * 4));
+        edges.prop_map(move |es| {
+            let filtered: Vec<(u32, u32)> = es.into_iter().filter(|(u, v)| u != v).collect();
+            from_edges(n, &filtered)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hierarchy_homes_partition_nodes(g in arb_graph()) {
+        let h = Hierarchy::build(&g, &HierarchyConfig {
+            max_leaf_size: 8,
+            ..Default::default()
+        });
+        let mut count = vec![0usize; g.node_count()];
+        for node in &h.nodes {
+            if node.is_leaf() {
+                for &v in &node.members {
+                    count[v as usize] += 1;
+                }
+            } else {
+                for &v in &node.hubs {
+                    count[v as usize] += 1;
+                }
+            }
+        }
+        prop_assert!(count.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn hierarchy_hubs_separate_children(g in arb_graph()) {
+        let h = Hierarchy::build(&g, &HierarchyConfig {
+            max_leaf_size: 8,
+            ..Default::default()
+        });
+        for node in &h.nodes {
+            if node.is_leaf() {
+                continue;
+            }
+            let child_of = |v: u32| -> Option<usize> {
+                node.children
+                    .iter()
+                    .position(|&c| h.nodes[c].members.binary_search(&v).is_ok())
+            };
+            for &u in &node.members {
+                if node.hubs.binary_search(&u).is_ok() {
+                    continue;
+                }
+                for &v in g.out_neighbors(u) {
+                    if node.members.binary_search(&v).is_err()
+                        || node.hubs.binary_search(&v).is_ok()
+                    {
+                        continue;
+                    }
+                    prop_assert_eq!(child_of(u), child_of(v), "edge crosses children");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ppv_axioms_hold(g in arb_graph(), source in 0u32..8) {
+        let source = source % g.node_count() as u32;
+        let cfg = PprConfig { epsilon: 1e-8, ..Default::default() };
+        let idx = HgpaIndex::build(&g, &cfg, &HgpaBuildOptions {
+            hierarchy: HierarchyConfig { max_leaf_size: 8, ..Default::default() },
+            ..Default::default()
+        });
+        let ppv = idx.query(source);
+        // Non-negative (up to float fuzz) and total mass at most 1.
+        for (v, x) in ppv.iter() {
+            prop_assert!(x > -1e-9, "negative score at {v}: {x}");
+        }
+        prop_assert!(ppv.l1_norm() <= 1.0 + 1e-6);
+        // The source always keeps at least its α self-mass.
+        prop_assert!(ppv.get(source) >= cfg.alpha - 1e-6);
+    }
+
+    #[test]
+    fn hgpa_matches_power_iteration(g in arb_graph(), source in 0u32..8) {
+        let source = source % g.node_count() as u32;
+        let cfg = PprConfig { epsilon: 1e-9, ..Default::default() };
+        let idx = HgpaIndex::build(&g, &cfg, &HgpaBuildOptions {
+            hierarchy: HierarchyConfig { max_leaf_size: 8, ..Default::default() },
+            ..Default::default()
+        });
+        let a = idx.query(source);
+        let b = power_iteration(&g, source, &cfg);
+        for v in 0..g.node_count() as u32 {
+            prop_assert!((a.get(v) - b[v as usize]).abs() < 1e-5,
+                "v {}: {} vs {}", v, a.get(v), b[v as usize]);
+        }
+    }
+
+    #[test]
+    fn sparse_vector_merge_is_linear(
+        a in proptest::collection::btree_map(0u32..50, 0.0f64..1.0, 0..20),
+        b in proptest::collection::btree_map(0u32..50, 0.0f64..1.0, 0..20),
+        scale in -2.0f64..2.0,
+    ) {
+        let sa = SparseVector::from_entries(a.iter().map(|(&k, &v)| (k, v)).collect());
+        let sb = SparseVector::from_entries(b.iter().map(|(&k, &v)| (k, v)).collect());
+        let merged = sa.add_scaled(&sb, scale);
+        for v in 0..50u32 {
+            let want = sa.get(v) + scale * sb.get(v);
+            prop_assert!((merged.get(v) - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tolerance_truncation_only_drops_small(
+        entries in proptest::collection::btree_map(0u32..60, 1e-8f64..1.0, 1..25),
+        threshold in 1e-6f64..1e-2,
+    ) {
+        let mut v = SparseVector::from_entries(entries.iter().map(|(&k, &x)| (k, x)).collect());
+        let before = v.l1_norm();
+        let dropped = v.truncate_below(threshold);
+        prop_assert!(v.iter().all(|(_, x)| x.abs() > threshold));
+        // Dropped mass is bounded by count × threshold.
+        prop_assert!(before - v.l1_norm() <= dropped as f64 * threshold + 1e-12);
+    }
+}
