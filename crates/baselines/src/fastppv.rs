@@ -1,4 +1,4 @@
-//! FastPPV-style hub-based scheduled approximation (Zhu et al. [49]).
+//! FastPPV-style hub-based scheduled approximation (Zhu et al. \\[49\\]).
 //!
 //! FastPPV partitions tours by the hub nodes they pass and aggregates
 //! contributions from the most important tour sets first, with the hub

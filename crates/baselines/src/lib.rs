@@ -3,19 +3,19 @@
 //! Baselines the paper compares GPA/HGPA against (§6.2.8–6.2.10).
 //!
 //! * [`pregel`] — a vertex-centric BSP engine in the mould of Pregel+
-//!   [48]: hash-partitioned vertices, per-superstep message exchange with
+//!   \\[48\\]: hash-partitioned vertices, per-superstep message exchange with
 //!   sender-side combiners, aggregator-driven convergence. Runs the power
 //!   iteration PPR program. Every message crossing a worker boundary is
 //!   counted in bytes — the quantity that makes BSP engines lose the
 //!   communication comparison by orders of magnitude (Figure 22).
-//! * [`blogel`] — a block-centric engine in the mould of Blogel [47]:
+//! * [`blogel`] — a block-centric engine in the mould of Blogel \\[47\\]:
 //!   blocks come from the same multilevel partitioner GPA uses, each
 //!   superstep runs blocks to *local* convergence, and only block-boundary
 //!   messages travel. Fewer supersteps and less traffic than Pregel, but
 //!   still many rounds — exactly the middle position it holds in the
 //!   paper's figures.
 //! * [`fastppv`] — a hub-based scheduled-approximation method standing in
-//!   for FastPPV [49]: the `h` highest-PageRank nodes get truncated
+//!   for FastPPV \\[49\\]: the `h` highest-PageRank nodes get truncated
 //!   precomputed PPVs; a query pushes until mass parks at hubs, then
 //!   resolves the parked mass through the truncated hub vectors. The hub
 //!   count is the accuracy/time knob the paper sweeps (Fast-100 /

@@ -1,4 +1,4 @@
-//! Monte Carlo PPV estimation (Fogaras et al. [14], Bahmani et al. [5]).
+//! Monte Carlo PPV estimation (Fogaras et al. \\[14\\], Bahmani et al. \\[5\\]).
 //!
 //! Simulate `walks` random surfers from the query node: at each node stop
 //! with probability α (scoring the stop position) or move to a uniform

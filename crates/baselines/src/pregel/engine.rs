@@ -1,5 +1,5 @@
-//! A general vertex-centric BSP engine (the Pregel model [36], with
-//! Pregel+'s sender-side message combining [48]).
+//! A general vertex-centric BSP engine (the Pregel model \\[36\\], with
+//! Pregel+'s sender-side message combining \\[48\\]).
 //!
 //! Vertices are hash-partitioned over workers. A superstep runs three
 //! phases: *compute* (each worker runs the [`VertexProgram`] on its

@@ -19,6 +19,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("fig21", "Figures 21–22: vs Pregel+/Blogel (alias fig22)"),
     ("fig23", "Figures 23–26: centralized + FastPPV (alias fig24/fig25/fig26)"),
     ("fig28", "Figure 28: PLD_full processor sweep"),
+    (
+        "serve",
+        "Serving scenario: Zipf stream -> batching + PPV cache + top-k (PPR_SERVE_* env knobs)",
+    ),
 ];
 
 fn main() {
@@ -57,6 +61,7 @@ fn main() {
             "fig21" | "fig22" => exp_fig21_22::run(&profile),
             "fig23" | "fig24" | "fig25" | "fig26" => exp_fig23_26::run(&profile),
             "fig28" => exp_fig28::run(&profile),
+            "serve" => serve::run(&profile),
             other => {
                 eprintln!("unknown experiment {other:?}; try `repro list`");
                 std::process::exit(2);

@@ -30,6 +30,7 @@ pub mod exp_fig28;
 pub mod exp_tables;
 pub mod profile;
 pub mod report;
+pub mod serve;
 
 pub use profile::Profile;
 
@@ -72,7 +73,8 @@ pub fn build_hgpa(g: &CsrGraph, machines: usize, cfg: &PprConfig) -> HgpaIndex {
     HgpaIndex::build(g, cfg, &default_hgpa_opts(machines))
 }
 
-/// Run every experiment at the given profile (the `repro all` path).
+/// Run every experiment at the given profile (the `repro all` path),
+/// plus the serving scenario.
 pub fn run_all(profile: &Profile) {
     exp_tables::run(profile);
     exp_fig09::run(profile);
@@ -84,4 +86,5 @@ pub fn run_all(profile: &Profile) {
     exp_fig21_22::run(profile);
     exp_fig23_26::run(profile);
     exp_fig28::run(profile);
+    serve::run(profile);
 }

@@ -1,0 +1,291 @@
+//! `repro serve` — the serving scenario (not a paper figure).
+//!
+//! Drives a Zipf-skewed query stream through [`ppr_serve::PprServer`]
+//! over both GPA and HGPA on the Web stand-in and reports throughput,
+//! p50/p99 latency, and cache hit rate — the serving-side view of the
+//! indexes the paper only evaluates one query at a time. A no-cache HGPA
+//! row isolates what the PPV cache buys.
+//!
+//! Knobs (environment variables, all optional):
+//!
+//! * `PPR_SERVE_QUERIES` — total requests (default `50 × profile.queries`)
+//! * `PPR_SERVE_BATCH`   — requests coalesced per fan-out round (16)
+//! * `PPR_SERVE_ZIPF`    — Zipf exponent of the stream (1.1; 0 = uniform)
+//! * `PPR_SERVE_CACHE_KB` — PPV cache capacity in KiB (16384)
+
+use crate::report::{fmt_bytes, Table};
+use crate::{dataset_graph, default_hgpa_opts, Profile};
+use ppr_cluster::DistributedQueryable;
+use ppr_core::gpa::{GpaBuildOptions, GpaIndex};
+use ppr_core::hgpa::HgpaIndex;
+use ppr_core::PprConfig;
+use ppr_graph::CsrGraph;
+use ppr_serve::{PprServer, Request, ServeConfig};
+use ppr_workload::{Dataset, ZipfQueryStream};
+
+/// Load-generator parameters (env-overridable; see module docs).
+#[derive(Clone, Copy, Debug)]
+pub struct ServeKnobs {
+    /// Total requests driven through each server.
+    pub queries: usize,
+    /// Requests coalesced per fan-out round.
+    pub batch: usize,
+    /// Zipf exponent of the query stream.
+    pub zipf: f64,
+    /// PPV cache capacity in bytes.
+    pub cache_bytes: u64,
+}
+
+impl ServeKnobs {
+    /// Profile defaults, overridden by `PPR_SERVE_*` env vars.
+    pub fn from_env(profile: &Profile) -> Self {
+        let env_usize = |k: &str, d: usize| {
+            std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+        };
+        let env_f64 = |k: &str, d: f64| {
+            std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+        };
+        Self {
+            // At least one request: the percentile report needs a sample.
+            queries: env_usize("PPR_SERVE_QUERIES", profile.queries * 50).max(1),
+            batch: env_usize("PPR_SERVE_BATCH", 16),
+            zipf: env_f64("PPR_SERVE_ZIPF", 1.1),
+            cache_bytes: env_usize("PPR_SERVE_CACHE_KB", 16 * 1024) as u64 * 1024,
+        }
+    }
+}
+
+/// Measured outcome of one serving run.
+#[derive(Clone, Debug)]
+pub struct ServeSummary {
+    /// Requests served.
+    pub queries: usize,
+    /// Total serving seconds (real compute + modeled wire time).
+    pub seconds: f64,
+    /// Requests per second.
+    pub throughput_qps: f64,
+    /// Median per-request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Fraction of distinct per-batch source lookups served from cache.
+    pub hit_rate: f64,
+    /// Distinct sources computed fresh via cluster rounds.
+    pub fresh_sources: u64,
+    /// Bytes shipped machine → coordinator across all rounds.
+    pub round_bytes: u64,
+    /// PPV bytes resident in the cache at the end.
+    pub cache_bytes: u64,
+}
+
+/// Value at quantile `q ∈ [0, 1]` of an unsorted sample (nearest-rank).
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    assert!(!samples.is_empty(), "empty sample");
+    let mut s = samples.to_vec();
+    s.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = ((q * (s.len() - 1) as f64).round() as usize).min(s.len() - 1);
+    s[idx]
+}
+
+/// The request mix: mostly single-source PPVs, with top-k and small
+/// preference-set queries mixed in at fixed phases (deterministic given
+/// the stream), matching PPR's ranking/recommendation applications.
+pub fn request_mix(stream: &mut ZipfQueryStream, count: usize) -> Vec<Request> {
+    (0..count)
+        .map(|i| match i % 10 {
+            3 => {
+                let a = stream.next_query();
+                let b = stream.next_query();
+                Request::Preference(vec![(a, 0.6), (b, 0.4)])
+            }
+            7 => Request::TopK {
+                source: stream.next_query(),
+                k: 20,
+            },
+            _ => Request::Ppv(stream.next_query()),
+        })
+        .collect()
+}
+
+/// Drive `requests` through a fresh server over `index`; per-request
+/// latency is its batch's real compute time plus the round's modeled wire
+/// time (every request in a batch completes when the batch does).
+pub fn measure<I: DistributedQueryable>(
+    index: &I,
+    requests: &[Request],
+    knobs: &ServeKnobs,
+) -> ServeSummary {
+    let mut server = PprServer::new(
+        index,
+        ServeConfig {
+            cache_capacity_bytes: knobs.cache_bytes,
+            max_batch: knobs.batch,
+            ..Default::default()
+        },
+    );
+    let mut latencies = Vec::with_capacity(requests.len());
+    let mut seconds = 0.0;
+    for batch in requests.chunks(knobs.batch.max(1)) {
+        let out = server.run_batch(batch);
+        let latency = out.seconds + out.modeled_network_seconds;
+        seconds += latency;
+        latencies.extend(std::iter::repeat_n(latency, batch.len()));
+    }
+    let stats = *server.stats();
+    ServeSummary {
+        queries: requests.len(),
+        seconds,
+        throughput_qps: requests.len() as f64 / seconds.max(1e-12),
+        p50_ms: percentile(&latencies, 0.50) * 1e3,
+        p99_ms: percentile(&latencies, 0.99) * 1e3,
+        hit_rate: stats.source_hit_rate(),
+        fresh_sources: stats.fresh_sources,
+        round_bytes: stats.round_bytes,
+        cache_bytes: server.cache_bytes(),
+    }
+}
+
+/// Run the serving scenario and print the comparison table.
+pub fn run(profile: &Profile) {
+    let knobs = ServeKnobs::from_env(profile);
+    let g: CsrGraph = dataset_graph(Dataset::Web, profile);
+    let cfg = PprConfig::default();
+    let machines = 6; // paper default (§6.1)
+
+    let hgpa = HgpaIndex::build(&g, &cfg, &default_hgpa_opts(machines));
+    let gpa = GpaIndex::build(
+        &g,
+        &cfg,
+        &GpaBuildOptions {
+            subgraphs: 8,
+            machines,
+            ..Default::default()
+        },
+    );
+
+    let requests = request_mix(
+        &mut ZipfQueryStream::new(&g, knobs.zipf, 0xCAFE),
+        knobs.queries,
+    );
+
+    let rows: Vec<(&str, ServeSummary)> = vec![
+        ("HGPA", measure(&hgpa, &requests, &knobs)),
+        (
+            "HGPA (no cache)",
+            measure(
+                &hgpa,
+                &requests,
+                &ServeKnobs {
+                    cache_bytes: 0,
+                    ..knobs
+                },
+            ),
+        ),
+        ("GPA", measure(&gpa, &requests, &knobs)),
+    ];
+
+    let mut t = Table::new(
+        format!(
+            "Serving: {} Zipf({}) requests, batch {}, cache {} (Web, {machines} machines)",
+            knobs.queries,
+            knobs.zipf,
+            knobs.batch,
+            fmt_bytes(knobs.cache_bytes),
+        ),
+        &[
+            "server",
+            "throughput",
+            "p50",
+            "p99",
+            "hit-rate",
+            "fresh",
+            "net total",
+            "cache use",
+        ],
+    );
+    for (name, s) in &rows {
+        t.row(vec![
+            name.to_string(),
+            format!("{:.0} q/s", s.throughput_qps),
+            format!("{:.2} ms", s.p50_ms),
+            format!("{:.2} ms", s.p99_ms),
+            format!("{:.0}%", s.hit_rate * 100.0),
+            s.fresh_sources.to_string(),
+            fmt_bytes(s.round_bytes),
+            fmt_bytes(s.cache_bytes),
+        ]);
+    }
+    t.print();
+    let (cached, uncached) = (&rows[0].1, &rows[1].1);
+    println!(
+        "cache effect: {:.1}x throughput, {:.1}x less coordinator traffic",
+        cached.throughput_qps / uncached.throughput_qps.max(1e-12),
+        uncached.round_bytes as f64 / cached.round_bytes.max(1) as f64,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_knobs() -> ServeKnobs {
+        ServeKnobs {
+            queries: 120,
+            batch: 8,
+            zipf: 1.2,
+            cache_bytes: 8 << 20,
+        }
+    }
+
+    #[test]
+    fn serve_scenario_reports_sane_numbers() {
+        let profile = Profile {
+            node_cap: Some(900),
+            queries: 4,
+            ..Profile::quick()
+        };
+        let g = dataset_graph(Dataset::Web, &profile);
+        let idx = HgpaIndex::build(&g, &PprConfig::default(), &default_hgpa_opts(4));
+        let knobs = tiny_knobs();
+        let requests = request_mix(&mut ZipfQueryStream::new(&g, knobs.zipf, 1), knobs.queries);
+        let s = measure(&idx, &requests, &knobs);
+        assert_eq!(s.queries, 120);
+        assert!(s.throughput_qps > 0.0);
+        assert!(s.p99_ms >= s.p50_ms);
+        assert!(s.hit_rate > 0.0, "Zipf(1.2) stream must repeat sources");
+        assert!(s.fresh_sources > 0 && s.round_bytes > 0);
+    }
+
+    #[test]
+    fn cache_reduces_fresh_computation() {
+        let profile = Profile {
+            node_cap: Some(900),
+            queries: 4,
+            ..Profile::quick()
+        };
+        let g = dataset_graph(Dataset::Web, &profile);
+        let idx = HgpaIndex::build(&g, &PprConfig::default(), &default_hgpa_opts(4));
+        let knobs = tiny_knobs();
+        let requests = request_mix(&mut ZipfQueryStream::new(&g, knobs.zipf, 2), knobs.queries);
+        let with_cache = measure(&idx, &requests, &knobs);
+        let without = measure(
+            &idx,
+            &requests,
+            &ServeKnobs {
+                cache_bytes: 0,
+                ..knobs
+            },
+        );
+        assert!(with_cache.fresh_sources < without.fresh_sources);
+        assert!(with_cache.round_bytes < without.round_bytes);
+        assert_eq!(without.hit_rate, 0.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 0.5), 3.0);
+        assert_eq!(percentile(&xs, 1.0), 5.0);
+    }
+}

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! Simulated coordinator-based share-nothing cluster.
 //!
@@ -25,7 +25,9 @@
 pub mod exec;
 pub mod network;
 
-pub use exec::{Cluster, ClusterQueryReport, DistributedQueryable, MachineStats};
+pub use exec::{
+    Cluster, ClusterBatchReport, ClusterQueryReport, DistributedQueryable, MachineStats,
+};
 pub use network::NetworkModel;
 
 /// Cluster-wide configuration.

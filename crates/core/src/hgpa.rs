@@ -568,19 +568,22 @@ impl QuerySession<'_> {
             self.index
                 .accumulate_query(u, w, None, &mut self.dense, &mut self.touched);
         }
-        // Harvest and reset the scratch for the next call.
-        self.touched.sort_unstable();
-        self.touched.dedup();
-        let mut entries = Vec::with_capacity(self.touched.len());
-        for &v in &self.touched {
-            let x = self.dense[v as usize];
-            if x != 0.0 {
-                entries.push((v, x));
-            }
-            self.dense[v as usize] = 0.0;
-        }
-        self.touched.clear();
-        SparseVector::from_entries(entries)
+        self.harvest_reset()
+    }
+
+    /// The reply vector machine `machine` computes for query `u` —
+    /// identical to [`HgpaIndex::machine_vector`] but reusing this
+    /// session's dense scratch, so a batch fan-out pays the O(n)
+    /// allocation once per machine instead of once per source.
+    pub fn machine_vector(&mut self, u: NodeId, machine: u32) -> SparseVector {
+        self.index
+            .accumulate_query(u, 1.0, Some(machine), &mut self.dense, &mut self.touched);
+        self.harvest_reset()
+    }
+
+    /// Sparsify the accumulator and zero the scratch for the next call.
+    fn harvest_reset(&mut self) -> SparseVector {
+        SparseVector::harvest_scratch(&mut self.dense, &mut self.touched)
     }
 }
 

@@ -1,7 +1,7 @@
 //! Incremental maintenance of an [`HgpaIndex`] under edge updates.
 //!
 //! The paper's index is static; its related work (§7 — incremental PPR
-//! [6], scheduled approximation over evolving graphs [49]) motivates
+//! \\[6\\], scheduled approximation over evolving graphs \\[49\\]) motivates
 //! dynamic support. The hierarchy makes exact maintenance *local*:
 //!
 //! * every precomputed vector of a subgraph `G` depends only on edges

@@ -129,6 +129,27 @@ impl SparseVector {
         }
     }
 
+    /// Sparsify a dense scratch filled by [`SparseVector::scatter_into`]:
+    /// sort/dedup `touched`, collect the non-zero entries, and reset both
+    /// scratches so the buffers can be reused for the next accumulation.
+    /// The one harvest shared by the coordinator sum, query sessions, and
+    /// the serving layer — keeping the zero-filtering semantics identical
+    /// across every path that must produce bit-identical vectors.
+    pub fn harvest_scratch(dense: &mut [f64], touched: &mut Vec<NodeId>) -> SparseVector {
+        touched.sort_unstable();
+        touched.dedup();
+        let mut entries = Vec::with_capacity(touched.len());
+        for &v in touched.iter() {
+            let x = dense[v as usize];
+            if x != 0.0 {
+                entries.push((v, x));
+            }
+            dense[v as usize] = 0.0;
+        }
+        touched.clear();
+        SparseVector { entries }
+    }
+
     /// Top-k entries by value, descending (ties by node id ascending) —
     /// the ranking the paper's Precision/Kendall metrics consume.
     pub fn top_k(&self, k: usize) -> Vec<(NodeId, f64)> {
@@ -136,6 +157,78 @@ impl SparseVector {
         v.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
         v.truncate(k);
         v
+    }
+
+    /// Top-k with a threshold-based early cut: identical output to
+    /// [`SparseVector::top_k`] in O(nnz + k·log k·log nnz) expected time
+    /// instead of a full O(nnz·log nnz) sort — the serving-path selection.
+    ///
+    /// A min-heap holds the best `k` entries seen so far under the ranking
+    /// "higher value wins, ties broken by smaller node id". Its root is the
+    /// running threshold: any later entry with a strictly smaller value —
+    /// or an equal value and a larger id — ranks below `k` entries already
+    /// held, and the held set only ever improves, so skipping it (the
+    /// one-comparison early cut that almost every entry takes) cannot
+    /// change the final set. The survivors are sorted with the same
+    /// comparator `top_k` uses, hence the results are equal element for
+    /// element; `topk_early_cut_equals_full_sort` in `tests/serving.rs`
+    /// pins this on proptest-generated graphs.
+    pub fn top_k_early_cut(&self, k: usize) -> Vec<(NodeId, f64)> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        if k == 0 {
+            return Vec::new();
+        }
+
+        /// Entry ordered so that "greater" means "ranks higher": larger
+        /// value first, then smaller node id. Values are compared with
+        /// the same IEEE `partial_cmp` `top_k` sorts with (so `-0.0`
+        /// ties `0.0` and falls to the id tiebreak; NaN panics in both
+        /// paths alike) — using `total_cmp` here would silently rank
+        /// `-0.0` below `0.0` and diverge from the full sort.
+        #[derive(PartialEq)]
+        struct Ranked(NodeId, f64);
+        impl Eq for Ranked {}
+        impl Ord for Ranked {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.1
+                    .partial_cmp(&other.1)
+                    .unwrap()
+                    .then(other.0.cmp(&self.0))
+            }
+        }
+        impl PartialOrd for Ranked {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let mut heap: BinaryHeap<Reverse<Ranked>> = BinaryHeap::with_capacity(k + 1);
+        let mut threshold = f64::NEG_INFINITY;
+        for &(id, v) in &self.entries {
+            if heap.len() == k {
+                // Early cut: strictly below the k-th best value, skip.
+                if v < threshold {
+                    continue;
+                }
+                // At the threshold value, only a smaller id can displace.
+                let worst = &heap.peek().unwrap().0;
+                if v == worst.1 && id > worst.0 {
+                    continue;
+                }
+                heap.pop();
+            }
+            heap.push(Reverse(Ranked(id, v)));
+            if heap.len() == k {
+                threshold = heap.peek().unwrap().0 .1;
+            }
+        }
+
+        let mut out: Vec<(NodeId, f64)> =
+            heap.into_iter().map(|Reverse(r)| (r.0, r.1)).collect();
+        out.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        out
     }
 
     /// Drop entries with `|value| <= threshold` (the HGPA_ad adaptation of
@@ -220,6 +313,34 @@ mod tests {
         let v = SparseVector::from_entries(vec![(0, 0.1), (1, 0.5), (2, 0.5), (3, 0.3)]);
         let top = v.top_k(3);
         assert_eq!(top, vec![(1, 0.5), (2, 0.5), (3, 0.3)]);
+    }
+
+    #[test]
+    fn top_k_early_cut_equals_full_sort() {
+        // Ties, duplicates, and every k including 0 and > nnz.
+        let v = SparseVector::from_entries(vec![
+            (0, 0.1),
+            (1, 0.5),
+            (2, 0.5),
+            (3, 0.3),
+            (4, 0.5),
+            (5, 0.05),
+            (6, 0.3),
+        ]);
+        for k in 0..=9 {
+            assert_eq!(v.top_k_early_cut(k), v.top_k(k), "k={k}");
+        }
+        assert_eq!(SparseVector::new().top_k_early_cut(3), vec![]);
+    }
+
+    #[test]
+    fn top_k_early_cut_treats_signed_zero_like_full_sort() {
+        // -0.0 == 0.0 under the sort's IEEE comparison: the id tiebreak
+        // must decide, identically in both selection paths.
+        let v = SparseVector::from_entries(vec![(2, -0.0), (3, 0.0), (5, 0.5)]);
+        for k in 0..=3 {
+            assert_eq!(v.top_k_early_cut(k), v.top_k(k), "k={k}");
+        }
     }
 
     #[test]

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! Accuracy metrics used in the paper's evaluation (§6.1, §6.2.6, §6.2.10).
 //!

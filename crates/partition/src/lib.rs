@@ -6,7 +6,7 @@
 //! partitioner:
 //!
 //! 1. **Balanced partitions with small edge cuts.** The paper uses METIS
-//!    [26]; this crate implements the same multilevel family from scratch:
+//!    \\[26\\]; this crate implements the same multilevel family from scratch:
 //!    heavy-edge-matching coarsening ([`coarsen`]), greedy-graph-growing
 //!    initial bisection ([`bisect`]), and boundary FM refinement
 //!    ([`refine`]), driven by [`multilevel`] and extended to k parts by

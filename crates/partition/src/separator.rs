@@ -20,7 +20,7 @@ pub enum CoverAlgorithm {
     /// Greedy max-degree cover.
     Greedy,
     /// Matching-based 2-approximation (Papadimitriou–Steiglitz, the paper's
-    /// reference [39]).
+    /// reference \\[39\\]).
     Matching,
 }
 

@@ -1,0 +1,323 @@
+//! Byte-accounted LRU cache for precomputed PPVs.
+//!
+//! The serving layer caches whole exact PPVs keyed by source node. Unlike
+//! a count-bounded LRU, capacity is accounted in *bytes* under the same
+//! serialization model the cluster uses for communication costs
+//! ([`SparseVector::wire_bytes`]) — PPV sizes vary by orders of magnitude
+//! between a leaf-locked source and a high-level hub, so an entry-count
+//! bound would make memory use unpredictable.
+//!
+//! The implementation is a classic intrusive doubly-linked recency list
+//! over a slab, with a `HashMap` from source node to slot: `get`, `insert`
+//! and eviction are all O(1) (amortized, modulo hashing).
+
+use ppr_core::SparseVector;
+use ppr_graph::NodeId;
+use std::collections::HashMap;
+
+/// Sentinel slot index for list ends.
+const NIL: usize = usize::MAX;
+
+/// One cached PPV plus its recency-list links.
+struct Slot {
+    key: NodeId,
+    value: SparseVector,
+    bytes: u64,
+    prev: usize,
+    next: usize,
+}
+
+/// Cumulative cache counters (monotone; never reset by eviction).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    /// Lookups that found the source's PPV resident.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries admitted.
+    pub insertions: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Entries rejected because they alone exceed the capacity.
+    pub oversized_rejections: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from cache (0 when none were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// LRU cache of exact PPVs with a byte-accounted capacity.
+pub struct PpvCache {
+    capacity_bytes: u64,
+    bytes: u64,
+    map: HashMap<NodeId, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    stats: CacheStats,
+}
+
+impl PpvCache {
+    /// Cache holding at most `capacity_bytes` of PPV data. Zero capacity
+    /// yields a cache that stores nothing (every lookup misses).
+    pub fn new(capacity_bytes: u64) -> Self {
+        Self {
+            capacity_bytes,
+            bytes: 0,
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Look up the PPV of `u`, marking it most recently used on a hit.
+    pub fn get(&mut self, u: NodeId) -> Option<&SparseVector> {
+        match self.map.get(&u).copied() {
+            Some(slot) => {
+                self.stats.hits += 1;
+                self.unlink(slot);
+                self.push_front(slot);
+                Some(&self.slots[slot].value)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Look up without touching recency or hit/miss counters (used when a
+    /// batch re-reads a source it already probed).
+    pub fn peek(&self, u: NodeId) -> Option<&SparseVector> {
+        self.map.get(&u).map(|&slot| &self.slots[slot].value)
+    }
+
+    /// Insert (or replace) the PPV of `u`, evicting least-recently-used
+    /// entries until it fits. A vector larger than the whole capacity is
+    /// rejected rather than flushing the cache for nothing.
+    pub fn insert(&mut self, u: NodeId, value: SparseVector) {
+        let bytes = value.wire_bytes();
+        if bytes > self.capacity_bytes {
+            self.stats.oversized_rejections += 1;
+            return;
+        }
+        if let Some(&slot) = self.map.get(&u) {
+            // Replace in place (e.g. after an index update invalidation).
+            self.bytes = self.bytes - self.slots[slot].bytes + bytes;
+            self.slots[slot].value = value;
+            self.slots[slot].bytes = bytes;
+            self.unlink(slot);
+            self.push_front(slot);
+        } else {
+            while self.bytes + bytes > self.capacity_bytes {
+                self.evict_lru();
+            }
+            let slot = self.alloc(Slot {
+                key: u,
+                value,
+                bytes,
+                prev: NIL,
+                next: NIL,
+            });
+            self.map.insert(u, slot);
+            self.bytes += bytes;
+            self.push_front(slot);
+            self.stats.insertions += 1;
+        }
+        // Replacement can also overflow; trim from the cold end either way.
+        while self.bytes > self.capacity_bytes {
+            self.evict_lru();
+        }
+    }
+
+    /// Drop every entry (the blunt invalidation for index rebuilds).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.bytes = 0;
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Bytes currently resident.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Configured capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn alloc(&mut self, slot: Slot) -> usize {
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = slot;
+                i
+            }
+            None => {
+                self.slots.push(slot);
+                self.slots.len() - 1
+            }
+        }
+    }
+
+    fn evict_lru(&mut self) {
+        let slot = self.tail;
+        assert_ne!(slot, NIL, "evict on empty cache — capacity accounting bug");
+        self.unlink(slot);
+        let key = self.slots[slot].key;
+        self.bytes -= self.slots[slot].bytes;
+        self.slots[slot].value = SparseVector::new();
+        self.map.remove(&key);
+        self.free.push(slot);
+        self.stats.evictions += 1;
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else if self.head == slot {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else if self.tail == slot {
+            self.tail = prev;
+        }
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = NIL;
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_of(id: NodeId, nnz: usize) -> SparseVector {
+        SparseVector::from_entries((0..nnz as NodeId).map(|v| (v, 0.1 + id as f64)).collect())
+    }
+
+    #[test]
+    fn hit_miss_and_recency() {
+        let mut c = PpvCache::new(10_000);
+        assert!(c.get(1).is_none());
+        c.insert(1, vec_of(1, 4));
+        c.insert(2, vec_of(2, 4));
+        assert_eq!(c.get(1).unwrap().get(0), 1.1);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 2));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evicts_lru_by_bytes() {
+        // Each 4-entry vector costs 8 + 4*12 = 56 bytes; room for two.
+        let mut c = PpvCache::new(120);
+        c.insert(1, vec_of(1, 4));
+        c.insert(2, vec_of(2, 4));
+        assert_eq!(c.len(), 2);
+        c.get(1); // 2 becomes LRU
+        c.insert(3, vec_of(3, 4));
+        assert_eq!(c.len(), 2);
+        assert!(c.peek(2).is_none(), "LRU entry should be evicted");
+        assert!(c.peek(1).is_some() && c.peek(3).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.bytes() <= c.capacity_bytes());
+    }
+
+    #[test]
+    fn oversized_entries_rejected() {
+        let mut c = PpvCache::new(60);
+        c.insert(1, vec_of(1, 4)); // 56 bytes: fits
+        c.insert(2, vec_of(2, 10)); // 128 bytes: can never fit
+        assert_eq!(c.stats().oversized_rejections, 1);
+        assert!(c.peek(1).is_some(), "rejection must not flush the cache");
+    }
+
+    #[test]
+    fn replace_updates_bytes() {
+        let mut c = PpvCache::new(1000);
+        c.insert(1, vec_of(1, 4));
+        let before = c.bytes();
+        c.insert(1, vec_of(1, 8));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.bytes(), before + 4 * 12);
+    }
+
+    #[test]
+    fn zero_capacity_stores_nothing() {
+        let mut c = PpvCache::new(0);
+        c.insert(1, vec_of(1, 1));
+        assert!(c.is_empty());
+        assert!(c.get(1).is_none());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = PpvCache::new(1000);
+        c.insert(1, vec_of(1, 4));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.bytes(), 0);
+        c.insert(2, vec_of(2, 4));
+        assert_eq!(c.get(2).unwrap().nnz(), 4);
+    }
+
+    #[test]
+    fn many_inserts_stay_consistent() {
+        let mut c = PpvCache::new(2_000);
+        for i in 0..200u32 {
+            c.insert(i, vec_of(i, 1 + (i % 7) as usize));
+            assert!(c.bytes() <= c.capacity_bytes());
+            // Every resident key must resolve and round-trip.
+            assert!(c.peek(i).is_some());
+        }
+        assert!(c.stats().evictions > 0);
+        let resident: Vec<NodeId> = c.map.keys().copied().collect();
+        for k in resident {
+            assert!(c.get(k).is_some());
+        }
+    }
+}

@@ -1,0 +1,36 @@
+#![deny(missing_docs)]
+
+//! Query-serving subsystem for the exact-PPR indexes.
+//!
+//! The paper's GPA (§3) and HGPA (§4) indexes exist to *serve* exact PPV
+//! queries at scale, but on their own they answer one query per cluster
+//! fan-out round. This crate adds the serving layer the ROADMAP's "heavy
+//! traffic" north star asks for, without giving up exactness anywhere:
+//!
+//! * **Request batching** ([`PprServer::run_batch`]) — the distinct
+//!   source nodes of a whole batch (single-source, preference-set, and
+//!   top-k requests alike) are answered in *one* fan-out round via
+//!   [`ppr_cluster::Cluster::query_many`], amortizing round latency and
+//!   per-machine scratch allocations; per-request answers are then
+//!   assembled by Jeh–Widom linearity (Eq. 5/7), which is exact.
+//! * **A byte-accounted LRU PPV cache** ([`cache::PpvCache`]) — full
+//!   exact PPVs keyed by source node, sized in the same wire-byte units
+//!   the cluster's communication accounting uses. Repeated and
+//!   *overlapping* queries (preference sets sharing members, top-k over a
+//!   hot source) skip recomputation entirely; cached answers are
+//!   bit-identical to fresh ones because whole untruncated vectors are
+//!   stored.
+//! * **Exact top-k** ([`Request::TopK`]) — selection by a threshold
+//!   early-cut ([`ppr_core::SparseVector::top_k_early_cut`]) that returns
+//!   exactly the full-sort top-k, proven in its docs and pinned by
+//!   proptest in `tests/serving.rs`.
+//!
+//! The `repro serve` mode in `ppr-bench` drives a Zipf-skewed query
+//! stream through this server and reports throughput, p50/p99 latency,
+//! and cache hit rate; `docs/ARCHITECTURE.md` has the data-flow picture.
+
+pub mod cache;
+pub mod server;
+
+pub use cache::{CacheStats, PpvCache};
+pub use server::{BatchOutcome, PprServer, Request, Response, ServeConfig, ServeStats};

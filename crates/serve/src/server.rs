@@ -1,0 +1,371 @@
+//! The serving front-end: request batching over one cluster fan-out.
+//!
+//! [`PprServer`] sits between clients and a [`DistributedQueryable`]
+//! index. Per batch it:
+//!
+//! 1. collects the *distinct* source nodes the batch's requests need
+//!    (a preference-set query needs one source per member — linearity,
+//!    Eq. 5/7, lets every answer be assembled from per-source PPVs);
+//! 2. serves sources resident in the LRU PPV cache without recomputation;
+//! 3. answers all remaining sources in **one** cluster fan-out round
+//!    ([`Cluster::query_many`]), so the round latency and per-machine
+//!    scratch allocations amortize across the batch, then caches them;
+//! 4. assembles each request's response from the per-source exact PPVs —
+//!    weighted dense accumulation for preference sets, the threshold
+//!    early-cut selection for top-k.
+//!
+//! Every path returns *exact* answers: the cache stores full exact PPVs
+//! (never truncated), linearity recombination is the same Jeh–Widom
+//! theorem the index itself uses, and the top-k early cut provably equals
+//! the full sort (see [`SparseVector::top_k_early_cut`]).
+
+use crate::cache::{CacheStats, PpvCache};
+use ppr_cluster::{Cluster, ClusterConfig, DistributedQueryable, NetworkModel};
+use ppr_core::SparseVector;
+use ppr_graph::NodeId;
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// Serving knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// PPV cache capacity in bytes ([`SparseVector::wire_bytes`]
+    /// accounting). Zero disables caching entirely.
+    pub cache_capacity_bytes: u64,
+    /// Maximum requests coalesced into one fan-out round by
+    /// [`PprServer::serve`]. [`PprServer::run_batch`] trusts the caller.
+    pub max_batch: usize,
+    /// Network model for the modeled wire time of each round.
+    pub network: NetworkModel,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            cache_capacity_bytes: 64 << 20, // 64 MiB
+            max_batch: 32,
+            network: NetworkModel::default(),
+        }
+    }
+}
+
+/// One client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Full exact PPV of a single source (the paper's basic query).
+    Ppv(NodeId),
+    /// Exact PPV of a weighted preference set `P` (§1; Jeh–Widom
+    /// linearity). Weights are used as given — callers normalize.
+    Preference(Vec<(NodeId, f64)>),
+    /// The k highest-scoring nodes of the source's exact PPV — PPR's
+    /// search/recommendation shape (§7's top-k PPR problem).
+    TopK {
+        /// Source node.
+        source: NodeId,
+        /// Number of results.
+        k: usize,
+    },
+}
+
+impl Request {
+    /// Source nodes this request needs PPVs for.
+    fn sources(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let slice: Vec<NodeId> = match self {
+            Request::Ppv(u) | Request::TopK { source: u, .. } => vec![*u],
+            Request::Preference(p) => p.iter().map(|&(u, _)| u).collect(),
+        };
+        slice.into_iter()
+    }
+}
+
+/// One response, parallel to its [`Request`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Exact PPV (for [`Request::Ppv`] and [`Request::Preference`]).
+    Ppv(SparseVector),
+    /// Exact top-k list, value-descending (ties by node id ascending).
+    TopK(Vec<(NodeId, f64)>),
+}
+
+impl Response {
+    /// The PPV payload, or `None` for a top-k response.
+    pub fn as_ppv(&self) -> Option<&SparseVector> {
+        match self {
+            Response::Ppv(v) => Some(v),
+            Response::TopK(_) => None,
+        }
+    }
+
+    /// The top-k payload, or `None` for a PPV response.
+    pub fn as_top_k(&self) -> Option<&[(NodeId, f64)]> {
+        match self {
+            Response::TopK(t) => Some(t),
+            Response::Ppv(_) => None,
+        }
+    }
+}
+
+/// What one batch cost.
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    /// Responses, parallel to the submitted requests.
+    pub responses: Vec<Response>,
+    /// Distinct sources served from cache.
+    pub cached_sources: usize,
+    /// Distinct sources computed fresh this batch (0 ⇒ no fan-out round).
+    pub fresh_sources: usize,
+    /// Real wall-clock seconds spent serving the batch.
+    pub seconds: f64,
+    /// Modeled wire time of the batch's fan-out round (0 without one).
+    pub modeled_network_seconds: f64,
+    /// Bytes shipped machine → coordinator in the round (0 without one).
+    pub round_bytes: u64,
+}
+
+/// Cumulative serving counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeStats {
+    /// Requests answered.
+    pub requests: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Cluster fan-out rounds executed (batches fully served from cache
+    /// need none).
+    pub rounds: u64,
+    /// Distinct sources computed fresh.
+    pub fresh_sources: u64,
+    /// Distinct sources served from cache.
+    pub cached_sources: u64,
+    /// Real wall-clock seconds spent inside `run_batch`.
+    pub busy_seconds: f64,
+    /// Modeled wire seconds across all rounds.
+    pub modeled_network_seconds: f64,
+    /// Bytes shipped machine → coordinator across all rounds.
+    pub round_bytes: u64,
+}
+
+impl ServeStats {
+    /// Fraction of per-batch distinct source lookups served from cache.
+    pub fn source_hit_rate(&self) -> f64 {
+        let total = self.cached_sources + self.fresh_sources;
+        if total == 0 {
+            0.0
+        } else {
+            self.cached_sources as f64 / total as f64
+        }
+    }
+}
+
+/// A serving front-end over one distributed PPR index.
+///
+/// ```
+/// use ppr_core::hgpa::{HgpaBuildOptions, HgpaIndex};
+/// use ppr_core::PprConfig;
+/// use ppr_graph::generators::{hierarchical_sbm, HsbmConfig};
+/// use ppr_serve::{PprServer, Request, ServeConfig};
+///
+/// let graph = hierarchical_sbm(&HsbmConfig { nodes: 200, ..Default::default() }, 9);
+/// let cfg = PprConfig { epsilon: 1e-7, ..Default::default() };
+/// let index = HgpaIndex::build(&graph, &cfg, &HgpaBuildOptions::default());
+/// let mut server = PprServer::new(&index, ServeConfig::default());
+///
+/// let cold = server.query(5); // computed via one fan-out round
+/// let warm = server.query(5); // served from cache, bit-identical
+/// assert_eq!(cold, warm);
+/// assert_eq!(server.top_k(5, 3), cold.top_k(3)); // also a cache hit
+/// assert_eq!(server.stats().cached_sources, 2);
+/// assert_eq!(server.stats().fresh_sources, 1);
+/// ```
+pub struct PprServer<'i, I: DistributedQueryable> {
+    index: &'i I,
+    cluster: Cluster,
+    cache: PpvCache,
+    config: ServeConfig,
+    stats: ServeStats,
+}
+
+impl<'i, I: DistributedQueryable> PprServer<'i, I> {
+    /// Serve queries from `index` under `config`.
+    pub fn new(index: &'i I, config: ServeConfig) -> Self {
+        Self {
+            index,
+            cluster: Cluster::new(ClusterConfig {
+                machines: index.machines(),
+                network: config.network,
+            }),
+            cache: PpvCache::new(config.cache_capacity_bytes),
+            config,
+            stats: ServeStats::default(),
+        }
+    }
+
+    /// Answer a request stream, coalescing up to `max_batch` requests per
+    /// fan-out round. Responses come back in request order.
+    pub fn serve(&mut self, requests: &[Request]) -> Vec<Response> {
+        let chunk = self.config.max_batch.max(1);
+        let mut out = Vec::with_capacity(requests.len());
+        for batch in requests.chunks(chunk) {
+            out.extend(self.run_batch(batch).responses);
+        }
+        out
+    }
+
+    /// Execute one batch in (at most) one cluster fan-out round.
+    pub fn run_batch(&mut self, requests: &[Request]) -> BatchOutcome {
+        let t0 = Instant::now();
+
+        // Distinct sources, first-appearance order. Probe the cache once
+        // per distinct source so recency and hit accounting are per batch,
+        // not per duplicate.
+        let mut missing: Vec<NodeId> = Vec::new();
+        let mut probed: HashSet<NodeId> = HashSet::new();
+        for req in requests {
+            for u in req.sources() {
+                if probed.insert(u) && self.cache.get(u).is_none() {
+                    missing.push(u);
+                }
+            }
+        }
+        let cached_sources = probed.len() - missing.len();
+
+        // One fan-out round answers every missing source (Eq. 5/7: each
+        // machine ships one reply vector per source; sums are exact PPVs).
+        // Fresh PPVs are admitted to the cache only *after* assembly —
+        // inserting first could evict a resident entry that another
+        // request in this very batch probed successfully.
+        let mut fresh: HashMap<NodeId, SparseVector> = HashMap::new();
+        let mut modeled_network_seconds = 0.0;
+        let mut round_bytes = 0;
+        if !missing.is_empty() {
+            let round = self.cluster.query_many(self.index, &missing);
+            modeled_network_seconds = round.modeled_network_seconds;
+            round_bytes = round.total_bytes();
+            self.stats.rounds += 1;
+            for (u, ppv) in missing.iter().copied().zip(round.results) {
+                fresh.insert(u, ppv);
+            }
+        }
+
+        // Assemble responses from the per-source exact PPVs. Lookups
+        // borrow (only `Ppv` responses clone, to hand the vector out);
+        // preference requests share one dense scratch across the batch.
+        fn resolve<'a>(
+            fresh: &'a HashMap<NodeId, SparseVector>,
+            cache: &'a PpvCache,
+            u: NodeId,
+        ) -> &'a SparseVector {
+            fresh
+                .get(&u)
+                .or_else(|| cache.peek(u))
+                .expect("source resolved earlier in the batch")
+        }
+        let mut dense: Vec<f64> = Vec::new(); // sized lazily, reused per batch
+        let mut touched: Vec<NodeId> = Vec::new();
+        let mut responses = Vec::with_capacity(requests.len());
+        for req in requests {
+            responses.push(match req {
+                Request::Ppv(u) => Response::Ppv(resolve(&fresh, &self.cache, *u).clone()),
+                Request::TopK { source, k } => {
+                    Response::TopK(resolve(&fresh, &self.cache, *source).top_k_early_cut(*k))
+                }
+                Request::Preference(pref) => {
+                    if dense.is_empty() {
+                        dense = vec![0.0; self.index.node_count()];
+                    }
+                    for &(u, w) in pref {
+                        resolve(&fresh, &self.cache, u).scatter_into(
+                            &mut dense,
+                            &mut touched,
+                            w,
+                        );
+                    }
+                    Response::Ppv(SparseVector::harvest_scratch(&mut dense, &mut touched))
+                }
+            });
+        }
+
+        // Admit the round's PPVs in batch order (deterministic recency).
+        if self.config.cache_capacity_bytes > 0 {
+            for &u in &missing {
+                if let Some(ppv) = fresh.remove(&u) {
+                    self.cache.insert(u, ppv);
+                }
+            }
+        }
+
+        let seconds = t0.elapsed().as_secs_f64();
+        self.stats.requests += requests.len() as u64;
+        self.stats.batches += 1;
+        self.stats.fresh_sources += missing.len() as u64;
+        self.stats.cached_sources += cached_sources as u64;
+        self.stats.busy_seconds += seconds;
+        self.stats.modeled_network_seconds += modeled_network_seconds;
+        self.stats.round_bytes += round_bytes;
+
+        BatchOutcome {
+            responses,
+            cached_sources,
+            fresh_sources: missing.len(),
+            seconds,
+            modeled_network_seconds,
+            round_bytes,
+        }
+    }
+
+    /// Single-request convenience: exact PPV of `u`.
+    pub fn query(&mut self, u: NodeId) -> SparseVector {
+        match self.run_batch(&[Request::Ppv(u)]).responses.pop() {
+            Some(Response::Ppv(v)) => v,
+            _ => unreachable!("Ppv request yields Ppv response"),
+        }
+    }
+
+    /// Single-request convenience: exact preference-set PPV.
+    pub fn query_preference(&mut self, preference: &[(NodeId, f64)]) -> SparseVector {
+        let req = Request::Preference(preference.to_vec());
+        match self.run_batch(&[req]).responses.pop() {
+            Some(Response::Ppv(v)) => v,
+            _ => unreachable!("Preference request yields Ppv response"),
+        }
+    }
+
+    /// Single-request convenience: exact top-k of `u`'s PPV.
+    pub fn top_k(&mut self, u: NodeId, k: usize) -> Vec<(NodeId, f64)> {
+        let req = Request::TopK { source: u, k };
+        match self.run_batch(&[req]).responses.pop() {
+            Some(Response::TopK(t)) => t,
+            _ => unreachable!("TopK request yields TopK response"),
+        }
+    }
+
+    /// Cumulative serving counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Cumulative cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Bytes currently resident in the PPV cache.
+    pub fn cache_bytes(&self) -> u64 {
+        self.cache.bytes()
+    }
+
+    /// Resident cache entries.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drop every cached PPV (call after mutating the underlying index,
+    /// e.g. via `ppr-core`'s incremental updater).
+    pub fn invalidate_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+}

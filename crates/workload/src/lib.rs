@@ -202,6 +202,74 @@ impl Dataset {
     }
 }
 
+/// Zipf-skewed query stream for the serving workload.
+///
+/// The paper's experiments query uniformly random nodes (§6.1); a serving
+/// system instead sees heavy-tailed popularity — search and
+/// recommendation traffic concentrates on a small set of hot entities.
+/// This stream ranks the graph's queryable nodes (out-degree > 0) by
+/// out-degree descending (popular content is usually well-connected) and
+/// samples rank `r` with probability ∝ 1/(r+1)^s. Exponent `s = 0` is
+/// uniform; `s ≈ 1` is classic web/query skew; larger `s` concentrates
+/// harder and makes caches hotter.
+///
+/// Sampling is by binary search over the precomputed CDF — O(log n) per
+/// query — and fully deterministic for a given `(graph, exponent, seed)`.
+pub struct ZipfQueryStream {
+    nodes: Vec<NodeId>,
+    cdf: Vec<f64>,
+    rng: StdRng,
+}
+
+impl ZipfQueryStream {
+    /// Build a stream over `g`'s queryable nodes. Panics if the graph has
+    /// no node with out-edges or if `exponent` is negative/non-finite.
+    pub fn new(g: &CsrGraph, exponent: f64, seed: u64) -> Self {
+        assert!(
+            exponent >= 0.0 && exponent.is_finite(),
+            "Zipf exponent must be finite and non-negative, got {exponent}"
+        );
+        let mut nodes: Vec<NodeId> = (0..g.node_count() as NodeId)
+            .filter(|&v| g.out_degree(v) > 0)
+            .collect();
+        assert!(!nodes.is_empty(), "graph has no queryable node");
+        // Popularity rank: out-degree descending, ties by id for
+        // determinism.
+        nodes.sort_unstable_by(|&a, &b| {
+            g.out_degree(b).cmp(&g.out_degree(a)).then(a.cmp(&b))
+        });
+        let mut cdf = Vec::with_capacity(nodes.len());
+        let mut acc = 0.0f64;
+        for rank in 0..nodes.len() {
+            acc += 1.0 / ((rank + 1) as f64).powf(exponent);
+            cdf.push(acc);
+        }
+        Self {
+            nodes,
+            cdf,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of distinct queryable nodes.
+    pub fn support(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Draw the next query source.
+    pub fn next_query(&mut self) -> NodeId {
+        let total = *self.cdf.last().expect("non-empty support");
+        let x = self.rng.random_range(0.0..total);
+        let rank = self.cdf.partition_point(|&c| c <= x);
+        self.nodes[rank.min(self.nodes.len() - 1)]
+    }
+
+    /// Draw `count` query sources.
+    pub fn take(&mut self, count: usize) -> Vec<NodeId> {
+        (0..count).map(|_| self.next_query()).collect()
+    }
+}
+
 /// Random query workload: `count` distinct nodes with at least one
 /// out-edge (the paper queries 1000 random nodes per graph, §6.1).
 pub fn query_nodes(g: &CsrGraph, count: usize, seed: u64) -> Vec<NodeId> {
@@ -278,5 +346,58 @@ mod tests {
     fn custom_node_count() {
         let g = Dataset::Web.generate_with_nodes(800);
         assert_eq!(g.node_count(), 800);
+    }
+
+    #[test]
+    fn zipf_stream_is_deterministic_and_valid() {
+        let g = Dataset::Email.generate_with_nodes(600);
+        let a = ZipfQueryStream::new(&g, 1.1, 5).take(200);
+        let b = ZipfQueryStream::new(&g, 1.1, 5).take(200);
+        assert_eq!(a, b);
+        for &q in &a {
+            assert!(g.out_degree(q) > 0);
+        }
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_on_head() {
+        let g = Dataset::Email.generate_with_nodes(600);
+        let count_head = |qs: &[NodeId], head: &NodeId| {
+            qs.iter().filter(|q| *q == head).count()
+        };
+        let mut skewed = ZipfQueryStream::new(&g, 1.3, 9);
+        let head = {
+            // Rank-0 node = max out-degree.
+            let mut best = 0u32;
+            for v in 0..g.node_count() as NodeId {
+                if g.out_degree(v) > g.out_degree(best) {
+                    best = v;
+                }
+            }
+            best
+        };
+        let qs_skewed = skewed.take(3000);
+        let qs_uniform = ZipfQueryStream::new(&g, 0.0, 9).take(3000);
+        let hot = count_head(&qs_skewed, &head);
+        let flat = count_head(&qs_uniform, &head);
+        assert!(
+            hot > 10 * flat.max(1),
+            "skewed head count {hot} should dwarf uniform {flat}"
+        );
+    }
+
+    #[test]
+    fn zipf_uniform_touches_many_nodes() {
+        let g = Dataset::Email.generate_with_nodes(600);
+        let qs = ZipfQueryStream::new(&g, 0.0, 3).take(2000);
+        let distinct: std::collections::HashSet<_> = qs.iter().collect();
+        assert!(distinct.len() > 300, "only {} distinct", distinct.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn zipf_rejects_negative_exponent() {
+        let g = Dataset::Email.generate_with_nodes(300);
+        ZipfQueryStream::new(&g, -1.0, 0);
     }
 }

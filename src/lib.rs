@@ -15,6 +15,8 @@
 //!   indexes.
 //! * [`cluster`] — a simulated coordinator-based share-nothing cluster with
 //!   byte-accurate communication accounting.
+//! * [`serve`] — the query-serving layer: request batching, a
+//!   byte-accounted LRU PPV cache, and exact top-k over either index.
 //! * [`baselines`] — Pregel-like and Blogel-like BSP engines, a
 //!   FastPPV-style approximate method, and a Monte Carlo estimator.
 //! * [`metrics`] — L1/L∞ norms, Precision@k, RAG@k, Kendall's τ.
@@ -41,6 +43,7 @@ pub use ppr_core as core;
 pub use ppr_graph as graph;
 pub use ppr_metrics as metrics;
 pub use ppr_partition as partition;
+pub use ppr_serve as serve;
 pub use ppr_workload as workload;
 
 /// Convenient glob import surface for examples and downstream users.
@@ -63,5 +66,6 @@ pub mod prelude {
         Adjacency, CsrGraph, GraphBuilder, NodeId,
     };
     pub use ppr_metrics::{avg_l1, kendall_tau_top_k, l_inf, precision_at_k, rag_at_k};
-    pub use ppr_workload::{Dataset, DatasetSpec};
+    pub use ppr_serve::{PprServer, Request, Response, ServeConfig};
+    pub use ppr_workload::{Dataset, DatasetSpec, ZipfQueryStream};
 }

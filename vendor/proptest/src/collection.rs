@@ -13,7 +13,7 @@ where
     VecStrategy { element, size }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 pub struct VecStrategy<S, L> {
     element: S,
     size: L,
