@@ -21,7 +21,8 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("fig28", "Figure 28: PLD_full processor sweep"),
     (
         "serve",
-        "Serving scenario: Zipf stream -> batching + PPV cache + top-k (PPR_SERVE_* env knobs)",
+        "Serving scenario: Zipf stream -> batching + PPV cache + top-k, then an open-loop \
+         dynamic phase with edge updates + queueing delay (PPR_SERVE_* env knobs)",
     ),
 ];
 

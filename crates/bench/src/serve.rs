@@ -6,12 +6,24 @@
 //! indexes the paper only evaluates one query at a time. A no-cache HGPA
 //! row isolates what the PPV cache buys.
 //!
+//! A second, **open-loop** phase then serves a *dynamic* workload: a
+//! mixed read/write stream (Zipf queries interleaved with edge-update
+//! batches) arrives Poisson-style on a virtual clock at a configurable
+//! rate, driving a [`ppr_serve::DynamicPprServer`] that maintains the
+//! index incrementally and invalidates the PPV cache fine-grained. Its
+//! report adds what the closed loop cannot see: queueing delay — p50/p99
+//! *sojourn* time (arrival → completion) against p50/p99 *service* time.
+//!
 //! Knobs (environment variables, all optional):
 //!
 //! * `PPR_SERVE_QUERIES` — total requests (default `50 × profile.queries`)
 //! * `PPR_SERVE_BATCH`   — requests coalesced per fan-out round (16)
 //! * `PPR_SERVE_ZIPF`    — Zipf exponent of the stream (1.1; 0 = uniform)
 //! * `PPR_SERVE_CACHE_KB` — PPV cache capacity in KiB (16384)
+//! * `PPR_SERVE_UPDATE_RATE` — open-loop: probability an event is an
+//!   edge-update batch rather than a query (0.02)
+//! * `PPR_SERVE_ARRIVAL_QPS` — open-loop: mean Poisson arrival rate in
+//!   events per virtual second (600); 0 skips the open-loop phase
 
 use crate::report::{fmt_bytes, Table};
 use crate::{dataset_graph, default_hgpa_opts, Profile};
@@ -20,8 +32,11 @@ use ppr_core::gpa::{GpaBuildOptions, GpaIndex};
 use ppr_core::hgpa::HgpaIndex;
 use ppr_core::PprConfig;
 use ppr_graph::CsrGraph;
-use ppr_serve::{PprServer, Request, ServeConfig};
-use ppr_workload::{Dataset, ZipfQueryStream};
+use ppr_serve::{
+    run_open_loop, DynamicPprServer, OpenLoopConfig, OpenLoopReport, PprServer, Request,
+    ServeConfig, ServeEvent, ServiceModel,
+};
+use ppr_workload::{Dataset, MixedEvent, MixedStream, MixedStreamConfig, ZipfQueryStream};
 
 /// Load-generator parameters (env-overridable; see module docs).
 #[derive(Clone, Copy, Debug)]
@@ -34,6 +49,11 @@ pub struct ServeKnobs {
     pub zipf: f64,
     /// PPV cache capacity in bytes.
     pub cache_bytes: u64,
+    /// Open-loop phase: probability an event is an update batch.
+    pub update_rate: f64,
+    /// Open-loop phase: mean arrival rate (events per virtual second);
+    /// zero disables the phase.
+    pub arrival_qps: f64,
 }
 
 impl ServeKnobs {
@@ -51,6 +71,8 @@ impl ServeKnobs {
             batch: env_usize("PPR_SERVE_BATCH", 16),
             zipf: env_f64("PPR_SERVE_ZIPF", 1.1),
             cache_bytes: env_usize("PPR_SERVE_CACHE_KB", 16 * 1024) as u64 * 1024,
+            update_rate: env_f64("PPR_SERVE_UPDATE_RATE", 0.02),
+            arrival_qps: env_f64("PPR_SERVE_ARRIVAL_QPS", 600.0),
         }
     }
 }
@@ -105,6 +127,64 @@ pub fn request_mix(stream: &mut ZipfQueryStream, count: usize) -> Vec<Request> {
             _ => Request::Ppv(stream.next_query()),
         })
         .collect()
+}
+
+/// Turn a mixed read/write stream into open-loop serve events, applying
+/// the same request-shape mix as [`request_mix`] to the query side
+/// (deterministic given the stream).
+pub fn mixed_events(stream: &mut MixedStream, count: usize) -> Vec<ServeEvent> {
+    let mut query_no = 0usize;
+    (0..count)
+        .map(|_| match stream.next_event() {
+            MixedEvent::Update(batch) => ServeEvent::Update(batch),
+            MixedEvent::Query(u) => {
+                query_no += 1;
+                ServeEvent::Query(match query_no % 10 {
+                    3 => Request::Preference(vec![(u, 0.6), (u / 2, 0.4)]),
+                    7 => Request::TopK { source: u, k: 20 },
+                    _ => Request::Ppv(u),
+                })
+            }
+        })
+        .collect()
+}
+
+/// Run the open-loop dynamic phase: Poisson arrivals of the mixed
+/// read/write stream against a [`DynamicPprServer`] over `graph`.
+pub fn measure_open_loop(
+    graph: &CsrGraph,
+    index: HgpaIndex,
+    knobs: &ServeKnobs,
+    service: ServiceModel,
+) -> OpenLoopReport {
+    let mut stream = MixedStream::new(
+        graph,
+        MixedStreamConfig {
+            update_rate: knobs.update_rate,
+            zipf_exponent: knobs.zipf,
+            ..Default::default()
+        },
+        0xD1CE,
+    );
+    let events = mixed_events(&mut stream, knobs.queries);
+    let mut server = DynamicPprServer::from_index(
+        graph.clone(),
+        index,
+        ServeConfig {
+            cache_capacity_bytes: knobs.cache_bytes,
+            max_batch: knobs.batch,
+            ..Default::default()
+        },
+    );
+    run_open_loop(
+        &mut server,
+        &events,
+        &OpenLoopConfig {
+            arrival_rate: knobs.arrival_qps,
+            seed: 0xBEA7,
+            service,
+        },
+    )
 }
 
 /// Drive `requests` through a fresh server over `index`; per-request
@@ -222,6 +302,45 @@ pub fn run(profile: &Profile) {
         cached.throughput_qps / uncached.throughput_qps.max(1e-12),
         uncached.round_bytes as f64 / cached.round_bytes.max(1) as f64,
     );
+
+    if knobs.arrival_qps > 0.0 {
+        let report = measure_open_loop(&g, hgpa, &knobs, ServiceModel::Measured);
+        let mut t = Table::new(
+            format!(
+                "Open loop (dynamic HGPA): Poisson {} ev/s, update rate {}, {} events",
+                knobs.arrival_qps, knobs.update_rate, knobs.queries,
+            ),
+            &[
+                "queries",
+                "updates",
+                "achieved",
+                "p50 sojourn",
+                "p99 sojourn",
+                "p50 service",
+                "p99 service",
+                "mean wait",
+                "max queue",
+                "hit-rate",
+            ],
+        );
+        t.row(vec![
+            report.queries.to_string(),
+            report.update_batches.to_string(),
+            format!("{:.0} q/s", report.achieved_qps),
+            format!("{:.2} ms", report.p50_sojourn_ms),
+            format!("{:.2} ms", report.p99_sojourn_ms),
+            format!("{:.2} ms", report.p50_service_ms),
+            format!("{:.2} ms", report.p99_service_ms),
+            format!("{:.2} ms", report.mean_wait_ms),
+            report.max_queue_depth.to_string(),
+            format!("{:.0}%", report.hit_rate * 100.0),
+        ]);
+        t.print();
+        println!(
+            "invalidation: {} cache entries evicted, {} retained across updates",
+            report.entries_evicted, report.entries_retained,
+        );
+    }
 }
 
 #[cfg(test)]
@@ -234,6 +353,8 @@ mod tests {
             batch: 8,
             zipf: 1.2,
             cache_bytes: 8 << 20,
+            update_rate: 0.1,
+            arrival_qps: 400.0,
         }
     }
 
@@ -279,6 +400,29 @@ mod tests {
         assert!(with_cache.fresh_sources < without.fresh_sources);
         assert!(with_cache.round_bytes < without.round_bytes);
         assert_eq!(without.hit_rate, 0.0);
+    }
+
+    #[test]
+    fn open_loop_phase_reports_sane_numbers() {
+        let profile = Profile {
+            node_cap: Some(900),
+            queries: 4,
+            ..Profile::quick()
+        };
+        let g = dataset_graph(Dataset::Web, &profile);
+        let idx = HgpaIndex::build(&g, &PprConfig::default(), &default_hgpa_opts(4));
+        let knobs = tiny_knobs();
+        // The deterministic service model keeps this test reproducible.
+        let r = measure_open_loop(&g, idx, &knobs, ServiceModel::modeled_default());
+        assert_eq!(r.queries + r.update_batches, knobs.queries);
+        assert!(r.update_batches > 0, "update rate 0.1 must fire");
+        assert!(r.p99_sojourn_ms >= r.p50_sojourn_ms);
+        assert!(r.p50_sojourn_ms >= r.p50_service_ms);
+        assert!(r.achieved_qps > 0.0);
+        assert!(
+            r.entries_retained > 0,
+            "fine-grained invalidation should retain entries across updates"
+        );
     }
 
     #[test]

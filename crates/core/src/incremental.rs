@@ -39,6 +39,29 @@ pub struct UpdateStats {
     pub promoted_hubs: Vec<NodeId>,
     /// Vectors recomputed (bases + skeleton columns).
     pub vectors_recomputed: usize,
+    /// Arena indices of the subgraphs that were recomputed, ascending.
+    pub dirty_subgraphs: Vec<usize>,
+    /// The **touched node set**: endpoints of every changed edge plus all
+    /// promoted hubs, sorted and deduplicated.
+    ///
+    /// This is the anchor of the serving layer's conservative cache
+    /// staleness predicate: a source `s`'s PPV — and, bit for bit, its
+    /// reconstruction from this index — can only change if `s` can reach a
+    /// touched node. A walk from `s` is affected only by rewritten
+    /// transition rows, i.e. rows of changed-edge sources (insertion and
+    /// removal both change the source's out-degree denominator), and
+    /// reachability *to* those rows is itself invariant under the batch
+    /// (a path first using a changed edge `(u, v)` must already have
+    /// reached `u` by unchanged edges). Promotion restructures the
+    /// hierarchy around an inserted edge's endpoint; any reconstruction
+    /// term it perturbs carries a skeleton coefficient that is non-zero
+    /// only for sources reaching the promoted node, so it is covered by
+    /// the same predicate. Note this is deliberately *not* the union of
+    /// the recomputed subgraphs' member sets: every update dirties the
+    /// edge source's whole root-to-home chain, whose top is the root
+    /// subgraph containing all nodes — recomputation there is a bitwise
+    /// no-op for every vector whose owner cannot reach a touched node.
+    pub dirty_nodes: Vec<NodeId>,
 }
 
 impl HgpaIndex {
@@ -60,8 +83,11 @@ impl HgpaIndex {
         );
         let mut stats = UpdateStats::default();
         let mut dirty: BTreeSet<usize> = BTreeSet::new();
+        let mut touched: BTreeSet<NodeId> = BTreeSet::new();
 
         for &(u, v) in changed_edges {
+            touched.insert(u);
+            touched.insert(v);
             // Everything on the *source's* root-to-home path is
             // invalidated: the edge lives inside the common chain, and —
             // crucially — `u`'s out-degree changed, which is the
@@ -100,7 +126,10 @@ impl HgpaIndex {
         for sg in dirty {
             stats.subgraphs_recomputed += 1;
             stats.vectors_recomputed += self.recompute_subgraph(g_new, sg);
+            stats.dirty_subgraphs.push(sg);
         }
+        touched.extend(stats.promoted_hubs.iter().copied());
+        stats.dirty_nodes = touched.into_iter().collect();
         stats
     }
 
@@ -396,6 +425,53 @@ mod tests {
             stats.subgraphs_recomputed
         );
         let _ = full_vectors;
+    }
+
+    #[test]
+    fn stats_report_dirty_sets() {
+        let g = base_graph(200, 5);
+        let mut idx = HgpaIndex::build(&g, &tight(), &opts());
+        let leaf = idx
+            .hierarchy()
+            .leaves()
+            .find(|&l| idx.hierarchy().nodes[l].members.len() >= 2)
+            .unwrap();
+        let (a, b) = {
+            let m = &idx.hierarchy().nodes[leaf].members;
+            (m[0], m[1])
+        };
+        let g2 = with_edges(&g, &[(a, b)], &[]);
+        let stats = idx.apply_edge_updates(&g2, &[(a, b)]);
+        // Touched set = the changed edge's endpoints (no promotion here).
+        assert_eq!(stats.dirty_nodes, {
+            let mut e = vec![a, b];
+            e.sort_unstable();
+            e
+        });
+        assert_eq!(stats.dirty_subgraphs.len(), stats.subgraphs_recomputed);
+        assert!(stats.dirty_subgraphs.windows(2).all(|w| w[0] < w[1]));
+        assert!(stats.dirty_subgraphs.contains(&leaf));
+    }
+
+    #[test]
+    fn promoted_hubs_join_dirty_nodes() {
+        let g = base_graph(250, 9);
+        let mut idx = HgpaIndex::build(&g, &tight(), &opts());
+        let root = idx.hierarchy().root();
+        let children = idx.hierarchy().nodes[root].children.clone();
+        let pick = |c: usize| {
+            idx.hierarchy().nodes[c]
+                .members
+                .iter()
+                .copied()
+                .find(|&v| idx.hierarchy().hub_level[v as usize].is_none())
+                .expect("non-hub member")
+        };
+        let (a, b) = (pick(children[0]), pick(children[1]));
+        let g2 = with_edges(&g, &[(a, b)], &[]);
+        let stats = idx.apply_edge_updates(&g2, &[(a, b)]);
+        assert_eq!(stats.promoted_hubs, vec![a]);
+        assert!(stats.dirty_nodes.contains(&a) && stats.dirty_nodes.contains(&b));
     }
 
     #[test]

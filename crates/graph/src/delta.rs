@@ -1,0 +1,209 @@
+//! Edge-level deltas over an immutable [`CsrGraph`].
+//!
+//! CSR graphs are immutable by design — the PPR kernels and the
+//! partitioner rely on sorted, deduplicated adjacency. Dynamic workloads
+//! therefore describe change as a batch of [`EdgeUpdate`]s and *rebuild*
+//! the CSR via [`apply_edge_updates`]; the precomputed index, in contrast,
+//! is maintained *incrementally* (`ppr-core::incremental`) from the same
+//! batch. Keeping the delta type here lets the workload generator
+//! (`ppr-workload`), the serving layer (`ppr-serve`), and tests all speak
+//! one language without depending on each other.
+
+use crate::csr::{CsrGraph, GraphBuilder};
+use crate::NodeId;
+
+/// One directed-edge change.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EdgeUpdate {
+    /// Add the edge `u -> v`.
+    Insert(NodeId, NodeId),
+    /// Delete the edge `u -> v`.
+    Remove(NodeId, NodeId),
+}
+
+impl EdgeUpdate {
+    /// The `(source, target)` pair this update touches.
+    pub fn endpoints(self) -> (NodeId, NodeId) {
+        match self {
+            EdgeUpdate::Insert(u, v) | EdgeUpdate::Remove(u, v) => (u, v),
+        }
+    }
+
+    /// Would applying this update to `g` actually change the edge set?
+    /// (Inserting an existing edge or removing a missing one is a no-op;
+    /// self-loop insertions are rejected as no-ops too, matching
+    /// [`GraphBuilder`]'s default.)
+    pub fn is_effective(self, g: &CsrGraph) -> bool {
+        match self {
+            EdgeUpdate::Insert(u, v) => u != v && !g.has_edge(u, v),
+            EdgeUpdate::Remove(u, v) => g.has_edge(u, v),
+        }
+    }
+}
+
+/// Apply a batch of updates to `g`, returning the rebuilt graph. The node
+/// set is unchanged; ineffective updates (see [`EdgeUpdate::is_effective`])
+/// are skipped silently, and a `Remove` wins over an `Insert` of the same
+/// edge earlier in the batch (updates apply in order).
+pub fn apply_edge_updates(g: &CsrGraph, updates: &[EdgeUpdate]) -> CsrGraph {
+    let removed: std::collections::HashSet<(NodeId, NodeId)> = updates
+        .iter()
+        .rev()
+        // The *last* mention of an edge decides its fate; scanning in
+        // reverse and keeping first-seen implements that.
+        .scan(std::collections::HashSet::new(), |seen, &up| {
+            let e = up.endpoints();
+            Some(if seen.insert(e) { Some(up) } else { None })
+        })
+        .flatten()
+        .filter_map(|up| match up {
+            EdgeUpdate::Remove(u, v) => Some((u, v)),
+            EdgeUpdate::Insert(..) => None,
+        })
+        .collect();
+
+    let mut b = GraphBuilder::new(g.node_count());
+    for e in g.edges() {
+        if !removed.contains(&e) {
+            b.push_edge(e.0, e.1);
+        }
+    }
+    for &up in updates {
+        if let EdgeUpdate::Insert(u, v) = up {
+            if !removed.contains(&(u, v)) {
+                b.push_edge(u, v); // builder dedups and drops self-loops
+            }
+        }
+    }
+    b.build()
+}
+
+/// The result of [`apply_effective_updates`].
+#[derive(Clone, Debug)]
+pub struct AppliedDelta {
+    /// The rebuilt graph.
+    pub graph: CsrGraph,
+    /// The updates that changed the edge set, in application order.
+    pub effective: Vec<EdgeUpdate>,
+    /// Updates dropped as no-ops.
+    pub skipped: usize,
+}
+
+/// Apply `updates` to `g` in order, separating effective changes from
+/// no-ops. Effectiveness is judged against the *evolving* edge set — a
+/// presence overlay over `g` — so within-batch dependencies (insert an
+/// edge, then remove it: both effective) resolve exactly as sequential
+/// single-update application would. This is the one authoritative
+/// encoding of update semantics; incremental consumers (the dynamic
+/// server) take `effective` as the changed-edge list for index
+/// maintenance.
+pub fn apply_effective_updates(g: &CsrGraph, updates: &[EdgeUpdate]) -> AppliedDelta {
+    let mut overlay: std::collections::HashMap<(NodeId, NodeId), bool> =
+        std::collections::HashMap::new();
+    let mut effective = Vec::with_capacity(updates.len());
+    let mut skipped = 0usize;
+    for &up in updates {
+        let e = up.endpoints();
+        let present = *overlay.entry(e).or_insert_with(|| g.has_edge(e.0, e.1));
+        let effect = match up {
+            EdgeUpdate::Insert(u, v) => u != v && !present,
+            EdgeUpdate::Remove(..) => present,
+        };
+        if effect {
+            overlay.insert(e, matches!(up, EdgeUpdate::Insert(..)));
+            effective.push(up);
+        } else {
+            skipped += 1;
+        }
+    }
+    AppliedDelta {
+        graph: apply_edge_updates(g, &effective),
+        effective,
+        skipped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::from_edges;
+
+    #[test]
+    fn insert_and_remove_roundtrip() {
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let g2 = apply_edge_updates(
+            &g,
+            &[EdgeUpdate::Insert(3, 0), EdgeUpdate::Remove(1, 2)],
+        );
+        assert_eq!(g2.node_count(), 4);
+        assert!(g2.has_edge(3, 0) && !g2.has_edge(1, 2));
+        assert!(g2.has_edge(0, 1) && g2.has_edge(2, 3));
+        // Undo restores the original edge set.
+        let g3 = apply_edge_updates(
+            &g2,
+            &[EdgeUpdate::Remove(3, 0), EdgeUpdate::Insert(1, 2)],
+        );
+        assert!(g.edges().eq(g3.edges()));
+    }
+
+    #[test]
+    fn ineffective_updates_are_noops() {
+        let g = from_edges(3, &[(0, 1)]);
+        let g2 = apply_edge_updates(
+            &g,
+            &[
+                EdgeUpdate::Insert(0, 1), // already present
+                EdgeUpdate::Remove(1, 2), // absent
+                EdgeUpdate::Insert(2, 2), // self-loop
+            ],
+        );
+        assert!(g.edges().eq(g2.edges()));
+        assert!(!EdgeUpdate::Insert(0, 1).is_effective(&g));
+        assert!(!EdgeUpdate::Remove(1, 2).is_effective(&g));
+        assert!(!EdgeUpdate::Insert(2, 2).is_effective(&g));
+        assert!(EdgeUpdate::Insert(1, 2).is_effective(&g));
+        assert!(EdgeUpdate::Remove(0, 1).is_effective(&g));
+    }
+
+    #[test]
+    fn effective_split_matches_raw_application() {
+        let g = from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let updates = [
+            EdgeUpdate::Insert(4, 0),
+            EdgeUpdate::Insert(4, 0), // duplicate: no-op
+            EdgeUpdate::Remove(1, 2),
+            EdgeUpdate::Insert(1, 2), // reinsert after removal: effective
+            EdgeUpdate::Remove(0, 4), // absent: no-op
+            EdgeUpdate::Insert(2, 2), // self-loop: no-op
+        ];
+        let d = apply_effective_updates(&g, &updates);
+        assert_eq!(d.effective.len(), 3);
+        assert_eq!(d.skipped, 3);
+        // The effective split rebuilds exactly what raw application does.
+        assert!(d.graph.edges().eq(apply_edge_updates(&g, &updates).edges()));
+        // And matches sequential single-update application.
+        let mut seq = g;
+        for &up in &d.effective {
+            assert!(up.is_effective(&seq), "{up:?}");
+            seq = apply_edge_updates(&seq, &[up]);
+        }
+        assert!(d.graph.edges().eq(seq.edges()));
+    }
+
+    #[test]
+    fn later_update_wins_within_batch() {
+        let g = from_edges(3, &[(0, 1)]);
+        // Insert then remove: net effect is absence.
+        let g2 = apply_edge_updates(
+            &g,
+            &[EdgeUpdate::Insert(1, 2), EdgeUpdate::Remove(1, 2)],
+        );
+        assert!(!g2.has_edge(1, 2));
+        // Remove then insert: net effect is presence.
+        let g3 = apply_edge_updates(
+            &g,
+            &[EdgeUpdate::Remove(0, 1), EdgeUpdate::Insert(0, 1)],
+        );
+        assert!(g3.has_edge(0, 1));
+    }
+}

@@ -20,18 +20,28 @@
 //! * [`io`] — plain edge-list reading/writing.
 //! * [`dense`] — a dense linear-system PPR solver used as machine-precision
 //!   ground truth in tests.
+//! * [`delta`] — [`EdgeUpdate`] batches over immutable CSR graphs, the
+//!   vocabulary shared by the dynamic workload generator, the incremental
+//!   index updater, and the serving layer.
+//! * [`reach`] — reverse reachability (multi-source BFS and an SCC
+//!   condensation), the conservative cache-invalidation predicate for
+//!   serving under updates.
 
 pub mod adjacency;
 pub mod analytics;
 pub mod csr;
+pub mod delta;
 pub mod dense;
 pub mod generators;
 pub mod io;
+pub mod reach;
 pub mod scc;
 pub mod view;
 
 pub use adjacency::{Adjacency, InAdjacency};
 pub use csr::{CsrGraph, GraphBuilder};
+pub use delta::{apply_edge_updates, apply_effective_updates, AppliedDelta, EdgeUpdate};
+pub use reach::{reverse_reachable, SccCondensation};
 pub use view::{SubView, ViewBuilder};
 
 /// Node identifier. Graphs are limited to `u32::MAX` nodes, which keeps

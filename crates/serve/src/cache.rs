@@ -27,7 +27,12 @@ struct Slot {
     next: usize,
 }
 
-/// Cumulative cache counters (monotone; never reset by eviction).
+/// Cumulative cache counters.
+///
+/// All counters are monotone over the cache's lifetime: neither capacity
+/// eviction nor invalidation ([`PpvCache::clear`] / [`PpvCache::remove`])
+/// resets them, so hit rates stay meaningful across index updates — an
+/// invalidation empties the *contents*, never the *history*.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CacheStats {
     /// Lookups that found the source's PPV resident.
@@ -40,6 +45,9 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Entries rejected because they alone exceed the capacity.
     pub oversized_rejections: u64,
+    /// Entries dropped by invalidation ([`PpvCache::clear`] or
+    /// [`PpvCache::remove`]) rather than by capacity pressure.
+    pub invalidated: u64,
 }
 
 impl CacheStats {
@@ -143,13 +151,37 @@ impl PpvCache {
     }
 
     /// Drop every entry (the blunt invalidation for index rebuilds).
+    ///
+    /// Cumulative [`CacheStats`] survive — only [`CacheStats::invalidated`]
+    /// advances, by the number of entries dropped.
     pub fn clear(&mut self) {
+        self.stats.invalidated += self.map.len() as u64;
         self.map.clear();
         self.slots.clear();
         self.free.clear();
         self.head = NIL;
         self.tail = NIL;
         self.bytes = 0;
+    }
+
+    /// Drop the entry for `u` if resident (fine-grained invalidation after
+    /// an index update). Returns whether an entry was removed; counted
+    /// under [`CacheStats::invalidated`], not eviction.
+    pub fn remove(&mut self, u: NodeId) -> bool {
+        let Some(slot) = self.map.remove(&u) else {
+            return false;
+        };
+        self.unlink(slot);
+        self.bytes -= self.slots[slot].bytes;
+        self.slots[slot].value = SparseVector::new();
+        self.free.push(slot);
+        self.stats.invalidated += 1;
+        true
+    }
+
+    /// The source nodes currently resident, in no particular order.
+    pub fn resident_keys(&self) -> Vec<NodeId> {
+        self.map.keys().copied().collect()
     }
 
     /// Number of resident entries.
@@ -295,14 +327,44 @@ mod tests {
     }
 
     #[test]
-    fn clear_resets() {
+    fn clear_resets_contents_but_not_stats() {
         let mut c = PpvCache::new(1000);
         c.insert(1, vec_of(1, 4));
+        assert!(c.get(1).is_some() && c.get(9).is_none()); // 1 hit, 1 miss
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.bytes(), 0);
         c.insert(2, vec_of(2, 4));
         assert_eq!(c.get(2).unwrap().nnz(), 4);
+        // History survives invalidation; only `invalidated` advanced.
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (2, 1, 2));
+        assert_eq!(s.invalidated, 1);
+        assert_eq!(s.evictions, 0);
+    }
+
+    #[test]
+    fn remove_is_targeted() {
+        let mut c = PpvCache::new(10_000);
+        c.insert(1, vec_of(1, 4));
+        c.insert(2, vec_of(2, 4));
+        c.insert(3, vec_of(3, 4));
+        let before = c.bytes();
+        assert!(c.remove(2));
+        assert!(!c.remove(2), "second removal is a no-op");
+        assert!(c.peek(2).is_none());
+        assert!(c.peek(1).is_some() && c.peek(3).is_some());
+        assert_eq!(c.bytes(), before - vec_of(2, 4).wire_bytes());
+        assert_eq!(c.stats().invalidated, 1);
+        assert_eq!(c.stats().evictions, 0);
+        // The freed slot is reusable and the recency list stays sound.
+        c.insert(4, vec_of(4, 4));
+        let mut keys = c.resident_keys();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![1, 3, 4]);
+        for k in [1, 3, 4] {
+            assert!(c.get(k).is_some());
+        }
     }
 
     #[test]

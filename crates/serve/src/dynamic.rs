@@ -1,0 +1,407 @@
+//! Serving on a graph that changes underneath the server.
+//!
+//! [`PprServer`](crate::PprServer) assumes a frozen index: an edge change
+//! forces the caller to rebuild out of band and blast the whole PPV cache.
+//! [`DynamicPprServer`] instead *owns* a mutable [`HgpaIndex`] plus the
+//! current [`CsrGraph`] and accepts interleaved query batches and
+//! [`EdgeUpdate`] batches:
+//!
+//! * updates flow through `ppr-core`'s exact incremental maintenance
+//!   ([`HgpaIndex::apply_edge_updates`]) — O(depth) subgraph
+//!   recomputations, never a rebuild;
+//! * cache invalidation is **fine-grained**: the updater reports the
+//!   touched node set ([`UpdateStats::dirty_nodes`]) and the server evicts
+//!   only cached sources that can *reach* a touched node
+//!   ([`ppr_graph::reach::reverse_reachable`]) — the conservative
+//!   staleness predicate. Sources provably unaffected keep their entries,
+//!   so hit rates survive updates instead of resetting to zero.
+//!
+//! Queries run through the exact same batch engine as the static server
+//! (one fan-out round per batch, LRU PPV cache, exact top-k), so every
+//! exactness invariant pinned in `tests/serving.rs` carries over;
+//! `tests/dynamic_serving.rs` adds the differential update/query suite
+//! (served answers bit-identical to a from-scratch recomputation on the
+//! current graph).
+
+use crate::cache::{CacheStats, PpvCache};
+use crate::server::{execute_batch, BatchOutcome, Request, Response, ServeConfig, ServeStats};
+use ppr_cluster::{Cluster, ClusterConfig};
+use ppr_core::hgpa::{HgpaBuildOptions, HgpaIndex};
+use ppr_core::incremental::UpdateStats;
+use ppr_core::{PprConfig, SparseVector};
+use ppr_graph::reach::reverse_reachable;
+use ppr_graph::{delta, CsrGraph, EdgeUpdate, NodeId};
+use std::time::Instant;
+
+/// What one [`DynamicPprServer::apply_updates`] call did.
+#[derive(Clone, Debug)]
+pub struct UpdateOutcome {
+    /// Updates that changed the edge set.
+    pub applied: usize,
+    /// Updates skipped as no-ops (inserting an existing edge, removing a
+    /// missing one, self-loops).
+    pub skipped: usize,
+    /// The incremental updater's report (dirty sets, promotions, work).
+    pub stats: UpdateStats,
+    /// Cached sources evicted because they can reach a touched node.
+    pub evicted: usize,
+    /// Cached sources that provably cannot reach any touched node and
+    /// therefore survived the update.
+    pub retained: usize,
+    /// Real wall-clock seconds spent applying the batch (graph rebuild +
+    /// index maintenance + invalidation).
+    pub seconds: f64,
+}
+
+/// Cumulative update-side counters of a [`DynamicPprServer`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DynamicStats {
+    /// Update batches applied.
+    pub update_batches: u64,
+    /// Effective edge changes applied.
+    pub edges_changed: u64,
+    /// Subgraph recomputations performed by the incremental updater.
+    pub subgraphs_recomputed: u64,
+    /// Vectors (bases + skeleton columns) recomputed.
+    pub vectors_recomputed: u64,
+    /// Nodes promoted to hub status to restore separation.
+    pub hubs_promoted: u64,
+    /// Cache entries evicted by fine-grained invalidation.
+    pub entries_evicted: u64,
+    /// Cache entries retained across updates (provably unaffected).
+    pub entries_retained: u64,
+    /// Real seconds spent inside [`DynamicPprServer::apply_updates`].
+    pub update_seconds: f64,
+}
+
+/// An owning serving front-end over one mutable HGPA index: interleaves
+/// exact query serving with exact incremental index maintenance.
+///
+/// ```
+/// use ppr_core::hgpa::HgpaBuildOptions;
+/// use ppr_core::PprConfig;
+/// use ppr_graph::generators::{hierarchical_sbm, HsbmConfig};
+/// use ppr_graph::EdgeUpdate;
+/// use ppr_serve::{DynamicPprServer, ServeConfig};
+///
+/// let graph = hierarchical_sbm(&HsbmConfig { nodes: 150, ..Default::default() }, 3);
+/// let cfg = PprConfig { epsilon: 1e-7, ..Default::default() };
+/// let mut server = DynamicPprServer::build(
+///     graph,
+///     &cfg,
+///     &HgpaBuildOptions::default(),
+///     ServeConfig::default(),
+/// );
+/// let before = server.query(5);
+/// let outcome = server.apply_updates(&[EdgeUpdate::Insert(5, 120)]);
+/// assert_eq!(outcome.applied, 1);
+/// let after = server.query(5); // exact on the *new* graph
+/// assert!(server.graph().has_edge(5, 120));
+/// # let _ = (before, after);
+/// ```
+pub struct DynamicPprServer {
+    graph: CsrGraph,
+    index: HgpaIndex,
+    cluster: Cluster,
+    cache: PpvCache,
+    config: ServeConfig,
+    stats: ServeStats,
+    dynamic_stats: DynamicStats,
+}
+
+impl DynamicPprServer {
+    /// Build the index on `graph` and serve from it.
+    pub fn build(
+        graph: CsrGraph,
+        cfg: &PprConfig,
+        opts: &HgpaBuildOptions,
+        config: ServeConfig,
+    ) -> Self {
+        let index = HgpaIndex::build(&graph, cfg, opts);
+        Self::from_index(graph, index, config)
+    }
+
+    /// Serve from an already-built index. `graph` must be the graph the
+    /// index is current for.
+    ///
+    /// # Panics
+    /// Panics if the node counts disagree.
+    pub fn from_index(graph: CsrGraph, index: HgpaIndex, config: ServeConfig) -> Self {
+        assert_eq!(
+            graph.node_count(),
+            index.node_count(),
+            "index and graph disagree on the node set"
+        );
+        let cluster = Cluster::new(ClusterConfig {
+            machines: index.machines(),
+            network: config.network,
+        });
+        Self {
+            graph,
+            index,
+            cluster,
+            cache: PpvCache::new(config.cache_capacity_bytes),
+            config,
+            stats: ServeStats::default(),
+            dynamic_stats: DynamicStats::default(),
+        }
+    }
+
+    /// Apply a batch of edge updates: rebuild the CSR, bring the index up
+    /// to date incrementally, and evict exactly the cached sources whose
+    /// PPVs the batch can affect (those reaching a touched node).
+    pub fn apply_updates(&mut self, updates: &[EdgeUpdate]) -> UpdateOutcome {
+        let t0 = Instant::now();
+
+        // Effective changes only: the incremental updater derives dirty
+        // sets from the changed-edge list, so feeding it no-ops would
+        // invalidate (and recompute) for nothing. `ppr-graph::delta` is
+        // the single authority on update semantics (within-batch
+        // dependencies, self-loops, duplicates).
+        let applied = delta::apply_effective_updates(&self.graph, updates);
+        let skipped = applied.skipped;
+        if applied.effective.is_empty() {
+            return UpdateOutcome {
+                applied: 0,
+                skipped,
+                stats: UpdateStats::default(),
+                evicted: 0,
+                retained: 0,
+                seconds: t0.elapsed().as_secs_f64(),
+            };
+        }
+        let changed: Vec<(NodeId, NodeId)> =
+            applied.effective.iter().map(|up| up.endpoints()).collect();
+        let g_new = applied.graph;
+        let stats = self.index.apply_edge_updates(&g_new, &changed);
+
+        // Fine-grained invalidation: a cached PPV of source `s` can only
+        // be stale if `s` reaches a touched node (see UpdateStats::
+        // dirty_nodes for why this is conservative, bit for bit).
+        let mut evicted = 0usize;
+        let mut retained = 0usize;
+        if !self.cache.is_empty() {
+            let stale = reverse_reachable(&g_new, &stats.dirty_nodes);
+            for key in self.cache.resident_keys() {
+                if stale[key as usize] {
+                    self.cache.remove(key);
+                    evicted += 1;
+                } else {
+                    retained += 1;
+                }
+            }
+        }
+        self.graph = g_new;
+
+        let seconds = t0.elapsed().as_secs_f64();
+        self.dynamic_stats.update_batches += 1;
+        self.dynamic_stats.edges_changed += changed.len() as u64;
+        self.dynamic_stats.subgraphs_recomputed += stats.subgraphs_recomputed as u64;
+        self.dynamic_stats.vectors_recomputed += stats.vectors_recomputed as u64;
+        self.dynamic_stats.hubs_promoted += stats.promoted_hubs.len() as u64;
+        self.dynamic_stats.entries_evicted += evicted as u64;
+        self.dynamic_stats.entries_retained += retained as u64;
+        self.dynamic_stats.update_seconds += seconds;
+
+        UpdateOutcome {
+            applied: changed.len(),
+            skipped,
+            stats,
+            evicted,
+            retained,
+            seconds,
+        }
+    }
+
+    /// Answer a request stream, coalescing up to `max_batch` requests per
+    /// fan-out round. Responses come back in request order.
+    pub fn serve(&mut self, requests: &[Request]) -> Vec<Response> {
+        let chunk = self.config.max_batch.max(1);
+        let mut out = Vec::with_capacity(requests.len());
+        for batch in requests.chunks(chunk) {
+            out.extend(self.run_batch(batch).responses);
+        }
+        out
+    }
+
+    /// Execute one batch in (at most) one cluster fan-out round — the
+    /// same engine as [`PprServer::run_batch`](crate::PprServer::run_batch).
+    pub fn run_batch(&mut self, requests: &[Request]) -> BatchOutcome {
+        execute_batch(
+            &self.index,
+            &self.cluster,
+            &mut self.cache,
+            &self.config,
+            &mut self.stats,
+            requests,
+        )
+    }
+
+    /// Single-request convenience: exact PPV of `u` on the current graph.
+    pub fn query(&mut self, u: NodeId) -> SparseVector {
+        match self.run_batch(&[Request::Ppv(u)]).responses.pop() {
+            Some(Response::Ppv(v)) => v,
+            _ => unreachable!("Ppv request yields Ppv response"),
+        }
+    }
+
+    /// Single-request convenience: exact top-k of `u`'s PPV.
+    pub fn top_k(&mut self, u: NodeId, k: usize) -> Vec<(NodeId, f64)> {
+        match self
+            .run_batch(&[Request::TopK { source: u, k }])
+            .responses
+            .pop()
+        {
+            Some(Response::TopK(t)) => t,
+            _ => unreachable!("TopK request yields TopK response"),
+        }
+    }
+
+    /// The graph the index is currently exact for.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// The incrementally maintained index.
+    pub fn index(&self) -> &HgpaIndex {
+        &self.index
+    }
+
+    /// Cumulative serving counters (query side).
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Cumulative update counters.
+    pub fn dynamic_stats(&self) -> &DynamicStats {
+        &self.dynamic_stats
+    }
+
+    /// Cumulative cache counters (preserved across invalidations).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Resident cache entries.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Bytes currently resident in the PPV cache.
+    pub fn cache_bytes(&self) -> u64 {
+        self.cache.bytes()
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppr_graph::generators::{hierarchical_sbm, HsbmConfig};
+    use ppr_partition::HierarchyConfig;
+
+    fn sample(n: usize, seed: u64) -> CsrGraph {
+        hierarchical_sbm(
+            &HsbmConfig {
+                nodes: n,
+                depth: 4,
+                locality: 0.9,
+                ..Default::default()
+            },
+            seed,
+        )
+    }
+
+    fn opts(machines: usize) -> HgpaBuildOptions {
+        HgpaBuildOptions {
+            machines,
+            hierarchy: HierarchyConfig {
+                max_leaf_size: 16,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    fn server(n: usize, seed: u64) -> DynamicPprServer {
+        DynamicPprServer::build(
+            sample(n, seed),
+            &PprConfig::default(),
+            &opts(3),
+            ServeConfig::default(),
+        )
+    }
+
+    #[test]
+    fn noop_updates_touch_nothing() {
+        let mut s = server(150, 5);
+        let warm = s.query(3);
+        let existing = s.graph().edges().next().unwrap();
+        let out = s.apply_updates(&[
+            EdgeUpdate::Insert(existing.0, existing.1), // already present
+            EdgeUpdate::Remove(9, 9),                   // absent self-loop
+        ]);
+        assert_eq!((out.applied, out.skipped), (0, 2));
+        assert_eq!((out.evicted, out.retained), (0, 0));
+        assert_eq!(s.dynamic_stats().update_batches, 0);
+        assert_eq!(s.query(3), warm);
+        assert_eq!(s.cache_stats().hits, 1, "no-op batch must not evict");
+    }
+
+    #[test]
+    fn insert_then_remove_within_batch_cancels() {
+        let mut s = server(150, 7);
+        let (u, v) = (0u32, 140u32);
+        assert!(!s.graph().has_edge(u, v));
+        let out = s.apply_updates(&[EdgeUpdate::Insert(u, v), EdgeUpdate::Remove(u, v)]);
+        // Both updates are effective in sequence; the net edge set is
+        // unchanged but the index was maintained through both.
+        assert_eq!(out.applied, 2);
+        assert!(!s.graph().has_edge(u, v));
+    }
+
+    #[test]
+    fn updates_change_served_answers_exactly() {
+        let g0 = sample(160, 9);
+        let cfg = PprConfig::default();
+        let mut s = DynamicPprServer::build(g0.clone(), &cfg, &opts(3), ServeConfig::default());
+        let (u, v) = (2u32, 150u32);
+        assert!(!g0.has_edge(u, v));
+        let before = s.query(u);
+        let out = s.apply_updates(&[EdgeUpdate::Insert(u, v)]);
+        assert_eq!(out.applied, 1);
+        let after = s.query(u);
+        assert_ne!(before, after, "inserting an out-edge of u must change its PPV");
+        // Differential: recomputing every vector from scratch on the same
+        // (updated) hierarchy must reproduce the maintained index bit for
+        // bit. Central queries are the machine-agnostic comparison — a
+        // promoted hub's machine assignment legitimately differs between
+        // the incremental path and a rebuild, which permutes the
+        // coordinator's summation order in served answers.
+        let rebuilt = HgpaIndex::build_with_hierarchy(
+            s.graph(),
+            &cfg,
+            &opts(3),
+            s.index().hierarchy().clone(),
+        );
+        assert_eq!(s.index().query(u), rebuilt.query(u));
+        // The served (cache) path must be bit-identical to a fresh
+        // fan-out over the maintained index itself.
+        let direct = ppr_cluster::Cluster::with_default_network()
+            .query(s.index(), u)
+            .result;
+        assert_eq!(s.query(u), direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "node set")]
+    fn mismatched_graph_rejected() {
+        let g = sample(100, 1);
+        let idx = HgpaIndex::build(&sample(101, 1), &PprConfig::default(), &opts(2));
+        DynamicPprServer::from_index(g, idx, ServeConfig::default());
+    }
+}

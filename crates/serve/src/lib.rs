@@ -25,12 +25,28 @@
 //!   exactly the full-sort top-k, proven in its docs and pinned by
 //!   proptest in `tests/serving.rs`.
 //!
+//! Serving does not stop when the graph changes. [`DynamicPprServer`]
+//! owns a mutable HGPA index plus the current graph and interleaves query
+//! batches with [`ppr_graph::EdgeUpdate`] batches: updates run through
+//! `ppr-core`'s exact incremental maintenance, and instead of flushing
+//! the PPV cache it evicts **only** the sources that can reach a touched
+//! node (reverse reachability over the new graph — the conservative
+//! staleness predicate), so hit rates survive updates. The [`openloop`]
+//! module adds a Poisson-arrival virtual-clock driver whose report
+//! separates queueing delay (sojourn) from service time.
+//!
 //! The `repro serve` mode in `ppr-bench` drives a Zipf-skewed query
 //! stream through this server and reports throughput, p50/p99 latency,
-//! and cache hit rate; `docs/ARCHITECTURE.md` has the data-flow picture.
+//! and cache hit rate — plus an open-loop mixed read/write phase with
+//! queueing-delay percentiles; `docs/ARCHITECTURE.md` has the data-flow
+//! picture.
 
 pub mod cache;
+pub mod dynamic;
+pub mod openloop;
 pub mod server;
 
 pub use cache::{CacheStats, PpvCache};
+pub use dynamic::{DynamicPprServer, DynamicStats, UpdateOutcome};
+pub use openloop::{run_open_loop, OpenLoopConfig, OpenLoopReport, ServeEvent, ServiceModel};
 pub use server::{BatchOutcome, PprServer, Request, Response, ServeConfig, ServeStats};

@@ -1,0 +1,406 @@
+//! Open-loop load: Poisson arrivals on a deterministic virtual clock.
+//!
+//! The closed-loop harness (`repro serve`'s original mode) submits the
+//! next batch the moment the previous one finishes, so it measures
+//! *service time* only — a server keeping up at 99% utilization and one
+//! melting down look identical. An **open-loop** driver instead lets
+//! events arrive on their own schedule (exponential inter-arrival times,
+//! i.e. Poisson arrivals — the standard heavy-traffic model) whether or
+//! not the server is ready, which is what exposes **queueing delay**: the
+//! report separates each request's *sojourn time* (arrival → completion)
+//! from the *service time* of its batch, and their gap is time spent
+//! waiting in queue.
+//!
+//! Everything runs on a virtual clock. Arrivals are drawn from a seeded
+//! RNG; service times come from a [`ServiceModel`] — either the measured
+//! wall-clock cost of each batch (realistic, but run-to-run noisy) or a
+//! deterministic model priced from the batch's *deterministic* outputs
+//! (fresh sources, modeled wire time, recomputed vectors), which makes
+//! the whole simulation — batch composition, queue depths, every
+//! percentile — reproducible bit for bit from the seed. The FIFO queue
+//! coalesces up to `max_batch` waiting queries into one fan-out round;
+//! an update batch is a barrier served alone, exactly like the real
+//! server's write path.
+
+use crate::dynamic::{DynamicPprServer, UpdateOutcome};
+use crate::server::{BatchOutcome, Request};
+use ppr_graph::EdgeUpdate;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One event of the open-loop stream.
+#[derive(Clone, Debug)]
+pub enum ServeEvent {
+    /// A client query.
+    Query(Request),
+    /// A batch of edge updates (served alone, as a write barrier).
+    Update(Vec<EdgeUpdate>),
+}
+
+/// How a batch's time on the virtual clock is priced.
+#[derive(Clone, Copy, Debug)]
+pub enum ServiceModel {
+    /// Real measured seconds (plus modeled wire time). Realistic, but the
+    /// simulation is only as reproducible as the host's timers.
+    Measured,
+    /// Deterministic cost model: every term is priced from deterministic
+    /// batch outputs, so the full simulation replays identically for a
+    /// given seed. The defaults (see [`ServiceModel::modeled_default`])
+    /// are in the right order of magnitude for the quick profile; the
+    /// *shape* of the queueing report, not the absolute numbers, is the
+    /// point.
+    Modeled {
+        /// Per-request assembly cost (applies to every request).
+        seconds_per_request: f64,
+        /// Per fresh source answered in the batch's fan-out round.
+        seconds_per_fresh_source: f64,
+        /// Per vector recomputed by the incremental updater.
+        seconds_per_recomputed_vector: f64,
+    },
+}
+
+impl ServiceModel {
+    /// The deterministic model with default constants.
+    pub fn modeled_default() -> Self {
+        ServiceModel::Modeled {
+            seconds_per_request: 20e-6,
+            seconds_per_fresh_source: 300e-6,
+            seconds_per_recomputed_vector: 150e-6,
+        }
+    }
+
+    /// Virtual service seconds of one query batch.
+    fn batch_seconds(&self, out: &BatchOutcome) -> f64 {
+        match *self {
+            ServiceModel::Measured => out.seconds + out.modeled_network_seconds,
+            ServiceModel::Modeled {
+                seconds_per_request,
+                seconds_per_fresh_source,
+                ..
+            } => {
+                out.modeled_network_seconds
+                    + out.responses.len() as f64 * seconds_per_request
+                    + out.fresh_sources as f64 * seconds_per_fresh_source
+            }
+        }
+    }
+
+    /// Virtual service seconds of one update batch.
+    fn update_seconds(&self, out: &UpdateOutcome) -> f64 {
+        match *self {
+            ServiceModel::Measured => out.seconds,
+            ServiceModel::Modeled {
+                seconds_per_recomputed_vector,
+                ..
+            } => out.stats.vectors_recomputed as f64 * seconds_per_recomputed_vector,
+        }
+    }
+}
+
+/// Open-loop driver knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct OpenLoopConfig {
+    /// Mean event arrival rate (events per virtual second); must be
+    /// positive and finite.
+    pub arrival_rate: f64,
+    /// Seed of the arrival process.
+    pub seed: u64,
+    /// Service-time pricing.
+    pub service: ServiceModel,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        Self {
+            arrival_rate: 500.0,
+            seed: 0x0_BEA7,
+            service: ServiceModel::modeled_default(),
+        }
+    }
+}
+
+/// The queueing-delay report of one open-loop run.
+///
+/// Internal-consistency invariants (pinned in `tests/dynamic_serving.rs`):
+/// every query's sojourn ≥ its service time (so the p50/p99 sojourn
+/// dominate the p50/p99 service pointwise), p99 ≥ p50, mean wait ≥ 0, and
+/// `queries + update_batches` equals the driven event count.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpenLoopReport {
+    /// Configured mean arrival rate (events per virtual second).
+    pub offered_rate: f64,
+    /// Queries completed.
+    pub queries: usize,
+    /// Update batches applied.
+    pub update_batches: usize,
+    /// Query batches (fan-out rounds, including all-cached ones) executed.
+    pub batches: usize,
+    /// Virtual seconds from first arrival to last completion.
+    pub makespan_seconds: f64,
+    /// Queries per virtual second actually completed.
+    pub achieved_qps: f64,
+    /// Median sojourn time (arrival → completion), milliseconds.
+    pub p50_sojourn_ms: f64,
+    /// 99th-percentile sojourn time, milliseconds.
+    pub p99_sojourn_ms: f64,
+    /// Worst sojourn time, milliseconds.
+    pub max_sojourn_ms: f64,
+    /// Median service time of the query's batch, milliseconds.
+    pub p50_service_ms: f64,
+    /// 99th-percentile service time, milliseconds.
+    pub p99_service_ms: f64,
+    /// Mean queueing delay (sojourn − service), milliseconds.
+    pub mean_wait_ms: f64,
+    /// Largest number of arrived-but-unserved events observed.
+    pub max_queue_depth: usize,
+    /// Fraction of distinct per-batch source lookups served from cache.
+    pub hit_rate: f64,
+    /// Cache entries evicted by update invalidation during the run.
+    pub entries_evicted: u64,
+    /// Cache entries retained across updates during the run.
+    pub entries_retained: u64,
+}
+
+/// Value at quantile `q ∈ [0, 1]` of an ascending-sorted sample (nearest
+/// rank); 0 on an empty sample. Callers sort once and index all quantiles
+/// (and the max, its last element) from the same array.
+fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
+    sorted[idx]
+}
+
+/// Drive `events` through `server` under open-loop arrivals.
+///
+/// Events are served strictly in arrival (FIFO) order: consecutive
+/// already-arrived queries coalesce into batches of at most the server's
+/// `max_batch`, and an update event is processed alone. With
+/// [`ServiceModel::Modeled`] the run — including batch composition and
+/// every reported number — is a pure function of `(server state, events,
+/// config)`.
+pub fn run_open_loop(
+    server: &mut DynamicPprServer,
+    events: &[ServeEvent],
+    cfg: &OpenLoopConfig,
+) -> OpenLoopReport {
+    assert!(
+        cfg.arrival_rate.is_finite() && cfg.arrival_rate > 0.0,
+        "arrival rate must be positive and finite, got {}",
+        cfg.arrival_rate
+    );
+    let stats_before = *server.stats();
+    let dyn_before = *server.dynamic_stats();
+    let max_batch = server.config().max_batch.max(1);
+
+    // Poisson arrivals: exponential inter-arrival times by inverse CDF.
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut arrivals = Vec::with_capacity(events.len());
+    let mut t = 0.0f64;
+    for _ in 0..events.len() {
+        let u: f64 = rng.random_range(0.0..1.0);
+        t += -(1.0 - u).ln() / cfg.arrival_rate;
+        arrivals.push(t);
+    }
+
+    let mut clock = 0.0f64;
+    let mut i = 0usize;
+    let mut sojourns: Vec<f64> = Vec::new();
+    let mut services: Vec<f64> = Vec::new();
+    let mut total_wait = 0.0f64;
+    let mut update_batches = 0usize;
+    let mut batches = 0usize;
+    let mut max_queue_depth = 0usize;
+    let mut requests: Vec<Request> = Vec::new();
+
+    while i < events.len() {
+        if clock < arrivals[i] {
+            clock = arrivals[i]; // server idles until the next arrival
+        }
+        let arrived = arrivals.partition_point(|&a| a <= clock);
+        max_queue_depth = max_queue_depth.max(arrived - i);
+
+        match &events[i] {
+            ServeEvent::Update(batch) => {
+                let out = server.apply_updates(batch);
+                clock += cfg.service.update_seconds(&out);
+                update_batches += 1;
+                i += 1;
+            }
+            ServeEvent::Query(_) => {
+                // Coalesce the run of arrived queries at the queue head.
+                requests.clear();
+                let start = i;
+                while i < events.len() && requests.len() < max_batch && arrivals[i] <= clock {
+                    match &events[i] {
+                        ServeEvent::Query(req) => requests.push(req.clone()),
+                        ServeEvent::Update(_) => break, // write barrier
+                    }
+                    i += 1;
+                }
+                let out = server.run_batch(&requests);
+                batches += 1;
+                let service = cfg.service.batch_seconds(&out);
+                let completion = clock + service;
+                for &arrival in &arrivals[start..i] {
+                    sojourns.push(completion - arrival);
+                    services.push(service);
+                    total_wait += clock - arrival;
+                }
+                clock = completion;
+            }
+        }
+    }
+
+    let stats = *server.stats();
+    let dyn_stats = *server.dynamic_stats();
+    let cached = stats.cached_sources - stats_before.cached_sources;
+    let fresh = stats.fresh_sources - stats_before.fresh_sources;
+    let lookups = cached + fresh;
+    let queries = sojourns.len();
+    sojourns.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    services.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    OpenLoopReport {
+        offered_rate: cfg.arrival_rate,
+        queries,
+        update_batches,
+        batches,
+        makespan_seconds: clock,
+        achieved_qps: queries as f64 / clock.max(1e-12),
+        p50_sojourn_ms: percentile_sorted(&sojourns, 0.50) * 1e3,
+        p99_sojourn_ms: percentile_sorted(&sojourns, 0.99) * 1e3,
+        max_sojourn_ms: sojourns.last().copied().unwrap_or(0.0) * 1e3,
+        p50_service_ms: percentile_sorted(&services, 0.50) * 1e3,
+        p99_service_ms: percentile_sorted(&services, 0.99) * 1e3,
+        mean_wait_ms: total_wait / queries.max(1) as f64 * 1e3,
+        max_queue_depth,
+        hit_rate: if lookups == 0 {
+            0.0
+        } else {
+            cached as f64 / lookups as f64
+        },
+        entries_evicted: dyn_stats.entries_evicted - dyn_before.entries_evicted,
+        entries_retained: dyn_stats.entries_retained - dyn_before.entries_retained,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServeConfig;
+    use ppr_core::hgpa::HgpaBuildOptions;
+    use ppr_core::PprConfig;
+    use ppr_graph::generators::{hierarchical_sbm, HsbmConfig};
+    use ppr_partition::HierarchyConfig;
+
+    fn make_server(seed: u64) -> DynamicPprServer {
+        let g = hierarchical_sbm(
+            &HsbmConfig {
+                nodes: 120,
+                depth: 4,
+                locality: 0.9,
+                ..Default::default()
+            },
+            seed,
+        );
+        DynamicPprServer::build(
+            g,
+            &PprConfig::default(),
+            &HgpaBuildOptions {
+                machines: 3,
+                hierarchy: HierarchyConfig {
+                    max_leaf_size: 16,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            ServeConfig {
+                max_batch: 4,
+                ..Default::default()
+            },
+        )
+    }
+
+    fn events() -> Vec<ServeEvent> {
+        (0..40)
+            .map(|i| {
+                if i % 9 == 4 {
+                    ServeEvent::Update(vec![ppr_graph::EdgeUpdate::Insert(
+                        (i * 7) % 120,
+                        (i * 13 + 1) % 120,
+                    )])
+                } else {
+                    ServeEvent::Query(Request::Ppv((i * 3) % 120))
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn modeled_run_is_deterministic() {
+        let cfg = OpenLoopConfig {
+            arrival_rate: 400.0,
+            seed: 21,
+            service: ServiceModel::modeled_default(),
+        };
+        let a = run_open_loop(&mut make_server(5), &events(), &cfg);
+        let b = run_open_loop(&mut make_server(5), &events(), &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn report_is_internally_consistent() {
+        let evs = events();
+        let r = run_open_loop(
+            &mut make_server(5),
+            &evs,
+            &OpenLoopConfig {
+                arrival_rate: 800.0, // overload-ish: force queueing
+                seed: 3,
+                service: ServiceModel::modeled_default(),
+            },
+        );
+        assert_eq!(r.queries + r.update_batches, evs.len());
+        assert!(r.update_batches > 0 && r.batches > 0);
+        assert!(r.p99_sojourn_ms >= r.p50_sojourn_ms);
+        assert!(r.p99_service_ms >= r.p50_service_ms);
+        assert!(r.p50_sojourn_ms >= r.p50_service_ms);
+        assert!(r.p99_sojourn_ms >= r.p99_service_ms);
+        assert!(r.max_sojourn_ms >= r.p99_sojourn_ms);
+        assert!(r.mean_wait_ms >= 0.0);
+        assert!(r.makespan_seconds > 0.0 && r.achieved_qps > 0.0);
+        assert!(r.max_queue_depth >= 1);
+    }
+
+    #[test]
+    fn slow_arrivals_mean_no_queueing() {
+        // At 1 event per 10 virtual seconds nothing ever waits: sojourn
+        // equals service for every query.
+        let r = run_open_loop(
+            &mut make_server(7),
+            &events(),
+            &OpenLoopConfig {
+                arrival_rate: 0.1,
+                seed: 9,
+                service: ServiceModel::modeled_default(),
+            },
+        );
+        assert!(r.mean_wait_ms.abs() < 1e-9, "wait {}", r.mean_wait_ms);
+        assert_eq!(r.max_queue_depth, 1);
+        assert!((r.p50_sojourn_ms - r.p50_service_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate")]
+    fn zero_rate_rejected() {
+        run_open_loop(
+            &mut make_server(1),
+            &[],
+            &OpenLoopConfig {
+                arrival_rate: 0.0,
+                ..Default::default()
+            },
+        );
+    }
+}

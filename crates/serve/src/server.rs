@@ -212,104 +212,14 @@ impl<'i, I: DistributedQueryable> PprServer<'i, I> {
 
     /// Execute one batch in (at most) one cluster fan-out round.
     pub fn run_batch(&mut self, requests: &[Request]) -> BatchOutcome {
-        let t0 = Instant::now();
-
-        // Distinct sources, first-appearance order. Probe the cache once
-        // per distinct source so recency and hit accounting are per batch,
-        // not per duplicate.
-        let mut missing: Vec<NodeId> = Vec::new();
-        let mut probed: HashSet<NodeId> = HashSet::new();
-        for req in requests {
-            for u in req.sources() {
-                if probed.insert(u) && self.cache.get(u).is_none() {
-                    missing.push(u);
-                }
-            }
-        }
-        let cached_sources = probed.len() - missing.len();
-
-        // One fan-out round answers every missing source (Eq. 5/7: each
-        // machine ships one reply vector per source; sums are exact PPVs).
-        // Fresh PPVs are admitted to the cache only *after* assembly —
-        // inserting first could evict a resident entry that another
-        // request in this very batch probed successfully.
-        let mut fresh: HashMap<NodeId, SparseVector> = HashMap::new();
-        let mut modeled_network_seconds = 0.0;
-        let mut round_bytes = 0;
-        if !missing.is_empty() {
-            let round = self.cluster.query_many(self.index, &missing);
-            modeled_network_seconds = round.modeled_network_seconds;
-            round_bytes = round.total_bytes();
-            self.stats.rounds += 1;
-            for (u, ppv) in missing.iter().copied().zip(round.results) {
-                fresh.insert(u, ppv);
-            }
-        }
-
-        // Assemble responses from the per-source exact PPVs. Lookups
-        // borrow (only `Ppv` responses clone, to hand the vector out);
-        // preference requests share one dense scratch across the batch.
-        fn resolve<'a>(
-            fresh: &'a HashMap<NodeId, SparseVector>,
-            cache: &'a PpvCache,
-            u: NodeId,
-        ) -> &'a SparseVector {
-            fresh
-                .get(&u)
-                .or_else(|| cache.peek(u))
-                .expect("source resolved earlier in the batch")
-        }
-        let mut dense: Vec<f64> = Vec::new(); // sized lazily, reused per batch
-        let mut touched: Vec<NodeId> = Vec::new();
-        let mut responses = Vec::with_capacity(requests.len());
-        for req in requests {
-            responses.push(match req {
-                Request::Ppv(u) => Response::Ppv(resolve(&fresh, &self.cache, *u).clone()),
-                Request::TopK { source, k } => {
-                    Response::TopK(resolve(&fresh, &self.cache, *source).top_k_early_cut(*k))
-                }
-                Request::Preference(pref) => {
-                    if dense.is_empty() {
-                        dense = vec![0.0; self.index.node_count()];
-                    }
-                    for &(u, w) in pref {
-                        resolve(&fresh, &self.cache, u).scatter_into(
-                            &mut dense,
-                            &mut touched,
-                            w,
-                        );
-                    }
-                    Response::Ppv(SparseVector::harvest_scratch(&mut dense, &mut touched))
-                }
-            });
-        }
-
-        // Admit the round's PPVs in batch order (deterministic recency).
-        if self.config.cache_capacity_bytes > 0 {
-            for &u in &missing {
-                if let Some(ppv) = fresh.remove(&u) {
-                    self.cache.insert(u, ppv);
-                }
-            }
-        }
-
-        let seconds = t0.elapsed().as_secs_f64();
-        self.stats.requests += requests.len() as u64;
-        self.stats.batches += 1;
-        self.stats.fresh_sources += missing.len() as u64;
-        self.stats.cached_sources += cached_sources as u64;
-        self.stats.busy_seconds += seconds;
-        self.stats.modeled_network_seconds += modeled_network_seconds;
-        self.stats.round_bytes += round_bytes;
-
-        BatchOutcome {
-            responses,
-            cached_sources,
-            fresh_sources: missing.len(),
-            seconds,
-            modeled_network_seconds,
-            round_bytes,
-        }
+        execute_batch(
+            self.index,
+            &self.cluster,
+            &mut self.cache,
+            &self.config,
+            &mut self.stats,
+            requests,
+        )
     }
 
     /// Single-request convenience: exact PPV of `u`.
@@ -360,6 +270,13 @@ impl<'i, I: DistributedQueryable> PprServer<'i, I> {
 
     /// Drop every cached PPV (call after mutating the underlying index,
     /// e.g. via `ppr-core`'s incremental updater).
+    ///
+    /// Invalidation empties the cache *contents only*: cumulative
+    /// [`CacheStats`] (hits, misses, insertions, …) keep accumulating
+    /// across invalidations, with the dropped entries counted under
+    /// [`CacheStats::invalidated`]. For update-aware serving that evicts
+    /// only the sources an update can actually affect, see
+    /// [`DynamicPprServer`](crate::DynamicPprServer).
     pub fn invalidate_cache(&mut self) {
         self.cache.clear();
     }
@@ -367,5 +284,114 @@ impl<'i, I: DistributedQueryable> PprServer<'i, I> {
     /// The serving configuration.
     pub fn config(&self) -> &ServeConfig {
         &self.config
+    }
+}
+
+/// The shared batch engine: one batch, at most one cluster fan-out round.
+/// [`PprServer`] (borrowed static index) and
+/// [`DynamicPprServer`](crate::DynamicPprServer) (owned mutable index)
+/// both delegate here, so the caching/batching/assembly semantics — and
+/// the exactness tests that pin them — cover both front-ends.
+pub(crate) fn execute_batch<I: DistributedQueryable>(
+    index: &I,
+    cluster: &Cluster,
+    cache: &mut PpvCache,
+    config: &ServeConfig,
+    stats: &mut ServeStats,
+    requests: &[Request],
+) -> BatchOutcome {
+    let t0 = Instant::now();
+
+    // Distinct sources, first-appearance order. Probe the cache once
+    // per distinct source so recency and hit accounting are per batch,
+    // not per duplicate.
+    let mut missing: Vec<NodeId> = Vec::new();
+    let mut probed: HashSet<NodeId> = HashSet::new();
+    for req in requests {
+        for u in req.sources() {
+            if probed.insert(u) && cache.get(u).is_none() {
+                missing.push(u);
+            }
+        }
+    }
+    let cached_sources = probed.len() - missing.len();
+
+    // One fan-out round answers every missing source (Eq. 5/7: each
+    // machine ships one reply vector per source; sums are exact PPVs).
+    // Fresh PPVs are admitted to the cache only *after* assembly —
+    // inserting first could evict a resident entry that another
+    // request in this very batch probed successfully.
+    let mut fresh: HashMap<NodeId, SparseVector> = HashMap::new();
+    let mut modeled_network_seconds = 0.0;
+    let mut round_bytes = 0;
+    if !missing.is_empty() {
+        let round = cluster.query_many(index, &missing);
+        modeled_network_seconds = round.modeled_network_seconds;
+        round_bytes = round.total_bytes();
+        stats.rounds += 1;
+        for (u, ppv) in missing.iter().copied().zip(round.results) {
+            fresh.insert(u, ppv);
+        }
+    }
+
+    // Assemble responses from the per-source exact PPVs. Lookups
+    // borrow (only `Ppv` responses clone, to hand the vector out);
+    // preference requests share one dense scratch across the batch.
+    fn resolve<'a>(
+        fresh: &'a HashMap<NodeId, SparseVector>,
+        cache: &'a PpvCache,
+        u: NodeId,
+    ) -> &'a SparseVector {
+        fresh
+            .get(&u)
+            .or_else(|| cache.peek(u))
+            .expect("source resolved earlier in the batch")
+    }
+    let mut dense: Vec<f64> = Vec::new(); // sized lazily, reused per batch
+    let mut touched: Vec<NodeId> = Vec::new();
+    let mut responses = Vec::with_capacity(requests.len());
+    for req in requests {
+        responses.push(match req {
+            Request::Ppv(u) => Response::Ppv(resolve(&fresh, cache, *u).clone()),
+            Request::TopK { source, k } => {
+                Response::TopK(resolve(&fresh, cache, *source).top_k_early_cut(*k))
+            }
+            Request::Preference(pref) => {
+                if dense.is_empty() {
+                    dense = vec![0.0; index.node_count()];
+                }
+                for &(u, w) in pref {
+                    resolve(&fresh, cache, u).scatter_into(&mut dense, &mut touched, w);
+                }
+                Response::Ppv(SparseVector::harvest_scratch(&mut dense, &mut touched))
+            }
+        });
+    }
+
+    // Admit the round's PPVs in batch order (deterministic recency).
+    if config.cache_capacity_bytes > 0 {
+        for &u in &missing {
+            if let Some(ppv) = fresh.remove(&u) {
+                cache.insert(u, ppv);
+            }
+        }
+    }
+
+    let seconds = t0.elapsed().as_secs_f64();
+    stats.requests += requests.len() as u64;
+    stats.batches += 1;
+    stats.fresh_sources += missing.len() as u64;
+    stats.cached_sources += cached_sources as u64;
+    stats.busy_seconds += seconds;
+    stats.modeled_network_seconds += modeled_network_seconds;
+    stats.round_bytes += round_bytes;
+
+    BatchOutcome {
+        responses,
+        cached_sources,
+        fresh_sources: missing.len(),
+        seconds,
+        modeled_network_seconds,
+        round_bytes,
     }
 }

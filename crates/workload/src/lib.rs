@@ -16,7 +16,7 @@
 //! identical graph.
 
 use ppr_graph::generators::{hierarchical_sbm, HsbmConfig};
-use ppr_graph::{CsrGraph, NodeId};
+use ppr_graph::{CsrGraph, EdgeUpdate, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -270,6 +270,161 @@ impl ZipfQueryStream {
     }
 }
 
+/// One event of a mixed read/write workload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MixedEvent {
+    /// A PPV query for this source node.
+    Query(NodeId),
+    /// A batch of edge updates to apply before serving further queries.
+    Update(Vec<EdgeUpdate>),
+}
+
+/// Knobs of the [`MixedStream`] generator.
+#[derive(Clone, Copy, Debug)]
+pub struct MixedStreamConfig {
+    /// Probability that the next event is an update batch (vs a query).
+    pub update_rate: f64,
+    /// Edge updates per update batch (batches may come out smaller when
+    /// the generator runs out of valid candidates).
+    pub updates_per_batch: usize,
+    /// Probability that a single update is an insertion (vs a removal).
+    pub insert_fraction: f64,
+    /// Zipf exponent of the query side (see [`ZipfQueryStream`]).
+    pub zipf_exponent: f64,
+}
+
+impl Default for MixedStreamConfig {
+    fn default() -> Self {
+        Self {
+            update_rate: 0.05,
+            updates_per_batch: 4,
+            insert_fraction: 0.5,
+            zipf_exponent: 1.1,
+        }
+    }
+}
+
+/// Mixed read/write stream: Zipf-skewed queries interleaved with seeded
+/// edge-update batches — the workload a *dynamic* serving system faces.
+///
+/// The generator tracks the evolving edge set itself, so every emitted
+/// update is valid against the graph state produced by all earlier
+/// events: insertions never duplicate a live edge or create a self-loop,
+/// and removals never take a node's **last** out-edge (queryable nodes
+/// must stay queryable — PPR denominators are out-degrees). Queries rank
+/// popularity on the *initial* graph, matching how real traffic skew
+/// shifts far slower than the edge set churns. Fully deterministic for a
+/// given `(graph, config, seed)`.
+pub struct MixedStream {
+    zipf: ZipfQueryStream,
+    /// Live edge list (swap-remove order) + membership set + out-degrees,
+    /// kept in lockstep with the emitted updates.
+    edges: Vec<(NodeId, NodeId)>,
+    edge_set: std::collections::HashSet<(NodeId, NodeId)>,
+    out_degree: Vec<u32>,
+    cfg: MixedStreamConfig,
+    rng: StdRng,
+}
+
+impl MixedStream {
+    /// Build a stream starting from `g`. Panics on invalid probabilities
+    /// or (via [`ZipfQueryStream`]) a graph with no queryable node.
+    pub fn new(g: &CsrGraph, cfg: MixedStreamConfig, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&cfg.update_rate),
+            "update_rate must be a probability, got {}",
+            cfg.update_rate
+        );
+        assert!(
+            (0.0..=1.0).contains(&cfg.insert_fraction),
+            "insert_fraction must be a probability, got {}",
+            cfg.insert_fraction
+        );
+        let edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+        let edge_set = edges.iter().copied().collect();
+        let out_degree = (0..g.node_count() as NodeId).map(|v| g.out_degree(v)).collect();
+        Self {
+            zipf: ZipfQueryStream::new(g, cfg.zipf_exponent, seed),
+            edges,
+            edge_set,
+            out_degree,
+            cfg,
+            rng: StdRng::seed_from_u64(seed ^ 0x5EED_ED6E),
+        }
+    }
+
+    /// Number of live edges in the tracked graph state.
+    pub fn live_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Draw the next event.
+    pub fn next_event(&mut self) -> MixedEvent {
+        if self.rng.random_bool(self.cfg.update_rate) {
+            MixedEvent::Update(self.next_update_batch())
+        } else {
+            MixedEvent::Query(self.zipf.next_query())
+        }
+    }
+
+    /// Draw `count` events.
+    pub fn take(&mut self, count: usize) -> Vec<MixedEvent> {
+        (0..count).map(|_| self.next_event()).collect()
+    }
+
+    fn next_update_batch(&mut self) -> Vec<EdgeUpdate> {
+        let mut batch = Vec::with_capacity(self.cfg.updates_per_batch);
+        for _ in 0..self.cfg.updates_per_batch {
+            let want_insert = self.rng.random_bool(self.cfg.insert_fraction);
+            // A removal that finds no safe candidate falls back to an
+            // insertion (and vice versa), keeping batch sizes stable on
+            // extreme graphs.
+            let up = if want_insert {
+                self.gen_insert().or_else(|| self.gen_remove())
+            } else {
+                self.gen_remove().or_else(|| self.gen_insert())
+            };
+            match up {
+                Some(u) => batch.push(u),
+                None => break,
+            }
+        }
+        batch
+    }
+
+    fn gen_insert(&mut self) -> Option<EdgeUpdate> {
+        let n = self.out_degree.len() as NodeId;
+        for _ in 0..64 {
+            let u = self.rng.random_range(0..n);
+            let v = self.rng.random_range(0..n);
+            if u != v && !self.edge_set.contains(&(u, v)) {
+                self.edges.push((u, v));
+                self.edge_set.insert((u, v));
+                self.out_degree[u as usize] += 1;
+                return Some(EdgeUpdate::Insert(u, v));
+            }
+        }
+        None
+    }
+
+    fn gen_remove(&mut self) -> Option<EdgeUpdate> {
+        if self.edges.is_empty() {
+            return None;
+        }
+        for _ in 0..64 {
+            let idx = self.rng.random_range(0..self.edges.len());
+            let (u, v) = self.edges[idx];
+            if self.out_degree[u as usize] >= 2 {
+                self.edges.swap_remove(idx);
+                self.edge_set.remove(&(u, v));
+                self.out_degree[u as usize] -= 1;
+                return Some(EdgeUpdate::Remove(u, v));
+            }
+        }
+        None
+    }
+}
+
 /// Random query workload: `count` distinct nodes with at least one
 /// out-edge (the paper queries 1000 random nodes per graph, §6.1).
 pub fn query_nodes(g: &CsrGraph, count: usize, seed: u64) -> Vec<NodeId> {
@@ -399,5 +554,73 @@ mod tests {
     fn zipf_rejects_negative_exponent() {
         let g = Dataset::Email.generate_with_nodes(300);
         ZipfQueryStream::new(&g, -1.0, 0);
+    }
+
+    #[test]
+    fn mixed_stream_is_deterministic() {
+        let g = Dataset::Email.generate_with_nodes(400);
+        let cfg = MixedStreamConfig {
+            update_rate: 0.3,
+            ..Default::default()
+        };
+        let a = MixedStream::new(&g, cfg, 11).take(200);
+        let b = MixedStream::new(&g, cfg, 11).take(200);
+        assert_eq!(a, b);
+        assert!(a.iter().any(|e| matches!(e, MixedEvent::Update(_))));
+        assert!(a.iter().any(|e| matches!(e, MixedEvent::Query(_))));
+    }
+
+    #[test]
+    fn mixed_stream_updates_are_valid_against_evolving_graph() {
+        use ppr_graph::delta::apply_edge_updates;
+        let g0 = Dataset::Email.generate_with_nodes(300);
+        let mut stream = MixedStream::new(
+            &g0,
+            MixedStreamConfig {
+                update_rate: 0.5,
+                updates_per_batch: 3,
+                ..Default::default()
+            },
+            7,
+        );
+        let mut g = g0;
+        let mut batches = 0;
+        for event in stream.take(120) {
+            match event {
+                MixedEvent::Query(u) => assert!(g.out_degree(u) > 0, "query {u} not queryable"),
+                MixedEvent::Update(batch) => {
+                    batches += 1;
+                    for &up in &batch {
+                        // Every update must change the tracked graph...
+                        assert!(up.is_effective(&g), "{up:?} is a no-op");
+                        // ...and removals must never orphan a source.
+                        if let EdgeUpdate::Remove(u, _) = up {
+                            assert!(g.out_degree(u) >= 2, "removal orphans {u}");
+                        }
+                        g = apply_edge_updates(&g, &[up]);
+                    }
+                }
+            }
+        }
+        assert!(batches > 20, "only {batches} update batches at rate 0.5");
+        assert_eq!(g.edge_count(), stream.live_edges());
+    }
+
+    #[test]
+    fn mixed_stream_zero_rate_is_pure_queries() {
+        let g = Dataset::Email.generate_with_nodes(300);
+        let cfg = MixedStreamConfig {
+            update_rate: 0.0,
+            ..Default::default()
+        };
+        let events = MixedStream::new(&g, cfg, 3).take(100);
+        assert!(events.iter().all(|e| matches!(e, MixedEvent::Query(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "update_rate")]
+    fn mixed_stream_rejects_bad_rate() {
+        let g = Dataset::Email.generate_with_nodes(200);
+        MixedStream::new(&g, MixedStreamConfig { update_rate: 1.5, ..Default::default() }, 0);
     }
 }

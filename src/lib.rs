@@ -63,9 +63,14 @@ pub mod prelude {
     };
     pub use ppr_graph::{
         generators::{gnp_directed, hierarchical_sbm, HsbmConfig},
-        Adjacency, CsrGraph, GraphBuilder, NodeId,
+        Adjacency, CsrGraph, EdgeUpdate, GraphBuilder, NodeId,
     };
     pub use ppr_metrics::{avg_l1, kendall_tau_top_k, l_inf, precision_at_k, rag_at_k};
-    pub use ppr_serve::{PprServer, Request, Response, ServeConfig};
-    pub use ppr_workload::{Dataset, DatasetSpec, ZipfQueryStream};
+    pub use ppr_serve::{
+        DynamicPprServer, OpenLoopConfig, OpenLoopReport, PprServer, Request, Response,
+        ServeConfig, ServeEvent, ServiceModel,
+    };
+    pub use ppr_workload::{
+        Dataset, DatasetSpec, MixedEvent, MixedStream, MixedStreamConfig, ZipfQueryStream,
+    };
 }

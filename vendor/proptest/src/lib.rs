@@ -32,8 +32,16 @@ pub struct ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// 64 cases, overridable by the `PROPTEST_CASES` environment variable
+    /// (mirroring the real crate). Tests that want a deep-fuzzing budget
+    /// under CI's scheduled run should use this default rather than a
+    /// hard-coded `with_cases`, which always wins over the environment.
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
     }
 }
 
