@@ -1,12 +1,13 @@
 //! Criterion micro-benchmarks for the serving hot path: cache hits vs
-//! cold fan-out rounds, batched vs per-query rounds, and the top-k
-//! early-cut selection vs the full sort.
+//! cold fan-out rounds, batched vs per-query rounds, the top-k early-cut
+//! selection vs the full sort, and thread-scaling of the sharded server
+//! (1/2/4/8 workers; wall-clock, so the scaling shows the host's cores).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ppr_cluster::Cluster;
+use ppr_cluster::{Cluster, ClusterConfig, ParallelismMode};
 use ppr_core::hgpa::{HgpaBuildOptions, HgpaIndex};
 use ppr_core::PprConfig;
-use ppr_serve::{PprServer, Request, ServeConfig};
+use ppr_serve::{PprServer, Request, ServeConfig, ShardedPprServer};
 use ppr_workload::{Dataset, ZipfQueryStream};
 use std::hint::black_box;
 
@@ -88,5 +89,46 @@ fn serving(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, serving);
+/// Thread-scaling: one uncached 64-request batch through the sharded
+/// server at 1/2/4/8 workers (reader shards + fan-out threads), and the
+/// raw threaded fan-out round next to the sequential one. Per-iteration
+/// time shrinking with workers is real parallel speedup; on a single
+/// core the lines collapse (plus thread overhead) by design.
+fn scaling(c: &mut Criterion) {
+    let g = Dataset::Web.generate_with_nodes(3_000);
+    let cfg = PprConfig::default();
+    let hgpa = HgpaIndex::build(&g, &cfg, &HgpaBuildOptions::default());
+
+    let sources: Vec<u32> = ZipfQueryStream::new(&g, 0.0, 23).take(64);
+    let requests: Vec<Request> = sources.iter().map(|&u| Request::Ppv(u)).collect();
+
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_function(&format!("server_batch_64_workers_{workers}"), |b| {
+            b.iter(|| {
+                let mut s = ShardedPprServer::new(
+                    &hgpa,
+                    ServeConfig {
+                        cache_capacity_bytes: 0,
+                        shards: workers,
+                        parallelism: ParallelismMode::with_workers(workers),
+                        ..Default::default()
+                    },
+                );
+                black_box(s.run_batch(&requests))
+            })
+        });
+        group.bench_function(&format!("fanout_round_64_workers_{workers}"), |b| {
+            let cluster = Cluster::new(ClusterConfig {
+                parallelism: ParallelismMode::with_workers(workers),
+                ..ClusterConfig::default()
+            });
+            b.iter(|| black_box(cluster.query_many(&hgpa, &sources)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, serving, scaling);
 criterion_main!(benches);

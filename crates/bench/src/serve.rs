@@ -24,22 +24,31 @@
 //!   edge-update batch rather than a query (0.02)
 //! * `PPR_SERVE_ARRIVAL_QPS` — open-loop: mean Poisson arrival rate in
 //!   events per virtual second (600); 0 skips the open-loop phase
+//! * `PPR_SERVE_SHARDS` — comma-separated worker/shard counts for the
+//!   thread-scaling phase (`1,2,4,8`); empty skips the phase
+//!
+//! A **thread-scaling phase** closes the report: the same request stream
+//! through [`ppr_serve::ShardedPprServer`] at each `PPR_SERVE_SHARDS`
+//! count (reader shards *and* cluster fan-out workers), wall-clock
+//! timed, with throughput/p50/p99 and the speedup over one worker. On a
+//! single-core host the speedup hovers near 1x — the phase measures the
+//! hardware, not a model.
 
 use crate::report::{fmt_bytes, Table};
 use crate::{dataset_graph, default_hgpa_opts, Profile};
-use ppr_cluster::DistributedQueryable;
+use ppr_cluster::{DistributedQueryable, ParallelismMode};
 use ppr_core::gpa::{GpaBuildOptions, GpaIndex};
 use ppr_core::hgpa::HgpaIndex;
 use ppr_core::PprConfig;
 use ppr_graph::CsrGraph;
 use ppr_serve::{
-    run_open_loop, DynamicPprServer, OpenLoopConfig, OpenLoopReport, PprServer, Request,
-    ServeConfig, ServeEvent, ServiceModel,
+    run_open_loop, BatchOutcome, DynamicPprServer, OpenLoopConfig, OpenLoopReport, PprServer,
+    Request, ServeConfig, ServeEvent, ServiceModel, ShardedPprServer,
 };
 use ppr_workload::{Dataset, MixedEvent, MixedStream, MixedStreamConfig, ZipfQueryStream};
 
 /// Load-generator parameters (env-overridable; see module docs).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServeKnobs {
     /// Total requests driven through each server.
     pub queries: usize,
@@ -54,6 +63,9 @@ pub struct ServeKnobs {
     /// Open-loop phase: mean arrival rate (events per virtual second);
     /// zero disables the phase.
     pub arrival_qps: f64,
+    /// Thread-scaling phase: worker/shard counts to sweep; empty
+    /// disables the phase.
+    pub shards: Vec<usize>,
 }
 
 impl ServeKnobs {
@@ -65,6 +77,14 @@ impl ServeKnobs {
         let env_f64 = |k: &str, d: f64| {
             std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
         };
+        let shards = match std::env::var("PPR_SERVE_SHARDS") {
+            Ok(v) => v
+                .split(',')
+                .filter_map(|s| s.trim().parse::<usize>().ok())
+                .filter(|&s| s >= 1)
+                .collect(),
+            Err(_) => vec![1, 2, 4, 8],
+        };
         Self {
             // At least one request: the percentile report needs a sample.
             queries: env_usize("PPR_SERVE_QUERIES", profile.queries * 50).max(1),
@@ -73,6 +93,7 @@ impl ServeKnobs {
             cache_bytes: env_usize("PPR_SERVE_CACHE_KB", 16 * 1024) as u64 * 1024,
             update_rate: env_f64("PPR_SERVE_UPDATE_RATE", 0.02),
             arrival_qps: env_f64("PPR_SERVE_ARRIVAL_QPS", 600.0),
+            shards,
         }
     }
 }
@@ -187,9 +208,49 @@ pub fn measure_open_loop(
     )
 }
 
-/// Drive `requests` through a fresh server over `index`; per-request
-/// latency is its batch's real compute time plus the round's modeled wire
-/// time (every request in a batch completes when the batch does).
+/// The shared closed-loop driver: feed `requests` batch by batch to
+/// `run_batch`, pricing each request at its batch's real compute time
+/// plus the round's modeled wire time (every request in a batch
+/// completes when the batch does). Returns per-request latencies and the
+/// total.
+fn drive_batches(
+    requests: &[Request],
+    batch: usize,
+    mut run_batch: impl FnMut(&[Request]) -> BatchOutcome,
+) -> (Vec<f64>, f64) {
+    let mut latencies = Vec::with_capacity(requests.len());
+    let mut seconds = 0.0;
+    for chunk in requests.chunks(batch.max(1)) {
+        let out = run_batch(chunk);
+        let latency = out.seconds + out.modeled_network_seconds;
+        seconds += latency;
+        latencies.extend(std::iter::repeat_n(latency, chunk.len()));
+    }
+    (latencies, seconds)
+}
+
+fn summarize(
+    requests: usize,
+    latencies: &[f64],
+    seconds: f64,
+    stats: &ppr_serve::ServeStats,
+    cache_bytes: u64,
+) -> ServeSummary {
+    ServeSummary {
+        queries: requests,
+        seconds,
+        throughput_qps: requests as f64 / seconds.max(1e-12),
+        p50_ms: percentile(latencies, 0.50) * 1e3,
+        p99_ms: percentile(latencies, 0.99) * 1e3,
+        hit_rate: stats.source_hit_rate(),
+        fresh_sources: stats.fresh_sources,
+        round_bytes: stats.round_bytes,
+        cache_bytes,
+    }
+}
+
+/// Drive `requests` through a fresh (single-shard, sequential-assembly)
+/// server over `index`.
 pub fn measure<I: DistributedQueryable>(
     index: &I,
     requests: &[Request],
@@ -203,26 +264,34 @@ pub fn measure<I: DistributedQueryable>(
             ..Default::default()
         },
     );
-    let mut latencies = Vec::with_capacity(requests.len());
-    let mut seconds = 0.0;
-    for batch in requests.chunks(knobs.batch.max(1)) {
-        let out = server.run_batch(batch);
-        let latency = out.seconds + out.modeled_network_seconds;
-        seconds += latency;
-        latencies.extend(std::iter::repeat_n(latency, batch.len()));
-    }
+    let (latencies, seconds) = drive_batches(requests, knobs.batch, |b| server.run_batch(b));
     let stats = *server.stats();
-    ServeSummary {
-        queries: requests.len(),
-        seconds,
-        throughput_qps: requests.len() as f64 / seconds.max(1e-12),
-        p50_ms: percentile(&latencies, 0.50) * 1e3,
-        p99_ms: percentile(&latencies, 0.99) * 1e3,
-        hit_rate: stats.source_hit_rate(),
-        fresh_sources: stats.fresh_sources,
-        round_bytes: stats.round_bytes,
-        cache_bytes: server.cache_bytes(),
-    }
+    summarize(requests.len(), &latencies, seconds, &stats, server.cache_bytes())
+}
+
+/// Drive `requests` through a fresh [`ShardedPprServer`] with `workers`
+/// reader shards and `workers` cluster fan-out threads (`workers == 1`
+/// is the sequential fallback), wall-clock timed — the thread-scaling
+/// measurement.
+pub fn measure_sharded<I: DistributedQueryable>(
+    index: &I,
+    requests: &[Request],
+    knobs: &ServeKnobs,
+    workers: usize,
+) -> ServeSummary {
+    let mut server = ShardedPprServer::new(
+        index,
+        ServeConfig {
+            cache_capacity_bytes: knobs.cache_bytes,
+            max_batch: knobs.batch,
+            shards: workers,
+            parallelism: ParallelismMode::with_workers(workers),
+            ..Default::default()
+        },
+    );
+    let (latencies, seconds) = drive_batches(requests, knobs.batch, |b| server.run_batch(b));
+    let stats = *server.stats();
+    summarize(requests.len(), &latencies, seconds, &stats, server.cache_bytes())
 }
 
 /// Run the serving scenario and print the comparison table.
@@ -257,7 +326,7 @@ pub fn run(profile: &Profile) {
                 &requests,
                 &ServeKnobs {
                     cache_bytes: 0,
-                    ..knobs
+                    ..knobs.clone()
                 },
             ),
         ),
@@ -302,6 +371,39 @@ pub fn run(profile: &Profile) {
         cached.throughput_qps / uncached.throughput_qps.max(1e-12),
         uncached.round_bytes as f64 / cached.round_bytes.max(1) as f64,
     );
+
+    // Thread-scaling phase: the same stream through the sharded server
+    // at each worker count. Wall-clock, so the speedup column measures
+    // the host's real parallelism (≈1x on a single core by design).
+    if !knobs.shards.is_empty() {
+        let scaled: Vec<(usize, ServeSummary)> = knobs
+            .shards
+            .iter()
+            .map(|&w| (w, measure_sharded(&hgpa, &requests, &knobs, w)))
+            .collect();
+        let base_qps = scaled
+            .iter()
+            .find(|(w, _)| *w == 1)
+            .map(|(_, s)| s.throughput_qps)
+            .unwrap_or_else(|| scaled[0].1.throughput_qps);
+        let mut t = Table::new(
+            format!(
+                "Thread scaling (sharded HGPA, wall clock): {} requests, batch {}",
+                knobs.queries, knobs.batch,
+            ),
+            &["workers", "throughput", "p50", "p99", "speedup"],
+        );
+        for (w, s) in &scaled {
+            t.row(vec![
+                w.to_string(),
+                format!("{:.0} q/s", s.throughput_qps),
+                format!("{:.2} ms", s.p50_ms),
+                format!("{:.2} ms", s.p99_ms),
+                format!("{:.2}x", s.throughput_qps / base_qps.max(1e-12)),
+            ]);
+        }
+        t.print();
+    }
 
     if knobs.arrival_qps > 0.0 {
         let report = measure_open_loop(&g, hgpa, &knobs, ServiceModel::Measured);
@@ -355,6 +457,7 @@ mod tests {
             cache_bytes: 8 << 20,
             update_rate: 0.1,
             arrival_qps: 400.0,
+            shards: vec![1, 2],
         }
     }
 
@@ -400,6 +503,26 @@ mod tests {
         assert!(with_cache.fresh_sources < without.fresh_sources);
         assert!(with_cache.round_bytes < without.round_bytes);
         assert_eq!(without.hit_rate, 0.0);
+    }
+
+    #[test]
+    fn sharded_measure_reports_sane_numbers_at_every_worker_count() {
+        let profile = Profile {
+            node_cap: Some(900),
+            queries: 4,
+            ..Profile::quick()
+        };
+        let g = dataset_graph(Dataset::Web, &profile);
+        let idx = HgpaIndex::build(&g, &PprConfig::default(), &default_hgpa_opts(4));
+        let knobs = tiny_knobs();
+        let requests = request_mix(&mut ZipfQueryStream::new(&g, knobs.zipf, 5), knobs.queries);
+        for workers in [1usize, 2, 4] {
+            let s = measure_sharded(&idx, &requests, &knobs, workers);
+            assert_eq!(s.queries, 120, "workers {workers}");
+            assert!(s.throughput_qps > 0.0);
+            assert!(s.p99_ms >= s.p50_ms);
+            assert!(s.fresh_sources > 0 && s.round_bytes > 0);
+        }
     }
 
     #[test]

@@ -20,7 +20,7 @@
 
 use crate::push::PushEngine;
 use crate::skeleton::SkeletonEngine;
-use crate::{PprConfig, SparseVector};
+use crate::{PprConfig, Scratch, SparseVector};
 use ppr_graph::{CsrGraph, NodeId, ViewBuilder};
 use ppr_partition::{flat_partition, CoverAlgorithm, FlatPartition, PartitionConfig};
 
@@ -238,22 +238,36 @@ impl GpaIndex {
         preference: &[(NodeId, f64)],
         machine: u32,
     ) -> SparseVector {
+        let mut scratch = Scratch::with_len(self.n);
+        self.machine_vector_preference_into(preference, machine, &mut scratch)
+    }
+
+    /// [`GpaIndex::machine_vector_preference`] accumulating into a
+    /// caller-owned [`Scratch`] — bit-identical output, but a fan-out
+    /// worker answering many queries pays the O(n) dense allocation once
+    /// instead of once per call.
+    pub fn machine_vector_preference_into(
+        &self,
+        preference: &[(NodeId, f64)],
+        machine: u32,
+        scratch: &mut Scratch,
+    ) -> SparseVector {
         let alpha = self.cfg.alpha;
-        let mut dense = vec![0.0f64; self.n];
-        let mut touched: Vec<NodeId> = Vec::new();
+        scratch.ensure(self.n);
+        let (dense, touched) = scratch.parts();
 
         for &(u, w) in preference {
             for (rank, &h) in self.partition.hubs.iter().enumerate() {
                 if self.machine_of_hub[rank] != machine {
                     continue;
                 }
-                self.accumulate_hub_term(u, w, h, rank, alpha, &mut dense, &mut touched);
+                self.accumulate_hub_term(u, w, h, rank, alpha, dense, touched);
             }
             if self.machine_of_node(u) == machine {
-                self.base[u as usize].scatter_into(&mut dense, &mut touched, w);
+                self.base[u as usize].scatter_into(dense, touched, w);
             }
         }
-        harvest(dense, touched)
+        scratch.harvest()
     }
 
     /// Exact PPV of `u`, reconstructed centrally (all machines' work in one

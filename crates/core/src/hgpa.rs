@@ -29,7 +29,7 @@
 use crate::gpa::harvest;
 use crate::push::PushEngine;
 use crate::skeleton::SkeletonEngine;
-use crate::{PprConfig, SparseVector};
+use crate::{PprConfig, Scratch, SparseVector};
 use ppr_graph::{CsrGraph, NodeId, ViewBuilder};
 use ppr_partition::{Hierarchy, HierarchyConfig};
 
@@ -300,12 +300,26 @@ impl HgpaIndex {
         preference: &[(NodeId, f64)],
         machine: u32,
     ) -> SparseVector {
-        let mut dense = vec![0.0f64; self.n];
-        let mut touched: Vec<NodeId> = Vec::new();
+        let mut scratch = Scratch::with_len(self.n);
+        self.machine_vector_preference_into(preference, machine, &mut scratch)
+    }
+
+    /// [`HgpaIndex::machine_vector_preference`] accumulating into a
+    /// caller-owned [`Scratch`] — bit-identical output, but a fan-out
+    /// worker answering many queries pays the O(n) dense allocation once
+    /// instead of once per call.
+    pub fn machine_vector_preference_into(
+        &self,
+        preference: &[(NodeId, f64)],
+        machine: u32,
+        scratch: &mut Scratch,
+    ) -> SparseVector {
+        scratch.ensure(self.n);
+        let (dense, touched) = scratch.parts();
         for &(u, w) in preference {
-            self.accumulate_query(u, w, Some(machine), &mut dense, &mut touched);
+            self.accumulate_query(u, w, Some(machine), dense, touched);
         }
-        harvest(dense, touched)
+        scratch.harvest()
     }
 
     fn accumulate_query(

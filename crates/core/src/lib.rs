@@ -40,7 +40,7 @@ pub mod push;
 pub mod skeleton;
 pub mod sparse;
 
-pub use sparse::SparseVector;
+pub use sparse::{Scratch, SparseVector};
 
 /// Shared configuration for all PPV computations.
 #[derive(Clone, Copy, Debug, PartialEq)]

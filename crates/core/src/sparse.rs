@@ -256,6 +256,68 @@ impl SparseVector {
     }
 }
 
+/// A reusable dense-accumulation arena: one zeroed dense buffer plus its
+/// touch list, the pair every harvesting path in the workspace threads
+/// through [`SparseVector::scatter_into`] / [`SparseVector::harvest_scratch`].
+///
+/// Query sessions, machine fan-out workers, and the serving layer's
+/// response assembly all accumulate sparse vectors densely and sparsify
+/// once. Allocating the O(n) dense buffer per query is the dominant
+/// constant on small batches, so hot paths hold one `Scratch` per worker
+/// and reuse it across calls: [`Scratch::harvest`] returns the buffers to
+/// the all-zero state, making reuse free of cross-call contamination.
+///
+/// Harvest semantics (zero filtering, touch-order independence) are
+/// exactly [`SparseVector::harvest_scratch`]'s, so results are
+/// bit-identical to a fresh allocation.
+#[derive(Clone, Debug, Default)]
+pub struct Scratch {
+    dense: Vec<f64>,
+    touched: Vec<NodeId>,
+}
+
+impl Scratch {
+    /// Empty arena; grows on first [`Scratch::ensure`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arena pre-sized for vectors over `n` nodes.
+    pub fn with_len(n: usize) -> Self {
+        Self {
+            dense: vec![0.0; n],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Grow the dense buffer to cover `n` nodes (never shrinks). New
+    /// slots are zero, matching the harvested-state invariant.
+    pub fn ensure(&mut self, n: usize) {
+        if self.dense.len() < n {
+            self.dense.resize(n, 0.0);
+        }
+    }
+
+    /// Accumulate `scale * v` into the arena.
+    pub fn scatter(&mut self, v: &SparseVector, scale: f64) {
+        v.scatter_into(&mut self.dense, &mut self.touched, scale);
+    }
+
+    /// Sparsify the accumulated sum and reset the arena to all-zero so
+    /// the next accumulation can reuse it.
+    pub fn harvest(&mut self) -> SparseVector {
+        SparseVector::harvest_scratch(&mut self.dense, &mut self.touched)
+    }
+
+    /// The raw `(dense, touched)` pair, for callers (index kernels) that
+    /// accumulate through their own inner loops. The caller must record
+    /// every first touch in `touched`, as [`SparseVector::scatter_into`]
+    /// does, and finish with [`Scratch::harvest`].
+    pub fn parts(&mut self) -> (&mut [f64], &mut Vec<NodeId>) {
+        (&mut self.dense, &mut self.touched)
+    }
+}
+
 impl FromIterator<(NodeId, f64)> for SparseVector {
     fn from_iter<T: IntoIterator<Item = (NodeId, f64)>>(iter: T) -> Self {
         Self::from_entries(iter.into_iter().collect())

@@ -123,6 +123,95 @@ pub fn apply_effective_updates(g: &CsrGraph, updates: &[EdgeUpdate]) -> AppliedD
     }
 }
 
+/// The result of [`coalesce_updates`].
+#[derive(Clone, Debug)]
+pub struct CoalescedDelta {
+    /// The rebuilt graph (identical to applying the raw batch), or `None`
+    /// when `net` is empty — the batch had no net effect, so the original
+    /// graph stands and no O(nodes + edges) rebuild was paid.
+    pub graph: Option<CsrGraph>,
+    /// The **net** changes: at most one update per edge, in order of each
+    /// edge's first effective mention. Applying `net` to the original
+    /// graph reproduces `graph` exactly, and every member is effective
+    /// against the original graph.
+    pub net: Vec<EdgeUpdate>,
+    /// Updates dropped as no-ops against the evolving edge set (inserting
+    /// a present edge, removing an absent one, self-loops).
+    pub skipped: usize,
+    /// *Effective* updates eliminated because a later update in the batch
+    /// reversed them (insert-then-delete, delete-then-reinsert): the
+    /// count of updates that changed the edge set in sequence but cancel
+    /// in the net. Always an even number per edge.
+    pub cancelled: usize,
+}
+
+/// Coalesce a batch down to its **net** edge-set change before it reaches
+/// the (expensive) incremental index updater.
+///
+/// [`apply_effective_updates`] preserves sequential semantics: an
+/// insert-then-delete pair counts as two effective updates, each of which
+/// would dirty the endpoint's whole root-to-home subgraph chain in
+/// `ppr-core::incremental` — recomputation for a change that is not
+/// there. This pass instead compares each touched edge's *final* presence
+/// against its presence in `g` and emits at most one update per edge:
+/// redundant inserts and removes are dropped as no-ops (`skipped`), and
+/// effective-but-reversed pairs cancel (`cancelled`). Feeding `net` to
+/// sequential application — or to the incremental updater — yields the
+/// same graph, while batches that churn the same edges (bursty streams,
+/// retries) cost proportionally less maintenance.
+pub fn coalesce_updates(g: &CsrGraph, updates: &[EdgeUpdate]) -> CoalescedDelta {
+    use std::collections::HashMap;
+    // Evolving presence overlay, as in `apply_effective_updates`, plus
+    // each edge's first effective position for deterministic net order.
+    let mut overlay: HashMap<(NodeId, NodeId), bool> = HashMap::new();
+    let mut first_touch: HashMap<(NodeId, NodeId), usize> = HashMap::new();
+    let mut order: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut skipped = 0usize;
+    let mut effective = 0usize;
+    for &up in updates {
+        let e = up.endpoints();
+        let present = *overlay.entry(e).or_insert_with(|| g.has_edge(e.0, e.1));
+        let effect = match up {
+            EdgeUpdate::Insert(u, v) => u != v && !present,
+            EdgeUpdate::Remove(..) => present,
+        };
+        if effect {
+            overlay.insert(e, matches!(up, EdgeUpdate::Insert(..)));
+            effective += 1;
+            if first_touch.insert(e, order.len()).is_none() {
+                order.push(e);
+            }
+        } else {
+            skipped += 1;
+        }
+    }
+
+    let mut net = Vec::new();
+    for &(u, v) in &order {
+        let was = g.has_edge(u, v);
+        let is = overlay[&(u, v)];
+        match (was, is) {
+            (false, true) => net.push(EdgeUpdate::Insert(u, v)),
+            (true, false) => net.push(EdgeUpdate::Remove(u, v)),
+            _ => {} // reversed within the batch: cancels
+        }
+    }
+    let cancelled = effective - net.len();
+    // A batch with no net effect leaves the graph alone — skip the
+    // rebuild entirely so cancelled churn really costs nothing.
+    let graph = if net.is_empty() {
+        None
+    } else {
+        Some(apply_edge_updates(g, &net))
+    };
+    CoalescedDelta {
+        graph,
+        net,
+        skipped,
+        cancelled,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,6 +277,87 @@ mod tests {
             seq = apply_edge_updates(&seq, &[up]);
         }
         assert!(d.graph.edges().eq(seq.edges()));
+    }
+
+    #[test]
+    fn coalescing_cancels_insert_then_delete() {
+        let g = from_edges(4, &[(0, 1), (1, 2)]);
+        let d = coalesce_updates(
+            &g,
+            &[EdgeUpdate::Insert(2, 3), EdgeUpdate::Remove(2, 3)],
+        );
+        assert!(d.net.is_empty(), "reversed pair must cancel: {:?}", d.net);
+        assert_eq!((d.skipped, d.cancelled), (0, 2));
+        assert!(d.graph.is_none(), "no net effect: no rebuild");
+    }
+
+    #[test]
+    fn coalescing_cancels_delete_then_reinsert() {
+        let g = from_edges(4, &[(0, 1), (1, 2)]);
+        let d = coalesce_updates(
+            &g,
+            &[EdgeUpdate::Remove(0, 1), EdgeUpdate::Insert(0, 1)],
+        );
+        assert!(d.net.is_empty());
+        assert_eq!(d.cancelled, 2);
+        assert!(d.graph.is_none(), "no net effect: no rebuild");
+    }
+
+    #[test]
+    fn coalescing_merges_duplicates_and_noops() {
+        let g = from_edges(5, &[(0, 1), (1, 2)]);
+        let d = coalesce_updates(
+            &g,
+            &[
+                EdgeUpdate::Insert(3, 4), // effective
+                EdgeUpdate::Insert(3, 4), // duplicate: no-op
+                EdgeUpdate::Insert(0, 1), // already present: no-op
+                EdgeUpdate::Remove(2, 3), // absent: no-op
+                EdgeUpdate::Insert(2, 2), // self-loop: no-op
+                EdgeUpdate::Remove(1, 2), // effective
+            ],
+        );
+        assert_eq!(
+            d.net,
+            vec![EdgeUpdate::Insert(3, 4), EdgeUpdate::Remove(1, 2)]
+        );
+        assert_eq!((d.skipped, d.cancelled), (4, 0));
+        let rebuilt = d.graph.expect("non-empty net rebuilds");
+        assert!(rebuilt.has_edge(3, 4) && !rebuilt.has_edge(1, 2));
+    }
+
+    #[test]
+    fn coalesced_net_matches_raw_application() {
+        // Churny batch: every flavor of redundancy at once. The net must
+        // rebuild the same graph, contain at most one update per edge,
+        // and each net update must be effective against the original.
+        let g = from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let updates = [
+            EdgeUpdate::Insert(5, 0),
+            EdgeUpdate::Remove(5, 0), // cancels the insert
+            EdgeUpdate::Remove(1, 2),
+            EdgeUpdate::Insert(1, 2), // cancels the remove
+            EdgeUpdate::Insert(0, 2),
+            EdgeUpdate::Insert(0, 2), // duplicate
+            EdgeUpdate::Remove(2, 3),
+            EdgeUpdate::Insert(2, 3), // cancels
+            EdgeUpdate::Remove(2, 3), // ...and re-removes: net Remove
+        ];
+        let d = coalesce_updates(&g, &updates);
+        let rebuilt = d.graph.expect("non-empty net rebuilds");
+        assert!(rebuilt.edges().eq(apply_edge_updates(&g, &updates).edges()));
+        let mut seen = std::collections::HashSet::new();
+        for up in &d.net {
+            assert!(seen.insert(up.endpoints()), "one net update per edge");
+            assert!(up.is_effective(&g), "{up:?} must be effective on g");
+        }
+        assert_eq!(d.net.len() + d.cancelled, 8, "8 effective in sequence");
+        // Sequential application of the net reproduces the same graph.
+        let mut seq = g;
+        for &up in &d.net {
+            seq = apply_edge_updates(&seq, &[up]);
+        }
+        assert!(rebuilt.edges().eq(seq.edges()));
     }
 
     #[test]

@@ -51,6 +51,27 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Accumulate `other`'s counters into `self` (used to sum per-shard
+    /// stats). Destructures so that adding a counter to [`CacheStats`]
+    /// without summing it here is a compile error, not a silent zero in
+    /// sharded totals.
+    pub fn merge(&mut self, other: &CacheStats) {
+        let CacheStats {
+            hits,
+            misses,
+            insertions,
+            evictions,
+            oversized_rejections,
+            invalidated,
+        } = *other;
+        self.hits += hits;
+        self.misses += misses;
+        self.insertions += insertions;
+        self.evictions += evictions;
+        self.oversized_rejections += oversized_rejections;
+        self.invalidated += invalidated;
+    }
+
     /// Fraction of lookups served from cache (0 when none were made).
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;

@@ -22,9 +22,29 @@
 //! `tests/dynamic_serving.rs` adds the differential update/query suite
 //! (served answers bit-identical to a from-scratch recomputation on the
 //! current graph).
+//!
+//! ## Epochs: updates as barriers between sharded readers
+//!
+//! The cache is sharded (`ServeConfig::shards`, hash-by-source) and read
+//! batches assemble on one worker per shard, like
+//! [`ShardedPprServer`](crate::ShardedPprServer). Writes follow an
+//! **epoch discipline** echoing incremental view maintenance: all serving
+//! inside one epoch sees a single `(graph, index)` version. An update
+//! batch (1) *quiesces* readers — `apply_updates` takes `&mut self`, so
+//! the borrow checker itself guarantees every scoped reader worker has
+//! drained before the writer runs, exactly the hand-off a
+//! write-preferring lock would enforce across real threads; (2) first
+//! **coalesces** the batch to its net edge-set change
+//! ([`ppr_graph::delta::coalesce_updates`]) and applies incremental
+//! maintenance *once*; (3) runs fine-grained invalidation per shard, in
+//! parallel — shards share nothing; and (4) releases the next
+//! [`DynamicPprServer::epoch`]. No query batch ever spans an epoch
+//! boundary, which is what makes the differential suites' bit-for-bit
+//! comparisons well-defined under real concurrency.
 
-use crate::cache::{CacheStats, PpvCache};
+use crate::cache::CacheStats;
 use crate::server::{execute_batch, BatchOutcome, Request, Response, ServeConfig, ServeStats};
+use crate::shard::ShardSet;
 use ppr_cluster::{Cluster, ClusterConfig};
 use ppr_core::hgpa::{HgpaBuildOptions, HgpaIndex};
 use ppr_core::incremental::UpdateStats;
@@ -36,11 +56,15 @@ use std::time::Instant;
 /// What one [`DynamicPprServer::apply_updates`] call did.
 #[derive(Clone, Debug)]
 pub struct UpdateOutcome {
-    /// Updates that changed the edge set.
+    /// Net updates applied to the edge set (after coalescing).
     pub applied: usize,
     /// Updates skipped as no-ops (inserting an existing edge, removing a
     /// missing one, self-loops).
     pub skipped: usize,
+    /// Effective-in-sequence updates eliminated by net-effect coalescing
+    /// before they could reach the incremental updater
+    /// (insert-then-delete pairs and the like).
+    pub coalesced: usize,
     /// The incremental updater's report (dirty sets, promotions, work).
     pub stats: UpdateStats,
     /// Cached sources evicted because they can reach a touched node.
@@ -48,6 +72,9 @@ pub struct UpdateOutcome {
     /// Cached sources that provably cannot reach any touched node and
     /// therefore survived the update.
     pub retained: usize,
+    /// The epoch serving resumes in after this batch (unchanged when the
+    /// batch had no net effect).
+    pub epoch: u64,
     /// Real wall-clock seconds spent applying the batch (graph rebuild +
     /// index maintenance + invalidation).
     pub seconds: f64,
@@ -58,8 +85,10 @@ pub struct UpdateOutcome {
 pub struct DynamicStats {
     /// Update batches applied.
     pub update_batches: u64,
-    /// Effective edge changes applied.
+    /// Net edge changes applied.
     pub edges_changed: u64,
+    /// Updates eliminated by net-effect coalescing across all batches.
+    pub updates_coalesced: u64,
     /// Subgraph recomputations performed by the incremental updater.
     pub subgraphs_recomputed: u64,
     /// Vectors (bases + skeleton columns) recomputed.
@@ -103,10 +132,11 @@ pub struct DynamicPprServer {
     graph: CsrGraph,
     index: HgpaIndex,
     cluster: Cluster,
-    cache: PpvCache,
+    cache: ShardSet,
     config: ServeConfig,
     stats: ServeStats,
     dynamic_stats: DynamicStats,
+    epoch: u64,
 }
 
 impl DynamicPprServer {
@@ -135,63 +165,73 @@ impl DynamicPprServer {
         let cluster = Cluster::new(ClusterConfig {
             machines: index.machines(),
             network: config.network,
+            parallelism: config.parallelism,
         });
         Self {
             graph,
             index,
             cluster,
-            cache: PpvCache::new(config.cache_capacity_bytes),
+            cache: ShardSet::new(config.shards.max(1), config.cache_capacity_bytes),
             config,
             stats: ServeStats::default(),
             dynamic_stats: DynamicStats::default(),
+            epoch: 0,
         }
     }
 
-    /// Apply a batch of edge updates: rebuild the CSR, bring the index up
-    /// to date incrementally, and evict exactly the cached sources whose
-    /// PPVs the batch can affect (those reaching a touched node).
+    /// Apply a batch of edge updates as one **epoch barrier**: coalesce
+    /// the batch to its net change, rebuild the CSR, bring the index up
+    /// to date incrementally (once), evict — per shard, in parallel —
+    /// exactly the cached sources whose PPVs the batch can affect (those
+    /// reaching a touched node), and release the next epoch.
+    ///
+    /// Readers are quiesced structurally: this method takes `&mut self`,
+    /// so every scoped assembly worker of the previous query batch has
+    /// provably terminated before maintenance starts — the single-writer
+    /// hand-off an epoch-based RwLock would enforce in a multi-threaded
+    /// deployment.
     pub fn apply_updates(&mut self, updates: &[EdgeUpdate]) -> UpdateOutcome {
         let t0 = Instant::now();
 
-        // Effective changes only: the incremental updater derives dirty
-        // sets from the changed-edge list, so feeding it no-ops would
-        // invalidate (and recompute) for nothing. `ppr-graph::delta` is
-        // the single authority on update semantics (within-batch
-        // dependencies, self-loops, duplicates).
-        let applied = delta::apply_effective_updates(&self.graph, updates);
-        let skipped = applied.skipped;
-        if applied.effective.is_empty() {
+        // Net changes only: the incremental updater derives dirty sets
+        // from the changed-edge list, so feeding it no-ops — or pairs
+        // that cancel within the batch — would invalidate (and
+        // recompute) for nothing. `ppr-graph::delta` is the single
+        // authority on update semantics (within-batch dependencies,
+        // self-loops, duplicates, net effects).
+        let coalesced = delta::coalesce_updates(&self.graph, updates);
+        let skipped = coalesced.skipped;
+        let cancelled = coalesced.cancelled;
+        self.dynamic_stats.updates_coalesced += cancelled as u64;
+        if coalesced.net.is_empty() {
             return UpdateOutcome {
                 applied: 0,
                 skipped,
+                coalesced: cancelled,
                 stats: UpdateStats::default(),
                 evicted: 0,
                 retained: 0,
+                epoch: self.epoch,
                 seconds: t0.elapsed().as_secs_f64(),
             };
         }
         let changed: Vec<(NodeId, NodeId)> =
-            applied.effective.iter().map(|up| up.endpoints()).collect();
-        let g_new = applied.graph;
+            coalesced.net.iter().map(|up| up.endpoints()).collect();
+        let g_new = coalesced.graph.expect("non-empty net rebuilds the graph");
         let stats = self.index.apply_edge_updates(&g_new, &changed);
 
-        // Fine-grained invalidation: a cached PPV of source `s` can only
-        // be stale if `s` reaches a touched node (see UpdateStats::
-        // dirty_nodes for why this is conservative, bit for bit).
+        // Fine-grained invalidation, shard by shard: a cached PPV of
+        // source `s` can only be stale if `s` reaches a touched node (see
+        // UpdateStats::dirty_nodes for why this is conservative, bit for
+        // bit). Shards share nothing, so they sweep concurrently.
         let mut evicted = 0usize;
         let mut retained = 0usize;
         if !self.cache.is_empty() {
             let stale = reverse_reachable(&g_new, &stats.dirty_nodes);
-            for key in self.cache.resident_keys() {
-                if stale[key as usize] {
-                    self.cache.remove(key);
-                    evicted += 1;
-                } else {
-                    retained += 1;
-                }
-            }
+            (evicted, retained) = self.cache.invalidate_stale(&stale, self.config.parallelism);
         }
         self.graph = g_new;
+        self.epoch += 1; // release the next epoch to readers
 
         let seconds = t0.elapsed().as_secs_f64();
         self.dynamic_stats.update_batches += 1;
@@ -206,9 +246,11 @@ impl DynamicPprServer {
         UpdateOutcome {
             applied: changed.len(),
             skipped,
+            coalesced: cancelled,
             stats,
             evicted,
             retained,
+            epoch: self.epoch,
             seconds,
         }
     }
@@ -225,8 +267,11 @@ impl DynamicPprServer {
     }
 
     /// Execute one batch in (at most) one cluster fan-out round — the
-    /// same engine as [`PprServer::run_batch`](crate::PprServer::run_batch).
+    /// same engine as [`PprServer::run_batch`](crate::PprServer::run_batch),
+    /// with one assembly worker per cache shard when parallelism is on.
+    /// The whole batch runs inside the current epoch.
     pub fn run_batch(&mut self, requests: &[Request]) -> BatchOutcome {
+        let assembly = self.cache.assembly_mode(self.config.parallelism);
         execute_batch(
             &self.index,
             &self.cluster,
@@ -234,6 +279,7 @@ impl DynamicPprServer {
             &self.config,
             &mut self.stats,
             requests,
+            assembly,
         )
     }
 
@@ -277,7 +323,25 @@ impl DynamicPprServer {
         &self.dynamic_stats
     }
 
-    /// Cumulative cache counters (preserved across invalidations).
+    /// The current epoch: the number of effective update barriers applied
+    /// so far. All queries between two [`DynamicPprServer::apply_updates`]
+    /// calls observe one epoch's `(graph, index)` version.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of reader cache shards.
+    pub fn shard_count(&self) -> usize {
+        self.cache.shard_count()
+    }
+
+    /// Cumulative cache counters per shard, in shard order.
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.cache.per_shard_stats()
+    }
+
+    /// Cumulative cache counters (preserved across invalidations), summed
+    /// over shards.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
@@ -353,15 +417,36 @@ mod tests {
     }
 
     #[test]
-    fn insert_then_remove_within_batch_cancels() {
+    fn insert_then_remove_within_batch_coalesces_away() {
         let mut s = server(150, 7);
+        let warm = s.query(3);
         let (u, v) = (0u32, 140u32);
         assert!(!s.graph().has_edge(u, v));
         let out = s.apply_updates(&[EdgeUpdate::Insert(u, v), EdgeUpdate::Remove(u, v)]);
-        // Both updates are effective in sequence; the net edge set is
-        // unchanged but the index was maintained through both.
-        assert_eq!(out.applied, 2);
+        // Both updates are effective in sequence, but their net effect is
+        // nothing: coalescing cancels them before the (expensive)
+        // incremental updater runs, no epoch barrier fires, and the cache
+        // is untouched.
+        assert_eq!((out.applied, out.coalesced, out.skipped), (0, 2, 0));
+        assert_eq!(out.stats, UpdateStats::default());
+        assert_eq!((out.evicted, out.retained), (0, 0));
+        assert_eq!((out.epoch, s.epoch()), (0, 0));
+        assert_eq!(s.dynamic_stats().update_batches, 0);
+        assert_eq!(s.dynamic_stats().updates_coalesced, 2);
         assert!(!s.graph().has_edge(u, v));
+        assert_eq!(s.query(3), warm, "cancelled batch must not evict");
+    }
+
+    #[test]
+    fn effective_batches_advance_the_epoch() {
+        let mut s = server(150, 11);
+        assert_eq!(s.epoch(), 0);
+        let out = s.apply_updates(&[EdgeUpdate::Insert(0, 140)]);
+        assert_eq!((out.applied, out.epoch), (1, 1));
+        assert_eq!(s.epoch(), 1);
+        let out = s.apply_updates(&[EdgeUpdate::Remove(0, 140)]);
+        assert_eq!((out.applied, out.epoch), (1, 2));
+        assert_eq!(s.epoch(), 2);
     }
 
     #[test]

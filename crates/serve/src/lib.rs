@@ -25,6 +25,15 @@
 //!   exactly the full-sort top-k, proven in its docs and pinned by
 //!   proptest in `tests/serving.rs`.
 //!
+//! Serving is **really parallel** when asked: [`ShardedPprServer`] runs
+//! N reader shards over a hash-partitioned PPV cache, assembling each
+//! batch's responses on one scoped worker per shard while the cluster
+//! fan-out underneath computes machine replies concurrently
+//! ([`ppr_cluster::ParallelismMode`]); answers stay bit-identical to the
+//! sequential [`PprServer`] (pinned in `tests/concurrent_serving.rs`).
+//! `PPR_TEST_THREADS=1` forces the sequential fallback everywhere, and
+//! `PPR_SERVE_SHARDS` sizes the shard fleet in `repro serve`.
+//!
 //! Serving does not stop when the graph changes. [`DynamicPprServer`]
 //! owns a mutable HGPA index plus the current graph and interleaves query
 //! batches with [`ppr_graph::EdgeUpdate`] batches: updates run through
@@ -45,8 +54,10 @@ pub mod cache;
 pub mod dynamic;
 pub mod openloop;
 pub mod server;
+pub mod shard;
 
 pub use cache::{CacheStats, PpvCache};
 pub use dynamic::{DynamicPprServer, DynamicStats, UpdateOutcome};
 pub use openloop::{run_open_loop, OpenLoopConfig, OpenLoopReport, ServeEvent, ServiceModel};
 pub use server::{BatchOutcome, PprServer, Request, Response, ServeConfig, ServeStats};
+pub use shard::ShardedPprServer;

@@ -19,9 +19,12 @@
 //! theorem the index itself uses, and the top-k early cut provably equals
 //! the full sort (see [`SparseVector::top_k_early_cut`]).
 
-use crate::cache::{CacheStats, PpvCache};
-use ppr_cluster::{Cluster, ClusterConfig, DistributedQueryable, NetworkModel};
-use ppr_core::SparseVector;
+use crate::cache::CacheStats;
+use crate::shard::ShardSet;
+use ppr_cluster::{
+    Cluster, ClusterConfig, DistributedQueryable, NetworkModel, ParallelismMode,
+};
+use ppr_core::{Scratch, SparseVector};
 use ppr_graph::NodeId;
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
@@ -37,6 +40,17 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// Network model for the modeled wire time of each round.
     pub network: NetworkModel,
+    /// Reader shards (hash-partitioned PPV cache + one assembly worker
+    /// per shard). Honored by
+    /// [`ShardedPprServer`](crate::ShardedPprServer) and
+    /// [`DynamicPprServer`](crate::DynamicPprServer); [`PprServer`]
+    /// always runs one shard. The `repro serve` load generator reads
+    /// `PPR_SERVE_SHARDS` into this field.
+    pub shards: usize,
+    /// How the cluster fan-out (and, where shards > 1, response
+    /// assembly) executes. Defaults to [`ParallelismMode::from_env`], so
+    /// `PPR_TEST_THREADS=1` forces the sequential fallback everywhere.
+    pub parallelism: ParallelismMode,
 }
 
 impl Default for ServeConfig {
@@ -45,6 +59,8 @@ impl Default for ServeConfig {
             cache_capacity_bytes: 64 << 20, // 64 MiB
             max_batch: 32,
             network: NetworkModel::default(),
+            shards: 1,
+            parallelism: ParallelismMode::from_env(),
         }
     }
 }
@@ -179,21 +195,26 @@ impl ServeStats {
 pub struct PprServer<'i, I: DistributedQueryable> {
     index: &'i I,
     cluster: Cluster,
-    cache: PpvCache,
+    cache: ShardSet,
     config: ServeConfig,
     stats: ServeStats,
 }
 
 impl<'i, I: DistributedQueryable> PprServer<'i, I> {
-    /// Serve queries from `index` under `config`.
+    /// Serve queries from `index` under `config`. `config.shards` is
+    /// ignored: this front-end always runs one cache shard and assembles
+    /// responses in the calling thread (the cluster fan-out underneath
+    /// still honors `config.parallelism`); use
+    /// [`ShardedPprServer`](crate::ShardedPprServer) for reader shards.
     pub fn new(index: &'i I, config: ServeConfig) -> Self {
         Self {
             index,
             cluster: Cluster::new(ClusterConfig {
                 machines: index.machines(),
                 network: config.network,
+                parallelism: config.parallelism,
             }),
-            cache: PpvCache::new(config.cache_capacity_bytes),
+            cache: ShardSet::new(1, config.cache_capacity_bytes),
             config,
             stats: ServeStats::default(),
         }
@@ -219,6 +240,7 @@ impl<'i, I: DistributedQueryable> PprServer<'i, I> {
             &self.config,
             &mut self.stats,
             requests,
+            ParallelismMode::Sequential, // single shard → in-thread assembly
         )
     }
 
@@ -288,17 +310,23 @@ impl<'i, I: DistributedQueryable> PprServer<'i, I> {
 }
 
 /// The shared batch engine: one batch, at most one cluster fan-out round.
-/// [`PprServer`] (borrowed static index) and
+/// [`PprServer`] (borrowed static index, one shard),
+/// [`ShardedPprServer`](crate::ShardedPprServer) (N reader shards), and
 /// [`DynamicPprServer`](crate::DynamicPprServer) (owned mutable index)
-/// both delegate here, so the caching/batching/assembly semantics — and
-/// the exactness tests that pin them — cover both front-ends.
+/// all delegate here, so the caching/batching/assembly semantics — and
+/// the exactness tests that pin them — cover every front-end. `assembly`
+/// selects where responses are assembled: in the calling thread, or
+/// chunked over that many scoped workers (one per reader shard), each
+/// with its own [`Scratch`] arena — bit-identical either way, since
+/// assembly is per-request pure given the per-source PPVs.
 pub(crate) fn execute_batch<I: DistributedQueryable>(
     index: &I,
     cluster: &Cluster,
-    cache: &mut PpvCache,
+    cache: &mut ShardSet,
     config: &ServeConfig,
     stats: &mut ServeStats,
     requests: &[Request],
+    assembly: ParallelismMode,
 ) -> BatchOutcome {
     let t0 = Instant::now();
 
@@ -334,39 +362,7 @@ pub(crate) fn execute_batch<I: DistributedQueryable>(
         }
     }
 
-    // Assemble responses from the per-source exact PPVs. Lookups
-    // borrow (only `Ppv` responses clone, to hand the vector out);
-    // preference requests share one dense scratch across the batch.
-    fn resolve<'a>(
-        fresh: &'a HashMap<NodeId, SparseVector>,
-        cache: &'a PpvCache,
-        u: NodeId,
-    ) -> &'a SparseVector {
-        fresh
-            .get(&u)
-            .or_else(|| cache.peek(u))
-            .expect("source resolved earlier in the batch")
-    }
-    let mut dense: Vec<f64> = Vec::new(); // sized lazily, reused per batch
-    let mut touched: Vec<NodeId> = Vec::new();
-    let mut responses = Vec::with_capacity(requests.len());
-    for req in requests {
-        responses.push(match req {
-            Request::Ppv(u) => Response::Ppv(resolve(&fresh, cache, *u).clone()),
-            Request::TopK { source, k } => {
-                Response::TopK(resolve(&fresh, cache, *source).top_k_early_cut(*k))
-            }
-            Request::Preference(pref) => {
-                if dense.is_empty() {
-                    dense = vec![0.0; index.node_count()];
-                }
-                for &(u, w) in pref {
-                    resolve(&fresh, cache, u).scatter_into(&mut dense, &mut touched, w);
-                }
-                Response::Ppv(SparseVector::harvest_scratch(&mut dense, &mut touched))
-            }
-        });
-    }
+    let responses = assemble(index, &fresh, cache, requests, assembly);
 
     // Admit the round's PPVs in batch order (deterministic recency).
     if config.cache_capacity_bytes > 0 {
@@ -394,4 +390,83 @@ pub(crate) fn execute_batch<I: DistributedQueryable>(
         modeled_network_seconds,
         round_bytes,
     }
+}
+
+/// Assemble per-request responses from the per-source exact PPVs, either
+/// in the calling thread or chunked over scoped workers.
+///
+/// Lookups borrow (only `Ppv` responses clone, to hand the vector out);
+/// preference requests accumulate through the worker's own [`Scratch`]
+/// arena, reused across the batch. Assembly never mutates the cache —
+/// during this phase the shards are shared read-only across workers, and
+/// each response depends only on its own request plus the resolved PPVs,
+/// so chunking cannot change any response's bits.
+fn assemble<I: DistributedQueryable>(
+    index: &I,
+    fresh: &HashMap<NodeId, SparseVector>,
+    cache: &ShardSet,
+    requests: &[Request],
+    assembly: ParallelismMode,
+) -> Vec<Response> {
+    fn resolve<'a>(
+        fresh: &'a HashMap<NodeId, SparseVector>,
+        cache: &'a ShardSet,
+        u: NodeId,
+    ) -> &'a SparseVector {
+        fresh
+            .get(&u)
+            .or_else(|| cache.peek(u))
+            .expect("source resolved earlier in the batch")
+    }
+    fn assemble_one(
+        fresh: &HashMap<NodeId, SparseVector>,
+        cache: &ShardSet,
+        n: usize,
+        scratch: &mut Scratch,
+        req: &Request,
+    ) -> Response {
+        match req {
+            Request::Ppv(u) => Response::Ppv(resolve(fresh, cache, *u).clone()),
+            Request::TopK { source, k } => {
+                Response::TopK(resolve(fresh, cache, *source).top_k_early_cut(*k))
+            }
+            Request::Preference(pref) => {
+                scratch.ensure(n);
+                for &(u, w) in pref {
+                    scratch.scatter(resolve(fresh, cache, u), w);
+                }
+                Response::Ppv(scratch.harvest())
+            }
+        }
+    }
+
+    let n = index.node_count();
+    let workers = assembly.workers().min(requests.len().max(1));
+    if workers <= 1 {
+        let mut scratch = Scratch::new();
+        return requests
+            .iter()
+            .map(|req| assemble_one(fresh, cache, n, &mut scratch, req))
+            .collect();
+    }
+
+    // Contiguous chunks keep responses in request order after concat.
+    let chunk = requests.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = requests
+            .chunks(chunk)
+            .map(|reqs| {
+                scope.spawn(move || {
+                    let mut scratch = Scratch::new();
+                    reqs.iter()
+                        .map(|req| assemble_one(fresh, cache, n, &mut scratch, req))
+                        .collect::<Vec<Response>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("assembly worker thread"))
+            .collect()
+    })
 }

@@ -47,6 +47,7 @@ fn main() {
     let cluster = Cluster::new(ClusterConfig {
         machines,
         network: NetworkModel::default(), // the paper's 100 Mbps switch
+        ..ClusterConfig::default()
     });
     let q = 17;
     let report = cluster.query(&index, q);

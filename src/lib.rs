@@ -51,7 +51,7 @@ pub mod prelude {
     pub use ppr_baselines::{
         blogel::BlogelPpr, fastppv::FastPpv, monte_carlo::MonteCarloPpr, pregel::PregelPpr,
     };
-    pub use ppr_cluster::{Cluster, ClusterConfig, NetworkModel};
+    pub use ppr_cluster::{Cluster, ClusterConfig, NetworkModel, ParallelismMode};
     pub use ppr_core::{
         gpa::{GpaBuildOptions, GpaIndex},
         hgpa::{HgpaBuildOptions, HgpaIndex, QuerySession},
@@ -68,7 +68,7 @@ pub mod prelude {
     pub use ppr_metrics::{avg_l1, kendall_tau_top_k, l_inf, precision_at_k, rag_at_k};
     pub use ppr_serve::{
         DynamicPprServer, OpenLoopConfig, OpenLoopReport, PprServer, Request, Response,
-        ServeConfig, ServeEvent, ServiceModel,
+        ServeConfig, ServeEvent, ServiceModel, ShardedPprServer,
     };
     pub use ppr_workload::{
         Dataset, DatasetSpec, MixedEvent, MixedStream, MixedStreamConfig, ZipfQueryStream,

@@ -83,6 +83,7 @@ fn gpa_cluster_agrees_too() {
     let cluster = Cluster::new(ClusterConfig {
         machines: 4,
         network: NetworkModel::infinite(),
+        ..ClusterConfig::default()
     });
     let report = cluster.query(&idx, 100);
     let central = idx.query(100);

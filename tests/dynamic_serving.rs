@@ -120,9 +120,21 @@ fn differential_scenario(n: usize, seed: u64, events: usize) -> Result<(usize, u
                 update_batches += 1;
                 g_shadow = delta::apply_edge_updates(&g_shadow, &batch);
                 let out = server.apply_updates(&batch);
-                if out.applied != batch.len() {
+                // The stream only emits sequentially effective updates,
+                // so nothing is skipped as a no-op — but pairs that
+                // reverse within a batch coalesce away before reaching
+                // the incremental updater.
+                if out.skipped != 0 {
                     return Err(format!(
                         "seed {seed}: stream emitted a no-op update in {batch:?}"
+                    ));
+                }
+                if out.applied + out.coalesced != batch.len() {
+                    return Err(format!(
+                        "seed {seed}: applied {} + coalesced {} != batch {} in {batch:?}",
+                        out.applied,
+                        out.coalesced,
+                        batch.len()
                     ));
                 }
             }
