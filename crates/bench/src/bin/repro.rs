@@ -24,6 +24,17 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "Serving scenario: Zipf stream -> batching + PPV cache + top-k, then an open-loop \
          dynamic phase with edge updates + queueing delay (PPR_SERVE_* env knobs)",
     ),
+    (
+        "bench-baseline",
+        "Persistent perf baseline: offline builds + query fan-out + serving across the \
+         1/2/4/8 worker sweep; writes BENCH_offline.json / BENCH_serve.json \
+         (PPR_BENCH_BASELINE selects the output dir, PPR_BENCH_THREADS the sweep)",
+    ),
+    (
+        "bench-compare",
+        "Regression gate: bench-compare <baseline-dir> <fresh-dir> fails on >25% \
+         wall-clock regressions or drifted deterministic counts (PPR_BENCH_TOLERANCE)",
+    ),
 ];
 
 fn main() {
@@ -37,10 +48,21 @@ fn main() {
         .collect();
 
     if selected.is_empty() || selected.contains(&"list") {
-        println!("usage: repro [--full] <experiment...>|all|list\n");
+        println!("usage: repro [--full] <experiment...>|all|list");
+        println!("       repro bench-compare <baseline-dir> <fresh-dir>\n");
         for (name, desc) in EXPERIMENTS {
             println!("  {name:<8} {desc}");
         }
+        return;
+    }
+
+    // `bench-compare` takes positional directories, not experiment names.
+    if selected[0] == "bench-compare" {
+        let &[baseline, fresh] = &selected[1..] else {
+            eprintln!("usage: repro bench-compare <baseline-dir> <fresh-dir>");
+            std::process::exit(2);
+        };
+        baseline::compare_dirs(std::path::Path::new(baseline), std::path::Path::new(fresh));
         return;
     }
 
@@ -63,6 +85,7 @@ fn main() {
             "fig23" | "fig24" | "fig25" | "fig26" => exp_fig23_26::run(&profile),
             "fig28" => exp_fig28::run(&profile),
             "serve" => serve::run(&profile),
+            "bench-baseline" => baseline::run_and_write(&profile),
             other => {
                 eprintln!("unknown experiment {other:?}; try `repro list`");
                 std::process::exit(2);

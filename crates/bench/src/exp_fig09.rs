@@ -35,6 +35,7 @@ pub fn measure(profile: &Profile) -> (AlgoRow, AlgoRow) {
         &GpaBuildOptions {
             subgraphs: 8,
             machines,
+            parallelism: ppr_core::ParallelismMode::build_from_env(),
             ..Default::default()
         },
     );

@@ -18,6 +18,7 @@
 //! move with machines/levels/tolerance — are the reproduction target.
 //! EXPERIMENTS.md records both sides.
 
+pub mod baseline;
 pub mod exp_fig09;
 pub mod exp_fig10_13;
 pub mod exp_fig14_16;
@@ -28,6 +29,7 @@ pub mod exp_fig21_22;
 pub mod exp_fig23_26;
 pub mod exp_fig28;
 pub mod exp_tables;
+pub mod json;
 pub mod profile;
 pub mod report;
 pub mod serve;
@@ -60,11 +62,16 @@ pub fn dataset_graph(d: Dataset, profile: &Profile) -> CsrGraph {
 }
 
 /// The workspace-default HGPA build options for experiments.
+///
+/// Builds honour `PPR_BUILD_THREADS` (default sequential): the modeled
+/// per-machine offline seconds are work-item sums either way, so the
+/// figure numbers keep their dedicated-machine meaning, threaded or not.
 pub fn default_hgpa_opts(machines: usize) -> HgpaBuildOptions {
     HgpaBuildOptions {
         machines,
         hierarchy: HierarchyConfig::default(),
         drop_threshold: None,
+        parallelism: ppr_core::ParallelismMode::build_from_env(),
     }
 }
 

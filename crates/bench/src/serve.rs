@@ -308,6 +308,7 @@ pub fn run(profile: &Profile) {
         &GpaBuildOptions {
             subgraphs: 8,
             machines,
+            parallelism: ppr_core::ParallelismMode::build_from_env(),
             ..Default::default()
         },
     );

@@ -29,80 +29,11 @@ pub use exec::{
     Cluster, ClusterBatchReport, ClusterQueryReport, DistributedQueryable, MachineStats,
 };
 pub use network::NetworkModel;
-
-/// How the simulated machines of a fan-out round execute.
-///
-/// Results are **bit-identical** across modes: every machine computes its
-/// reply in isolation from read-only state and the coordinator always
-/// sums replies in machine order, so the mode only changes *when* each
-/// reply is computed, never what it contains (pinned by
-/// `tests/concurrent_serving.rs`).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ParallelismMode {
-    /// Machines run one after another in the caller's thread. This is the
-    /// paper-accurate measurement mode: on a shared (possibly
-    /// single-core) host it is the only way a machine's measured compute
-    /// time reflects what a dedicated machine would spend, so the figure
-    /// experiments use it.
-    Sequential,
-    /// Machines run on scoped worker threads, at most this many at once
-    /// (machines are dealt to workers round-robin). This is the serving
-    /// mode: wall-clock fan-out time approaches the slowest machine on a
-    /// host with enough cores. Per-machine measured times remain recorded
-    /// but may be inflated by core contention when workers exceed cores.
-    Threads(usize),
-}
-
-impl ParallelismMode {
-    /// The mode the environment asks for. `PPR_TEST_THREADS` (also the
-    /// knob the CI matrix sweeps) wins: `1` means [`Sequential`], `N > 1`
-    /// means [`Threads(N)`]. Unset, the host decides:
-    /// [`std::thread::available_parallelism`] cores, sequential on a
-    /// single-core machine.
-    ///
-    /// [`Sequential`]: ParallelismMode::Sequential
-    /// [`Threads(N)`]: ParallelismMode::Threads
-    pub fn from_env() -> Self {
-        let workers = std::env::var("PPR_TEST_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map_or(1, |p| p.get())
-            });
-        Self::with_workers(workers)
-    }
-
-    /// [`Sequential`](ParallelismMode::Sequential) for `workers <= 1`,
-    /// [`Threads`](ParallelismMode::Threads) otherwise.
-    pub fn with_workers(workers: usize) -> Self {
-        if workers <= 1 {
-            ParallelismMode::Sequential
-        } else {
-            ParallelismMode::Threads(workers)
-        }
-    }
-
-    /// Number of concurrent workers this mode permits.
-    pub fn workers(self) -> usize {
-        match self {
-            ParallelismMode::Sequential => 1,
-            ParallelismMode::Threads(w) => w.max(1),
-        }
-    }
-
-    /// True when work may run on more than one thread.
-    pub fn is_parallel(self) -> bool {
-        self.workers() > 1
-    }
-}
-
-impl Default for ParallelismMode {
-    /// Sequential — the paper-accurate measurement mode. Serving layers
-    /// opt into threads via [`ParallelismMode::from_env`] or explicitly.
-    fn default() -> Self {
-        ParallelismMode::Sequential
-    }
-}
+// `ParallelismMode` moved to `ppr-core::parallel` so the offline build
+// paths can share the same switch (this crate depends on core, not the
+// other way around); re-exported here so existing
+// `ppr_cluster::ParallelismMode` imports keep working unchanged.
+pub use ppr_core::parallel::ParallelismMode;
 
 /// Cluster-wide configuration.
 #[derive(Clone, Copy, Debug)]

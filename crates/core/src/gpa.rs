@@ -18,6 +18,7 @@
 //! and ships `v_i` to the coordinator, which sums — Eq. 5. Theorem 1 says
 //! the result equals PPV-JW's; the tests check it against the dense oracle.
 
+use crate::parallel::{run_timed, ParallelismMode};
 use crate::push::PushEngine;
 use crate::skeleton::SkeletonEngine;
 use crate::{PprConfig, Scratch, SparseVector};
@@ -35,6 +36,12 @@ pub struct GpaBuildOptions {
     pub cover: CoverAlgorithm,
     /// Partitioner options.
     pub partition: PartitionConfig,
+    /// How precompute work items (hub columns, per-subgraph local PPVs)
+    /// execute. Index contents are bit-identical across modes (pinned by
+    /// `tests/parallel_build.rs`); [`ParallelismMode::Sequential`] keeps
+    /// per-machine modeled seconds measurement-grade, while
+    /// [`ParallelismMode::Threads`] shrinks wall-clock with host cores.
+    pub parallelism: ParallelismMode,
 }
 
 impl Default for GpaBuildOptions {
@@ -44,8 +51,25 @@ impl Default for GpaBuildOptions {
             machines: 4,
             cover: CoverAlgorithm::KonigExact,
             partition: PartitionConfig::default(),
+            parallelism: ParallelismMode::Sequential,
         }
     }
+}
+
+/// Reusable per-worker state for the build fan-out: both engines grow to
+/// the largest (sub)graph their worker meets and are reused across every
+/// item, so the per-part `PushEngine::new(view.len())` allocation the
+/// sequential build used to pay is gone.
+struct BuildWorker<'g> {
+    push: PushEngine,
+    skel: SkeletonEngine,
+    vb: ViewBuilder<'g>,
+}
+
+/// What one work item produced.
+struct ItemOut {
+    bases: Vec<(NodeId, SparseVector)>,
+    skeleton: Option<(u32, SparseVector)>,
 }
 
 /// The precomputed GPA index.
@@ -78,6 +102,20 @@ impl GpaIndex {
     /// whole graph, §5.2 GPA flavour), parts round-robin (the owner
     /// computes every member's local PPV). Returns per-machine offline
     /// seconds alongside the index.
+    ///
+    /// The precomputation is decomposed into independent **work items** —
+    /// one per hub (partial vector + skeleton column) and one per
+    /// non-empty part (every member's local PPV) — dealt to
+    /// [`opts.parallelism`](GpaBuildOptions::parallelism) workers, each
+    /// owning one reusable engine set. Items are timed individually and
+    /// summed per owning machine, so
+    /// [`OfflineReport::per_machine_seconds`](crate::hgpa::OfflineReport::per_machine_seconds)
+    /// keeps reflecting dedicated-machine cost (the paper's offline
+    /// metric) under any worker count, while
+    /// [`OfflineReport::wall_seconds`](crate::hgpa::OfflineReport::wall_seconds)
+    /// reports what this host actually spent. Index contents are
+    /// bit-identical across modes: item work sets are disjoint, all
+    /// shared state is read-only, and outputs merge in item order.
     pub fn build_distributed(
         g: &CsrGraph,
         cfg: &PprConfig,
@@ -100,71 +138,81 @@ impl GpaIndex {
             blocked[h as usize] = true;
         }
 
-        struct Out {
-            bases: Vec<(u32, SparseVector)>,
-            skels: Vec<(u32, SparseVector)>,
-            elapsed: f64,
-        }
-        // Machines run sequentially, each timed in isolation (see the note
-        // in `HgpaIndex::build_distributed_with_hierarchy`): the per-machine
-        // elapsed times then reflect dedicated-machine cost on any host.
-        let outputs: Vec<Out> = (0..machines)
-            .map(|m| {
-                let t = std::time::Instant::now();
-                let mut out = Out {
-                    bases: Vec::new(),
-                    skels: Vec::new(),
-                    elapsed: 0.0,
-                };
-                // My hubs: partial (whole graph, blocked by H) +
-                // skeleton column (whole graph).
-                let mut push = PushEngine::new(n);
-                let mut skel = SkeletonEngine::new(n);
-                for (rank, &h) in partition.hubs.iter().enumerate() {
-                    if rank % machines != m {
-                        continue;
-                    }
-                    out.bases.push((h, push.run(g, h, &blocked, cfg).partial));
-                    out.skels.push((rank as u32, skel.run(g, h, cfg)));
-                }
-                // My parts: full local PPV per member (Theorem 2).
-                let mut vb = ViewBuilder::new(g);
-                for (p, part) in partition.subgraphs.iter().enumerate() {
-                    if p % machines != m || part.is_empty() {
-                        continue;
-                    }
-                    let view = vb.build(part);
-                    let no_block = vec![false; view.len()];
-                    let mut local_push = PushEngine::new(view.len());
-                    for (local, &global) in view.globals().iter().enumerate() {
-                        let res = local_push.run(&view, local as NodeId, &no_block, cfg);
-                        out.bases.push((
-                            global,
-                            SparseVector::from_entries(
-                                res.partial
-                                    .iter()
-                                    .map(|(l, v)| (view.global_of(l), v))
-                                    .collect(),
-                            ),
-                        ));
-                    }
-                }
-                out.elapsed = t.elapsed().as_secs_f64();
-                out
-            })
+        // Work items: hubs first (item i = hub rank i), then the
+        // non-empty parts. Owners follow §3.1's round-robin placement.
+        let hubs = partition.hubs.len();
+        let live_parts: Vec<usize> = (0..partition.subgraphs.len())
+            .filter(|&p| !partition.subgraphs[p].is_empty())
             .collect();
+        let machine_of_item = |item: usize| -> usize {
+            if item < hubs {
+                item % machines
+            } else {
+                live_parts[item - hubs] % machines
+            }
+        };
+
+        let t_build = std::time::Instant::now();
+        let (outputs, peak_scratch_bytes) = run_timed(
+            hubs + live_parts.len(),
+            opts.parallelism,
+            || BuildWorker {
+                push: PushEngine::new(0),
+                skel: SkeletonEngine::new(0),
+                vb: ViewBuilder::new(g),
+            },
+            |w| w.push.arena_bytes() + w.skel.arena_bytes(),
+            |item, w| {
+                if item < hubs {
+                    // Hub: partial (whole graph, blocked by H) + skeleton
+                    // column (whole graph).
+                    let h = partition.hubs[item];
+                    ItemOut {
+                        bases: vec![(h, w.push.run(g, h, &blocked, cfg).partial)],
+                        skeleton: Some((item as u32, w.skel.run(g, h, cfg))),
+                    }
+                } else {
+                    // Part: full local PPV per member (Theorem 2).
+                    let part = &partition.subgraphs[live_parts[item - hubs]];
+                    let view = w.vb.build(part);
+                    let no_block = vec![false; view.len()];
+                    let bases = view
+                        .globals()
+                        .iter()
+                        .enumerate()
+                        .map(|(local, &global)| {
+                            let res = w.push.run(&view, local as NodeId, &no_block, cfg);
+                            (
+                                global,
+                                SparseVector::from_entries(
+                                    res.partial
+                                        .iter()
+                                        .map(|(l, v)| (view.global_of(l), v))
+                                        .collect(),
+                                ),
+                            )
+                        })
+                        .collect();
+                    ItemOut {
+                        bases,
+                        skeleton: None,
+                    }
+                }
+            },
+        );
+        let wall_seconds = t_build.elapsed().as_secs_f64();
 
         let mut base: Vec<SparseVector> = vec![SparseVector::new(); n];
-        let mut skeletons: Vec<SparseVector> = vec![SparseVector::new(); partition.hubs.len()];
-        let mut per_machine_seconds = Vec::with_capacity(machines);
-        for out in outputs {
+        let mut skeletons: Vec<SparseVector> = vec![SparseVector::new(); hubs];
+        let mut per_machine_seconds = vec![0.0f64; machines];
+        for (item, (out, secs)) in outputs.into_iter().enumerate() {
             for (v, vec) in out.bases {
                 base[v as usize] = vec;
             }
-            for (rank, col) in out.skels {
+            if let Some((rank, col)) = out.skeleton {
                 skeletons[rank as usize] = col;
             }
-            per_machine_seconds.push(out.elapsed);
+            per_machine_seconds[machine_of_item(item)] += secs;
         }
 
         // Even distribution: hubs round-robin, parts round-robin (§3.1).
@@ -189,6 +237,8 @@ impl GpaIndex {
         let report = crate::hgpa::OfflineReport {
             per_machine_seconds,
             partition_seconds,
+            wall_seconds,
+            peak_scratch_bytes,
         };
         (idx, report)
     }
@@ -216,6 +266,36 @@ impl GpaIndex {
     /// PPR configuration used at build time.
     pub fn config(&self) -> &PprConfig {
         &self.cfg
+    }
+
+    /// Base (partial) vector of every node, indexed by node id — the
+    /// precomputed state the machine replies are assembled from. Exposed
+    /// so differential tests can pin builds bit-identical.
+    pub fn base_vectors(&self) -> &[SparseVector] {
+        &self.base
+    }
+
+    /// Skeleton column per hub rank (aligned with [`GpaIndex::hubs`]).
+    pub fn skeleton_columns(&self) -> &[SparseVector] {
+        &self.skeletons
+    }
+
+    /// Machine owning each hub rank.
+    pub fn machine_of_hub(&self) -> &[u32] {
+        &self.machine_of_hub
+    }
+
+    /// Machine owning each part.
+    pub fn machine_of_part(&self) -> &[u32] {
+        &self.machine_of_part
+    }
+
+    /// Total stored entries across machines (base vectors + skeleton
+    /// columns) — the space-accounting twin of
+    /// [`HgpaIndex::stored_entries`](crate::hgpa::HgpaIndex::stored_entries).
+    pub fn stored_entries(&self) -> usize {
+        self.base.iter().map(SparseVector::nnz).sum::<usize>()
+            + self.skeletons.iter().map(SparseVector::nnz).sum::<usize>()
     }
 
     /// Machine that stores node `u`'s base (partial) vector.

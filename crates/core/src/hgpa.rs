@@ -27,6 +27,7 @@
 //! bound O(s·|V|)).
 
 use crate::gpa::harvest;
+use crate::parallel::{run_timed, ParallelismMode};
 use crate::push::PushEngine;
 use crate::skeleton::SkeletonEngine;
 use crate::{PprConfig, Scratch, SparseVector};
@@ -43,6 +44,13 @@ pub struct HgpaBuildOptions {
     /// `HGPA_ad` (§6.2.9): drop stored entries with value below this
     /// threshold after precomputation. `None` keeps the exact index.
     pub drop_threshold: Option<f64>,
+    /// How precompute work items (per-subgraph hub slices, per-leaf local
+    /// PPVs) execute. Index contents are bit-identical across modes
+    /// (pinned by `tests/parallel_build.rs`);
+    /// [`ParallelismMode::Sequential`] keeps per-machine modeled seconds
+    /// measurement-grade, while [`ParallelismMode::Threads`] shrinks
+    /// wall-clock with host cores.
+    pub parallelism: ParallelismMode,
 }
 
 impl Default for HgpaBuildOptions {
@@ -51,12 +59,13 @@ impl Default for HgpaBuildOptions {
             hierarchy: HierarchyConfig::default(),
             machines: 6, // the paper's default machine count (§6.1)
             drop_threshold: None,
+            parallelism: ParallelismMode::Sequential,
         }
     }
 }
 
 /// Per-build statistics (offline cost accounting for Figures 12/16/17).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct HgpaBuildStats {
     /// Partial-vector push operations executed.
     pub partial_pushes: u64,
@@ -115,10 +124,26 @@ pub struct HgpaIndex {
 /// time metric is the maximum entry (Figures 12, 16, 20, 28).
 #[derive(Clone, Debug, Default)]
 pub struct OfflineReport {
-    /// Wall-clock seconds each machine spent precomputing its vectors.
+    /// *Modeled* seconds each machine spent precomputing its vectors: the
+    /// sum of its individually timed work items, i.e. dedicated-machine
+    /// cost regardless of how many worker threads this host lent the
+    /// build. Measurement-grade under [`ParallelismMode::Sequential`];
+    /// under [`ParallelismMode::Threads`] core contention may inflate
+    /// item times, so treat these as throughput-oriented there.
     pub per_machine_seconds: Vec<f64>,
     /// Seconds spent partitioning (done once, coordinator-side).
     pub partition_seconds: f64,
+    /// Real elapsed seconds of the whole precompute fan-out in this
+    /// process (excluding partitioning) — the wall-clock counterpart of
+    /// the modeled [`OfflineReport::max_machine_seconds`], mirroring
+    /// `ClusterQueryReport::wall_seconds` on the online path. Under
+    /// `Sequential` this is ≈ the *sum* of machine times; under
+    /// `Threads` with enough cores it approaches the longest item chain.
+    pub wall_seconds: f64,
+    /// Largest per-worker engine-arena footprint (push + skeleton
+    /// scratch) the build held, in bytes — the `BENCH_offline.json`
+    /// peak-scratch metric.
+    pub peak_scratch_bytes: u64,
 }
 
 impl OfflineReport {
@@ -128,17 +153,45 @@ impl OfflineReport {
     }
 }
 
-/// What one machine produced during distributed precomputation.
-struct MachineOutput {
+/// One unit of §5's distributed precomputation: either a leaf subgraph
+/// (the owner computes every member's local PPV) or one machine's slice
+/// of an internal subgraph's hub list (partial vector + skeleton column
+/// per owned hub, sharing one subgraph view). Slicing hubs per machine —
+/// rather than one item per hub — keeps the view-build amortization of
+/// the sequential schedule, so a machine's modeled cost includes exactly
+/// the view builds a dedicated machine would pay.
+enum BuildItem<'h> {
+    Leaf {
+        sg: &'h ppr_partition::SubgraphNode,
+        machine: usize,
+    },
+    HubSlice {
+        sg: &'h ppr_partition::SubgraphNode,
+        rank_base: u32,
+        machine: usize,
+    },
+}
+
+impl BuildItem<'_> {
+    fn machine(&self) -> usize {
+        match self {
+            BuildItem::Leaf { machine, .. } | BuildItem::HubSlice { machine, .. } => *machine,
+        }
+    }
+}
+
+/// What one work item produced during distributed precomputation.
+struct ItemOutput {
     bases: Vec<(NodeId, SparseVector)>,
     skeletons: Vec<(u32, SparseVector)>,
     stats: HgpaBuildStats,
-    elapsed: f64,
 }
 
 impl HgpaIndex {
     /// Build the index: hierarchical partition + distributed per-subgraph
-    /// precomputation (§5), one thread per simulated machine.
+    /// precomputation (§5); see
+    /// [`HgpaIndex::build_distributed_with_hierarchy`] for how the work
+    /// is scheduled.
     pub fn build(g: &CsrGraph, cfg: &PprConfig, opts: &HgpaBuildOptions) -> Self {
         Self::build_distributed(g, cfg, opts).0
     }
@@ -176,9 +229,18 @@ impl HgpaIndex {
     /// *and* skeleton column of its hubs) and leaf subgraphs are assigned
     /// round-robin (the owning machine computes every member's local PPV).
     /// Machines share nothing but the read-only graph — "we keep a copy of
-    /// the graph structure on each machine" — so the threads are genuinely
-    /// communication-free until the final merge, which models the vectors
-    /// landing on their owners' disks.
+    /// the graph structure on each machine" — so the work items are
+    /// genuinely communication-free until the final merge, which models
+    /// the vectors landing on their owners' disks.
+    ///
+    /// Execution is decoupled from placement: the items are dealt to
+    /// [`opts.parallelism`](HgpaBuildOptions::parallelism) workers (one
+    /// reusable engine set each), timed individually, and summed per
+    /// owning machine — so [`OfflineReport::per_machine_seconds`] keeps
+    /// reflecting dedicated-machine cost under any worker count while
+    /// [`OfflineReport::wall_seconds`] tracks this host's real elapsed
+    /// time. Index contents are bit-identical across modes (pinned by
+    /// `tests/parallel_build.rs`).
     pub fn build_distributed_with_hierarchy(
         g: &CsrGraph,
         cfg: &PprConfig,
@@ -203,20 +265,34 @@ impl HgpaIndex {
             }
         }
 
-        // Machines execute sequentially and are timed individually: on a
-        // shared (possibly single-core) host, this is the only way a
-        // machine's elapsed time reflects what a dedicated machine would
-        // spend — the quantity the paper's offline figures report. The
-        // work sets are disjoint, so results are identical either way.
-        let outputs: Vec<MachineOutput> = (0..machines)
-            .map(|m| machine_precompute(g, &hierarchy, cfg, m, machines))
-            .collect();
+        // Decompose §5's precomputation into independent work items (leaf
+        // PPV batches and per-machine hub slices, in hierarchy order) and
+        // deal them to `opts.parallelism` workers. Items are timed
+        // individually and summed per owning machine, so per-machine
+        // modeled seconds reflect dedicated-machine cost — the quantity
+        // the paper's offline figures report — under any worker count.
+        // The work sets are disjoint and merge in item order, so index
+        // contents are identical in every mode.
+        let items = build_items(&hierarchy, machines);
+        let t_build = std::time::Instant::now();
+        let (outputs, peak_scratch_bytes) = run_timed(
+            items.len(),
+            opts.parallelism,
+            || BuildWorker {
+                push: PushEngine::new(0),
+                skel: SkeletonEngine::new(0),
+                vb: ViewBuilder::new(g),
+            },
+            |w| w.push.arena_bytes() + w.skel.arena_bytes(),
+            |i, w| run_item(&items[i], cfg, machines, w),
+        );
+        let wall_seconds = t_build.elapsed().as_secs_f64();
 
         let mut base: Vec<SparseVector> = vec![SparseVector::new(); n];
         let mut skeletons: Vec<SparseVector> = vec![SparseVector::new(); hub_ids.len()];
         let mut stats = HgpaBuildStats::default();
-        let mut per_machine_seconds = Vec::with_capacity(machines);
-        for out in outputs {
+        let mut per_machine_seconds = vec![0.0f64; machines];
+        for (item, (out, secs)) in items.iter().zip(outputs) {
             for (v, vec) in out.bases {
                 base[v as usize] = vec;
             }
@@ -226,7 +302,7 @@ impl HgpaIndex {
             stats.partial_pushes += out.stats.partial_pushes;
             stats.skeleton_columns += out.stats.skeleton_columns;
             stats.leaf_vectors += out.stats.leaf_vectors;
-            per_machine_seconds.push(out.elapsed);
+            per_machine_seconds[item.machine()] += secs;
         }
 
         // HGPA_ad truncation (§6.2.9).
@@ -265,6 +341,8 @@ impl HgpaIndex {
         let report = OfflineReport {
             per_machine_seconds,
             partition_seconds: 0.0,
+            wall_seconds,
+            peak_scratch_bytes,
         };
         (idx, report)
     }
@@ -434,6 +512,28 @@ impl HgpaIndex {
     /// All hub node ids, in hierarchy order.
     pub fn hub_ids(&self) -> &[NodeId] {
         &self.hub_ids
+    }
+
+    /// Base vector of every node (leaf local PPV or own partial vector),
+    /// indexed by node id. Exposed so differential tests can pin builds
+    /// bit-identical.
+    pub fn base_vectors(&self) -> &[SparseVector] {
+        &self.base
+    }
+
+    /// Skeleton column per hub rank (aligned with [`HgpaIndex::hub_ids`]).
+    pub fn skeleton_columns(&self) -> &[SparseVector] {
+        &self.skeletons
+    }
+
+    /// Machine owning each hub rank (Eq. 7's even split).
+    pub fn machine_of_hub(&self) -> &[u32] {
+        &self.machine_of_hub
+    }
+
+    /// Machine owning each node's base vector.
+    pub fn machine_of_base(&self) -> &[u32] {
+        &self.machine_of_base
     }
 
     /// Bytes of precomputed state on each machine (Figure 11's metric).
@@ -606,76 +706,96 @@ fn map_to_global(v: &SparseVector, view: &ppr_graph::SubView) -> SparseVector {
     SparseVector::from_entries(v.iter().map(|(l, x)| (view.global_of(l), x)).collect())
 }
 
-/// One simulated machine's share of §5's distributed precomputation.
-fn machine_precompute(
-    g: &CsrGraph,
-    hierarchy: &Hierarchy,
+/// Reusable per-worker state for the build fan-out: engines grow to the
+/// largest subgraph their worker meets and are reused across every item
+/// (the sequential schedule used to allocate fresh engines per machine
+/// and per leaf).
+struct BuildWorker<'g> {
+    push: PushEngine,
+    skel: SkeletonEngine,
+    vb: ViewBuilder<'g>,
+}
+
+/// Enumerate §5's work items in hierarchy order: one [`BuildItem::Leaf`]
+/// per leaf subgraph (owner round-robin by leaf index, §4.4) and one
+/// [`BuildItem::HubSlice`] per (internal subgraph, machine) pair with a
+/// non-empty hub-position slice (Eq. 7's even split of each hub list).
+fn build_items(hierarchy: &Hierarchy, machines: usize) -> Vec<BuildItem<'_>> {
+    let mut items = Vec::new();
+    let mut rank_cursor = 0u32; // global hub rank, in hierarchy order
+    let mut leaf_cursor = 0usize;
+    for sg in &hierarchy.nodes {
+        if sg.is_leaf() {
+            items.push(BuildItem::Leaf {
+                sg,
+                machine: leaf_cursor % machines,
+            });
+            leaf_cursor += 1;
+            continue;
+        }
+        for machine in 0..machines.min(sg.hubs.len()) {
+            items.push(BuildItem::HubSlice {
+                sg,
+                rank_base: rank_cursor,
+                machine,
+            });
+        }
+        rank_cursor += sg.hubs.len() as u32;
+    }
+    items
+}
+
+/// Execute one work item with a worker's reusable engines.
+fn run_item(
+    item: &BuildItem<'_>,
     cfg: &PprConfig,
-    machine: usize,
     machines: usize,
-) -> MachineOutput {
-    let t0 = std::time::Instant::now();
-    let mut out = MachineOutput {
+    w: &mut BuildWorker<'_>,
+) -> ItemOutput {
+    let mut out = ItemOutput {
         bases: Vec::new(),
         skeletons: Vec::new(),
         stats: HgpaBuildStats::default(),
-        elapsed: 0.0,
     };
-    let mut vb = ViewBuilder::new(g);
-    let mut rank_cursor = 0u32; // global hub rank, in hierarchy order
-    let mut leaf_cursor = 0usize;
-
-    for sg in &hierarchy.nodes {
-        if sg.is_leaf() {
-            let mine = leaf_cursor % machines == machine;
-            leaf_cursor += 1;
-            if !mine {
-                continue;
-            }
+    match *item {
+        BuildItem::Leaf { sg, .. } => {
             // Leaf: full local PPV for every member (Theorem 2 turns these
             // into partial vectors w.r.t. all ancestor hubs).
-            let view = vb.build(&sg.members);
+            let view = w.vb.build(&sg.members);
             let no_block = vec![false; view.len()];
-            let mut push = PushEngine::new(view.len());
             for (local, &global) in view.globals().iter().enumerate() {
-                let res = push.run(&view, local as NodeId, &no_block, cfg);
+                let res = w.push.run(&view, local as NodeId, &no_block, cfg);
                 out.stats.partial_pushes += res.pushes;
                 out.stats.leaf_vectors += 1;
                 out.bases.push((global, map_to_global(&res.partial, &view)));
             }
-            continue;
         }
+        BuildItem::HubSlice {
+            sg,
+            rank_base,
+            machine,
+        } => {
+            // Internal subgraph: this item handles hub positions
+            // machine, machine+machines, ... of the subgraph's hub list.
+            let view = w.vb.build(&sg.members);
+            let mut blocked = vec![false; view.len()];
+            for &h in &sg.hubs {
+                blocked[view.local_of(h).expect("hub is a member") as usize] = true;
+            }
+            for pos in (machine..sg.hubs.len()).step_by(machines) {
+                let h = sg.hubs[pos];
+                let lh = view.local_of(h).expect("hub is a member");
+                let res = w.push.run(&view, lh, &blocked, cfg);
+                out.stats.partial_pushes += res.pushes;
+                out.bases.push((h, map_to_global(&res.partial, &view)));
 
-        // Internal subgraph: this machine handles hub positions
-        // machine, machine+machines, ... of the subgraph's hub list.
-        let my_hub_positions: Vec<usize> = (machine..sg.hubs.len()).step_by(machines).collect();
-        if my_hub_positions.is_empty() {
-            rank_cursor += sg.hubs.len() as u32;
-            continue;
+                let col = w.skel.run(&view, lh, cfg);
+                out.stats.skeleton_columns += 1;
+                out.skeletons
+                    .push((rank_base + pos as u32, map_to_global(&col, &view)));
+            }
         }
-        let view = vb.build(&sg.members);
-        let mut blocked = vec![false; view.len()];
-        for &h in &sg.hubs {
-            blocked[view.local_of(h).expect("hub is a member") as usize] = true;
-        }
-        let mut push = PushEngine::new(view.len());
-        let mut skel = SkeletonEngine::new(view.len());
-        for pos in my_hub_positions {
-            let h = sg.hubs[pos];
-            let lh = view.local_of(h).expect("hub is a member");
-            let res = push.run(&view, lh, &blocked, cfg);
-            out.stats.partial_pushes += res.pushes;
-            out.bases.push((h, map_to_global(&res.partial, &view)));
-
-            let col = skel.run(&view, lh, cfg);
-            out.stats.skeleton_columns += 1;
-            out.skeletons
-                .push((rank_cursor + pos as u32, map_to_global(&col, &view)));
-        }
-        rank_cursor += sg.hubs.len() as u32;
     }
-
-    out.elapsed = t0.elapsed().as_secs_f64();
     out
 }
 

@@ -20,6 +20,9 @@
 //! * [`gpa`] — the flat graph-partition algorithm (§3).
 //! * [`hgpa`] — the hierarchical, hub-distributed algorithm (§4),
 //!   including the `HGPA_ad` truncation variant of §6.2.9.
+//! * [`parallel`] — the [`ParallelismMode`] switch (shared with
+//!   `ppr-cluster`'s online fan-out) and the timed work pool both offline
+//!   builds deal their hub-column / local-PPV work items through.
 //!
 //! ## Semantics
 //!
@@ -34,12 +37,14 @@ pub mod gpa;
 pub mod hgpa;
 pub mod incremental;
 pub mod jw;
+pub mod parallel;
 pub mod persist;
 pub mod power;
 pub mod push;
 pub mod skeleton;
 pub mod sparse;
 
+pub use parallel::ParallelismMode;
 pub use sparse::{Scratch, SparseVector};
 
 /// Shared configuration for all PPV computations.

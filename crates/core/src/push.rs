@@ -67,6 +67,16 @@ impl PushEngine {
         }
     }
 
+    /// Bytes of scratch this engine currently holds — the offline build's
+    /// peak-scratch accounting (`OfflineReport::peak_scratch_bytes`).
+    pub fn arena_bytes(&self) -> u64 {
+        (self.d.len() * 8
+            + self.e.len() * 8
+            + self.in_queue.len()
+            + self.touched.capacity() * 4
+            + self.queue.capacity() * 4) as u64
+    }
+
     /// Run selective expansion from `source`. `blocked[v]` marks hub nodes
     /// (never expanded, except `source` on its first touch). Pass all-false
     /// for a full local PPV.

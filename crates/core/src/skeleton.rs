@@ -96,6 +96,16 @@ impl SkeletonEngine {
         }
     }
 
+    /// Bytes of scratch this engine currently holds — the offline build's
+    /// peak-scratch accounting (`OfflineReport::peak_scratch_bytes`).
+    pub fn arena_bytes(&self) -> u64 {
+        (self.p.len() * 8
+            + self.r.len() * 8
+            + self.in_queue.len()
+            + self.touched.capacity() * 4
+            + self.queue.capacity() * 4) as u64
+    }
+
     /// Compute the column for `hub`, sparsified at the tolerance.
     pub fn run<A: InAdjacency>(&mut self, adj: &A, hub: NodeId, cfg: &PprConfig) -> SparseVector {
         let n = adj.n();

@@ -35,8 +35,13 @@ impl SparseVector {
 
     /// From a dense slice, keeping entries with `|value| > threshold`.
     /// Node ids are taken from `ids[i]` (pass `None` for identity).
+    ///
+    /// Survivors are counted in a first pass so the entry vector is
+    /// allocated exactly once (bit-identical output, no growth
+    /// reallocations on the precompute hot path).
     pub fn from_dense(dense: &[f64], ids: Option<&[NodeId]>, threshold: f64) -> Self {
-        let mut entries = Vec::new();
+        let surviving = dense.iter().filter(|v| v.abs() > threshold).count();
+        let mut entries = Vec::with_capacity(surviving);
         for (i, &v) in dense.iter().enumerate() {
             if v.abs() > threshold {
                 let id = match ids {
@@ -53,6 +58,7 @@ impl SparseVector {
     }
 
     /// Value at `id` (0.0 if absent).
+    #[inline]
     pub fn get(&self, id: NodeId) -> f64 {
         match self.entries.binary_search_by_key(&id, |e| e.0) {
             Ok(i) => self.entries[i].1,
@@ -119,6 +125,7 @@ impl SparseVector {
 
     /// Accumulate `scale * self` into a dense buffer, recording first
     /// touches in `touched`.
+    #[inline]
     pub fn scatter_into(&self, dense: &mut [f64], touched: &mut Vec<NodeId>, scale: f64) {
         for &(id, v) in &self.entries {
             let slot = &mut dense[id as usize];
@@ -152,11 +159,34 @@ impl SparseVector {
 
     /// Top-k entries by value, descending (ties by node id ascending) —
     /// the ranking the paper's Precision/Kendall metrics consume.
+    ///
+    /// For `k < nnz` this selects over references (quickselect to the
+    /// k-th rank, then sorts just the survivors) instead of cloning and
+    /// fully sorting the entry vector: O(nnz + k·log k) expected and an
+    /// O(k) copy, rather than O(nnz·log nnz) and an O(nnz) clone. The
+    /// ranking comparator is a total order (value descending, id
+    /// ascending breaks every tie), so the selected set — and hence the
+    /// output — is exactly the full sort's prefix;
+    /// `top_k_select_equals_reference_sort` in
+    /// `tests/invariants_proptest.rs` pins the equivalence against the
+    /// old clone-and-sort implementation on random entry sets.
     pub fn top_k(&self, k: usize) -> Vec<(NodeId, f64)> {
-        let mut v: Vec<(NodeId, f64)> = self.entries.clone();
-        v.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-        v.truncate(k);
-        v
+        let rank = |a: &(NodeId, f64), b: &(NodeId, f64)| {
+            b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0))
+        };
+        if k >= self.entries.len() {
+            let mut v: Vec<(NodeId, f64)> = self.entries.clone();
+            v.sort_unstable_by(rank);
+            return v;
+        }
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut refs: Vec<&(NodeId, f64)> = self.entries.iter().collect();
+        refs.select_nth_unstable_by(k - 1, |a, b| rank(a, b));
+        refs.truncate(k);
+        refs.sort_unstable_by(|a, b| rank(a, b));
+        refs.into_iter().copied().collect()
     }
 
     /// Top-k with a threshold-based early cut: identical output to
@@ -315,6 +345,12 @@ impl Scratch {
     /// does, and finish with [`Scratch::harvest`].
     pub fn parts(&mut self) -> (&mut [f64], &mut Vec<NodeId>) {
         (&mut self.dense, &mut self.touched)
+    }
+
+    /// Bytes this arena currently holds (dense buffer + touch list) —
+    /// the serving/bench peak-scratch accounting.
+    pub fn arena_bytes(&self) -> u64 {
+        (self.dense.len() * 8 + self.touched.capacity() * 4) as u64
     }
 }
 

@@ -140,4 +140,22 @@ proptest! {
         // Dropped mass is bounded by count × threshold.
         prop_assert!(before - v.l1_norm() <= dropped as f64 * threshold + 1e-12);
     }
+
+    #[test]
+    fn top_k_select_equals_reference_sort(
+        // Values drawn from a small grid so ties (the id-tiebreak path)
+        // occur constantly; negative values and zero included.
+        entries in proptest::collection::btree_map(0u32..200, -4i8..=4, 0..120),
+        k in 0usize..130,
+    ) {
+        let v = SparseVector::from_entries(
+            entries.iter().map(|(&id, &g)| (id, g as f64 * 0.25)).collect(),
+        );
+        // The pre-optimization implementation: clone everything, fully
+        // sort, truncate. `top_k` must stay element-for-element equal.
+        let mut reference: Vec<(u32, f64)> = v.iter().collect();
+        reference.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        reference.truncate(k);
+        prop_assert_eq!(v.top_k(k), reference);
+    }
 }
