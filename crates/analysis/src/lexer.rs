@@ -1,0 +1,422 @@
+//! A hand-rolled Rust lexer sufficient for the audit rules.
+//!
+//! The vendored dependencies are offline stand-ins, so there is no `syn`
+//! or `proc-macro2` to lean on; instead this module tokenizes Rust source
+//! directly. It does not aim to be a full lexer — it only needs to be
+//! sound enough that the rule engine never mistakes string/comment
+//! contents for code and never misses a token boundary the rules care
+//! about. The subtle cases it does handle correctly:
+//!
+//! * nested block comments (`/* /* */ */`),
+//! * raw strings with arbitrary hash fences (`r#"…"#`, `br##"…"##`),
+//! * byte strings and byte chars (`b"…"`, `b'x'`),
+//! * char literals vs. lifetimes (`'a'` vs. `&'a str`),
+//! * multi-character punctuation the rules match on (`::`, `..`, `=>`).
+//!
+//! Comments are not discarded: they are returned as [`TokenKind::Comment`]
+//! tokens so the caller can recognise `// audit:allow(...)` suppressions
+//! and attribute them to lines.
+
+/// The coarse classification of a [`Token`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`HashMap`, `for`, `r#async`).
+    Ident,
+    /// Integer or float literal, including suffixes (`0.15f64`, `0xFF`).
+    Number,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A single punctuation character (`.`, `(`, `[`) or one of the
+    /// multi-character operators listed in [`MULTI_PUNCT`].
+    Punct,
+    /// Line or block comment, text included (with delimiters).
+    Comment,
+}
+
+/// Multi-character operators kept as single tokens. Order matters: longer
+/// operators must come first so `..=` never lexes as `..` `=`.
+pub const MULTI_PUNCT: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "::", "->", "=>", "..", "==", "!=", "<=", ">=", "&&", "||", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// One lexed token with its source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The exact source text, delimiters included.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// True for an identifier token with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True for a punct token with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+/// Tokenize `src`, returning every token including comments.
+///
+/// Unterminated strings/comments are tolerated (the remainder of the file
+/// becomes one token) so a half-edited file degrades gracefully instead
+/// of panicking — the audit runs in CI where a clear report beats a crash.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.src.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+
+    /// Advance one byte, tracking line numbers.
+    fn bump(&mut self) {
+        if self.peek(0) == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let c = self.peek(0);
+            let start = self.pos;
+            let line = self.line;
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == b'/' => {
+                    while self.pos < self.src.len() && self.peek(0) != b'\n' {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Comment, start, line);
+                }
+                b'/' if self.peek(1) == b'*' => {
+                    self.block_comment(start, line);
+                }
+                b'r' | b'b' if self.raw_or_byte_literal() => {
+                    // raw_or_byte_literal consumed the whole literal.
+                    let kind = if self.src[start + 1] == b'\'' {
+                        TokenKind::Char
+                    } else {
+                        TokenKind::Str
+                    };
+                    self.push(kind, start, line);
+                }
+                b'"' => {
+                    self.bump();
+                    self.quoted(b'"');
+                    self.push(TokenKind::Str, start, line);
+                }
+                b'\'' => self.char_or_lifetime(start, line),
+                _ if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 => {
+                    while {
+                        let c = self.peek(0);
+                        c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80
+                    } {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Ident, start, line);
+                }
+                _ if c.is_ascii_digit() => {
+                    self.number();
+                    self.push(TokenKind::Number, start, line);
+                }
+                _ => {
+                    let rest = &self.src[self.pos..];
+                    let multi = MULTI_PUNCT
+                        .iter()
+                        .find(|op| rest.starts_with(op.as_bytes()));
+                    match multi {
+                        Some(op) => self.bump_n(op.len()),
+                        None => self.bump(),
+                    }
+                    self.push(TokenKind::Punct, start, line);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// `/* … */` with nesting; tolerates EOF inside the comment.
+    fn block_comment(&mut self, start: usize, line: u32) {
+        self.bump_n(2);
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.starts_with("/*") {
+                depth += 1;
+                self.bump_n(2);
+            } else if self.starts_with("*/") {
+                depth -= 1;
+                self.bump_n(2);
+            } else {
+                self.bump();
+            }
+        }
+        self.push(TokenKind::Comment, start, line);
+    }
+
+    /// Try to consume `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, or `b'x'`
+    /// starting at the current position. Returns false (consuming
+    /// nothing) when the `r`/`b` is just the start of an identifier.
+    fn raw_or_byte_literal(&mut self) -> bool {
+        let mut i = self.pos;
+        let mut raw = false;
+        if self.src[i] == b'b' {
+            i += 1;
+        }
+        if i < self.src.len() && self.src[i] == b'r' {
+            raw = true;
+            i += 1;
+        }
+        let mut hashes = 0usize;
+        while raw && i < self.src.len() && self.src[i] == b'#' {
+            hashes += 1;
+            i += 1;
+        }
+        let quote = *self.src.get(i).unwrap_or(&0);
+        // `r#ident` is a raw identifier, not a string: require a quote.
+        if quote != b'"' && !(quote == b'\'' && !raw && self.src[self.pos] == b'b') {
+            return false;
+        }
+        self.bump_n(i + 1 - self.pos);
+        if quote == b'\'' {
+            // byte char: escapes but no fences
+            self.quoted(b'\'');
+            return true;
+        }
+        if !raw {
+            self.quoted(b'"');
+            return true;
+        }
+        // Raw string: scan for `"` followed by `hashes` hash marks; no
+        // escape processing.
+        loop {
+            if self.pos >= self.src.len() {
+                return true;
+            }
+            if self.peek(0) == b'"' {
+                let mut ok = true;
+                for h in 0..hashes {
+                    if self.peek(1 + h) != b'#' {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.bump_n(1 + hashes);
+                    return true;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Consume a (non-raw) quoted literal body up to and including the
+    /// closing `close`, honouring backslash escapes.
+    fn quoted(&mut self, close: u8) {
+        while self.pos < self.src.len() {
+            match self.peek(0) {
+                b'\\' => self.bump_n(2),
+                c if c == close => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Disambiguate `'a'` (char) from `'a` (lifetime) from `'\n'`.
+    fn char_or_lifetime(&mut self, start: usize, line: u32) {
+        // A char literal is '…' where … is an escape or exactly one char;
+        // a lifetime is 'ident NOT followed by a closing quote.
+        let next = self.peek(1);
+        let is_lifetime = (next == b'_' || next.is_ascii_alphabetic())
+            && self.peek(2) != b'\''
+            // 'a' where a is one alnum char and then a quote is a char.
+            && next != b'\\';
+        if is_lifetime {
+            self.bump(); // '
+            while {
+                let c = self.peek(0);
+                c == b'_' || c.is_ascii_alphanumeric()
+            } {
+                self.bump();
+            }
+            self.push(TokenKind::Lifetime, start, line);
+        } else {
+            self.bump();
+            self.quoted(b'\'');
+            self.push(TokenKind::Char, start, line);
+        }
+    }
+
+    /// Integer/float literal with suffixes; good enough for rule matching
+    /// (exact float grammar subtleties like `1.` vs `1.f()` resolve to
+    /// separate tokens here, which the rules don't care about).
+    fn number(&mut self) {
+        // Hex/octal/binary prefix.
+        if self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'o' | b'b') {
+            self.bump_n(2);
+            while {
+                let c = self.peek(0);
+                c.is_ascii_alphanumeric() || c == b'_'
+            } {
+                self.bump();
+            }
+            return;
+        }
+        while {
+            let c = self.peek(0);
+            c.is_ascii_digit() || c == b'_'
+        } {
+            self.bump();
+        }
+        // Fractional part: only if the dot is followed by a digit (so
+        // `0..n` and `1.max(2)` don't swallow the dot).
+        if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+            self.bump();
+            while {
+                let c = self.peek(0);
+                c.is_ascii_digit() || c == b'_'
+            } {
+                self.bump();
+            }
+        }
+        // Exponent and/or type suffix (e8 handled as suffix chars).
+        while {
+            let c = self.peek(0);
+            c.is_ascii_alphanumeric() || c == b'_'
+        } {
+            // `1e-9`: allow a sign right after e/E.
+            let c = self.peek(0);
+            self.bump();
+            if (c == b'e' || c == b'E') && matches!(self.peek(0), b'+' | b'-') {
+                self.bump();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let ts = kinds("let x: HashMap<u32, f64> = HashMap::new();");
+        assert!(ts.contains(&(TokenKind::Ident, "HashMap".into())));
+        assert!(ts.contains(&(TokenKind::Punct, "::".into())));
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let ts = kinds("/* a /* b */ c */ x");
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].0, TokenKind::Comment);
+        assert_eq!(ts[1], (TokenKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn raw_string_with_fences() {
+        let ts = kinds(r####"let s = r##"quote " and "# inside"## ; y"####);
+        assert!(ts.iter().any(|(k, t)| *k == TokenKind::Str && t.contains("inside")));
+        assert!(ts.iter().any(|(k, t)| *k == TokenKind::Ident && t == "y"));
+    }
+
+    #[test]
+    fn byte_string_and_byte_char() {
+        let ts = kinds(r#"b"bytes" b'\n' br"raw""#);
+        assert_eq!(ts[0].0, TokenKind::Str);
+        assert_eq!(ts[1].0, TokenKind::Char);
+        assert_eq!(ts[2].0, TokenKind::Str);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let ts = kinds("'a' &'a str '\\n' 'static");
+        assert_eq!(ts[0].0, TokenKind::Char);
+        assert_eq!(ts[2].0, TokenKind::Lifetime);
+        assert_eq!(ts[4].0, TokenKind::Char);
+        assert_eq!(ts[5].0, TokenKind::Lifetime);
+    }
+
+    #[test]
+    fn line_numbers_and_comments_survive() {
+        let ts = tokenize("a\n// audit:allow(x): reason\nb");
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].kind, TokenKind::Comment);
+        assert_eq!(ts[1].line, 2);
+        assert!(ts[1].text.contains("audit:allow"));
+        assert_eq!(ts[2].line, 3);
+    }
+
+    #[test]
+    fn range_vs_float() {
+        let ts = kinds("0..n 1.5 x[i as usize]");
+        assert_eq!(ts[0], (TokenKind::Number, "0".into()));
+        assert_eq!(ts[1], (TokenKind::Punct, "..".into()));
+        assert_eq!(ts[3], (TokenKind::Number, "1.5".into()));
+    }
+
+    #[test]
+    fn string_contents_do_not_leak_tokens() {
+        let ts = kinds(r#"let s = "HashMap iteration for x in map";"#);
+        let idents: Vec<_> = ts
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .collect();
+        // Only `let` and `s` — nothing from inside the string.
+        assert_eq!(idents.len(), 2);
+    }
+}

@@ -1,0 +1,409 @@
+#![deny(missing_docs)]
+
+//! Repo-specific static analysis behind `repro audit`.
+//!
+//! The workspace's headline guarantee — parallel fan-out, sharded
+//! serving, and incremental maintenance all **bit-identical** to the
+//! sequential paper-accurate path — is pinned dynamically by proptests,
+//! which sample a tiny corner of the input space. This crate checks the
+//! *structural* invariants those guarantees rest on, on every commit:
+//!
+//! * [`rules::RULE_HASH_ITER`] — no hash-order iteration in non-test
+//!   code without an order-restoring step;
+//! * [`rules::RULE_WALL_CLOCK`] — no wall-clock reads outside the
+//!   `core::parallel` measurement gateway, so modeled-time/virtual-clock
+//!   code stays figure-accurate;
+//! * [`rules::RULE_SERVE_PANIC`] — no panic sources on serving request
+//!   paths (`ppr-serve`, `ppr-cluster`);
+//! * [`rules::RULE_FLOAT_SUM`] — no float reductions over hash-ordered
+//!   iteration (float addition is order-sensitive);
+//! * [`rules::RULE_LOSSY_CAST`] — no unchecked narrowing casts of
+//!   computed expressions to node-id width.
+//!
+//! There is deliberately no `syn` here (the vendored deps are offline
+//! stand-ins): [`lexer`] is a small hand-rolled Rust lexer, and the
+//! rules in [`rules`] are transparent token-stream heuristics. False
+//! positives are suppressed inline with
+//! `// audit:allow(<rule>): <reason>`, which the report counts — and
+//! `AUDIT_baseline.json` pins, so new suppressions fail CI like new
+//! violations do.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+pub use report::{AuditReport, Finding};
+
+use source::SourceFile;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Audit in-memory sources given as `(path, text)` pairs. This is the
+/// engine behind [`run_audit`] and the entry point fixture tests use.
+pub fn audit_sources(sources: &[(&str, &str)]) -> AuditReport {
+    let mut report = AuditReport {
+        findings: Vec::new(),
+        files_scanned: sources.len(),
+    };
+    for (path, text) in sources {
+        let file = SourceFile::parse(path, text);
+        rules::check_file(&file, &mut report.findings);
+    }
+    report.sort();
+    report
+}
+
+/// Audit the workspace rooted at `root`: every `.rs` file under
+/// `<root>/src` and `<root>/crates/*/src`. Vendored stand-ins,
+/// `target/`, integration `tests/`, `benches/`, and `examples/` are out
+/// of scope — the rules guard production library code.
+pub fn run_audit(root: &Path) -> io::Result<AuditReport> {
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("src"), &mut files)?;
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            collect_rs_files(&dir.join("src"), &mut files)?;
+        }
+    }
+    files.sort();
+    let mut report = AuditReport {
+        findings: Vec::new(),
+        files_scanned: files.len(),
+    };
+    for path in &files {
+        let text = std::fs::read_to_string(path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let file = SourceFile::parse(&rel, &text);
+        rules::check_file(&file, &mut report.findings);
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// Locate the workspace root by ascending from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Recursively gather `.rs` files under `dir` (no-op when absent).
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rules::*;
+
+    fn violations_of(report: &AuditReport, rule: &str) -> usize {
+        report.violations().filter(|f| f.rule == rule).count()
+    }
+
+    // ---- seeded fixture violations, one per rule (acceptance gate) ----
+
+    #[test]
+    fn fixture_hash_iter_fires() {
+        let src = "\
+use std::collections::HashMap;
+fn emit(m: &HashMap<u32, f64>) {
+    for (k, v) in m.iter() {
+        println!(\"{k} {v}\");
+    }
+}
+";
+        let r = audit_sources(&[("crates/serve/src/fix.rs", src)]);
+        assert!(violations_of(&r, RULE_HASH_ITER) >= 1, "{}", r.render_text());
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn fixture_wall_clock_fires() {
+        let src = "\
+use std::time::Instant;
+fn measure() -> f64 {
+    let t = Instant::now();
+    t.elapsed().as_secs_f64()
+}
+";
+        let r = audit_sources(&[("crates/core/src/gpa.rs", src)]);
+        assert!(violations_of(&r, RULE_WALL_CLOCK) >= 1, "{}", r.render_text());
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn fixture_serve_panic_fires() {
+        let src = "\
+fn answer(xs: &[f64], i: u32) -> f64 {
+    let first = xs.first().unwrap();
+    first + xs[i as usize]
+}
+fn boom() {
+    panic!(\"nope\");
+}
+";
+        let r = audit_sources(&[("crates/serve/src/fix.rs", src)]);
+        // unwrap + indexing + panic! = three distinct findings.
+        assert!(violations_of(&r, RULE_SERVE_PANIC) >= 3, "{}", r.render_text());
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn fixture_float_sum_fires() {
+        let src = "\
+use std::collections::HashMap;
+fn total(m: &HashMap<u32, f64>) -> f64 {
+    m.values().sum::<f64>()
+}
+";
+        let r = audit_sources(&[("crates/core/src/fix.rs", src)]);
+        assert!(violations_of(&r, RULE_FLOAT_SUM) >= 1, "{}", r.render_text());
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn fixture_lossy_cast_fires() {
+        let src = "\
+fn id_of(xs: &[u64]) -> u32 {
+    xs.len() as u32
+}
+";
+        let r = audit_sources(&[("crates/graph/src/fix.rs", src)]);
+        assert!(violations_of(&r, RULE_LOSSY_CAST) >= 1, "{}", r.render_text());
+        assert!(!r.is_clean());
+    }
+
+    // ---- suppression, exemption, and scope behaviour ----
+
+    #[test]
+    fn allow_annotation_suppresses_and_is_counted() {
+        let src = "\
+use std::collections::HashSet;
+fn probe(s: &HashSet<u32>) -> Vec<u32> {
+    // audit:allow(hash-iter): membership only, order never escapes
+    s.iter().copied().collect()
+}
+";
+        let r = audit_sources(&[("crates/serve/src/fix.rs", src)]);
+        assert_eq!(violations_of(&r, RULE_HASH_ITER), 0, "{}", r.render_text());
+        assert_eq!(r.allowed().count(), 1);
+        assert!(r.is_clean());
+        let counts = r.allow_counts();
+        assert_eq!(
+            counts
+                .get(&("crates/serve/src/fix.rs".into(), RULE_HASH_ITER.into()))
+                .copied(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_violation() {
+        let src = "fn f() {} // audit:allow(hash-iter)\n";
+        let r = audit_sources(&[("crates/serve/src/fix.rs", src)]);
+        assert_eq!(violations_of(&r, RULE_MALFORMED_ALLOW), 1);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn allow_with_unknown_rule_is_a_violation() {
+        let src = "fn f() {} // audit:allow(made-up): because\n";
+        let r = audit_sources(&[("crates/serve/src/fix.rs", src)]);
+        assert_eq!(violations_of(&r, RULE_MALFORMED_ALLOW), 1);
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+    #[test]
+    fn t() {
+        let m: HashMap<u32, f64> = HashMap::new();
+        for (k, v) in m.iter() {
+            let _ = (k, v, Instant::now());
+        }
+        let x: Vec<u64> = vec![];
+        let _ = x.len() as u32;
+    }
+}
+";
+        let r = audit_sources(&[("crates/serve/src/fix.rs", src)]);
+        assert!(r.is_clean(), "{}", r.render_text());
+    }
+
+    #[test]
+    fn btree_collect_exempts_hash_iter() {
+        let src = "\
+use std::collections::{BTreeMap, HashMap};
+fn stable(m: &HashMap<u32, f64>) -> BTreeMap<u32, f64> {
+    m.iter().map(|(k, v)| (*k, *v)).collect::<BTreeMap<_, _>>()
+}
+";
+        let r = audit_sources(&[("crates/core/src/fix.rs", src)]);
+        assert_eq!(violations_of(&r, RULE_HASH_ITER), 0, "{}", r.render_text());
+    }
+
+    #[test]
+    fn sort_in_statement_exempts_hash_iter() {
+        let src = "\
+use std::collections::HashSet;
+fn sorted(s: &HashSet<u32>) -> Vec<u32> {
+    let v: std::collections::BTreeSet<u32> = s.iter().copied().collect::<std::collections::BTreeSet<_>>();
+    v.into_iter().collect()
+}
+";
+        let r = audit_sources(&[("crates/core/src/fix.rs", src)]);
+        assert_eq!(violations_of(&r, RULE_HASH_ITER), 0, "{}", r.render_text());
+    }
+
+    #[test]
+    fn wall_clock_gateway_module_is_exempt() {
+        let src = "\
+use std::time::Instant;
+pub fn run_timed() -> f64 {
+    let t = Instant::now();
+    t.elapsed().as_secs_f64()
+}
+";
+        let r = audit_sources(&[("crates/core/src/parallel.rs", src)]);
+        assert_eq!(violations_of(&r, RULE_WALL_CLOCK), 0, "{}", r.render_text());
+    }
+
+    #[test]
+    fn serve_panic_scope_is_serve_and_cluster_only() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let in_scope = audit_sources(&[("crates/cluster/src/fix.rs", src)]);
+        assert_eq!(violations_of(&in_scope, RULE_SERVE_PANIC), 1);
+        let out_of_scope = audit_sources(&[("crates/core/src/fix.rs", src)]);
+        assert_eq!(violations_of(&out_of_scope, RULE_SERVE_PANIC), 0);
+    }
+
+    #[test]
+    fn float_max_fold_is_exempt() {
+        let src = "\
+use std::collections::HashMap;
+fn peak(m: &HashMap<u32, f64>) -> f64 {
+    m.values().fold(0.0, |a, &b| a.max(b))
+}
+";
+        let r = audit_sources(&[("crates/core/src/fix.rs", src)]);
+        assert_eq!(violations_of(&r, RULE_FLOAT_SUM), 0, "{}", r.render_text());
+    }
+
+    #[test]
+    fn int_sum_over_vec_is_not_flagged() {
+        let src = "\
+fn total(xs: &[Vec<u32>]) -> usize {
+    xs.iter().map(Vec::len).sum()
+}
+";
+        let r = audit_sources(&[("crates/core/src/fix.rs", src)]);
+        assert_eq!(violations_of(&r, RULE_FLOAT_SUM), 0, "{}", r.render_text());
+    }
+
+    #[test]
+    fn range_bound_cast_is_exempt() {
+        let src = "\
+fn ids(n: usize, g: &Vec<u32>) -> Vec<u32> {
+    (0..g.len() as u32).chain(0..n as u32).collect()
+}
+";
+        let r = audit_sources(&[("crates/graph/src/fix.rs", src)]);
+        assert_eq!(violations_of(&r, RULE_LOSSY_CAST), 0, "{}", r.render_text());
+    }
+
+    #[test]
+    fn bare_ident_cast_is_not_flagged() {
+        let src = "fn f(i: usize) -> u32 { i as u32 }\n";
+        let r = audit_sources(&[("crates/graph/src/fix.rs", src)]);
+        assert_eq!(violations_of(&r, RULE_LOSSY_CAST), 0, "{}", r.render_text());
+    }
+
+    #[test]
+    fn exit_semantics_one_violation_per_rule_all_fire_together() {
+        // One source seeding all five rules at once: the audit must
+        // report at least one violation of each.
+        let src = "\
+use std::collections::HashMap;
+use std::time::Instant;
+fn bad(m: &HashMap<u32, f64>, xs: &[f64], i: u32) -> f64 {
+    let t = Instant::now();
+    let mut acc = 0.0;
+    for (_, v) in m.iter() {
+        acc += v;
+    }
+    let s = m.values().sum::<f64>();
+    let id = xs.len() as u32;
+    let x = xs[i as usize] + xs.first().unwrap();
+    acc + s + x + id as f64 + t.elapsed().as_secs_f64()
+}
+";
+        let r = audit_sources(&[("crates/serve/src/fix.rs", src)]);
+        for rule in ALL_RULES {
+            assert!(
+                violations_of(&r, rule) >= 1,
+                "rule {rule} did not fire:\n{}",
+                r.render_text()
+            );
+        }
+    }
+
+    // ---- the workspace itself must be clean (tier-1 enforcement) ----
+
+    #[test]
+    fn workspace_audit_is_clean() {
+        let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+            .expect("workspace root above crates/analysis");
+        let report = run_audit(&root).expect("workspace audit runs");
+        assert!(report.files_scanned > 30, "walked the real workspace");
+        let violations: Vec<String> = report
+            .violations()
+            .map(|f| format!("{}:{} [{}] {}", f.path, f.line, f.rule, f.message))
+            .collect();
+        assert!(
+            violations.is_empty(),
+            "unannotated audit violations:\n{}",
+            violations.join("\n")
+        );
+    }
+}

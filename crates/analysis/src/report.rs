@@ -1,0 +1,112 @@
+//! Findings and the audit report: plain data, deterministically ordered.
+//!
+//! Rendering to JSON lives with the `repro` CLI (which owns the
+//! workspace's hand-rolled JSON layer); this module only renders the
+//! human-readable text form.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One rule match at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`hash-iter`, `wall-clock`, `serve-panic`,
+    /// `float-sum-order`, `lossy-id-cast`, or `malformed-allow`).
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human explanation of what matched and why it matters.
+    pub message: String,
+    /// `Some(reason)` when an `audit:allow` annotation suppresses this
+    /// finding; `None` for a live violation.
+    pub allowed: Option<String>,
+}
+
+impl Finding {
+    /// True when this finding is suppressed by an annotation.
+    pub fn is_allowed(&self) -> bool {
+        self.allowed.is_some()
+    }
+}
+
+/// The result of auditing a set of source files.
+#[derive(Clone, Debug, Default)]
+pub struct AuditReport {
+    /// Every match, violations and allowed alike, sorted by
+    /// (path, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl AuditReport {
+    /// Unsuppressed violations (the ones that fail the audit).
+    pub fn violations(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.is_allowed())
+    }
+
+    /// Findings suppressed by `audit:allow` annotations.
+    pub fn allowed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.is_allowed())
+    }
+
+    /// True when the audit passes (zero unsuppressed violations).
+    pub fn is_clean(&self) -> bool {
+        self.violations().next().is_none()
+    }
+
+    /// `(path, rule) -> allowed-annotation count`, the shape the
+    /// committed `AUDIT_baseline.json` pins so new suppressions fail CI.
+    pub fn allow_counts(&self) -> BTreeMap<(String, String), usize> {
+        let mut counts = BTreeMap::new();
+        for f in self.allowed() {
+            *counts.entry((f.path.clone(), f.rule.clone())).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Canonical ordering: by path, then line, then rule.
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    }
+
+    /// Render the human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        let violations: Vec<_> = self.violations().collect();
+        let allowed: Vec<_> = self.allowed().collect();
+        let _ = writeln!(
+            s,
+            "repro audit: {} file(s) scanned, {} violation(s), {} allowed",
+            self.files_scanned,
+            violations.len(),
+            allowed.len()
+        );
+        if !violations.is_empty() {
+            let _ = writeln!(s, "\nviolations:");
+            for f in &violations {
+                let _ = writeln!(s, "  {}:{} [{}] {}", f.path, f.line, f.rule, f.message);
+            }
+        }
+        if !allowed.is_empty() {
+            let _ = writeln!(s, "\nallowed (annotated):");
+            for f in &allowed {
+                let reason = f.allowed.as_deref().unwrap_or("");
+                let _ = writeln!(
+                    s,
+                    "  {}:{} [{}] {} — allow: {}",
+                    f.path, f.line, f.rule, f.message, reason
+                );
+            }
+        }
+        if violations.is_empty() {
+            let _ = writeln!(s, "\nresult: PASS");
+        } else {
+            let _ = writeln!(s, "\nresult: FAIL");
+        }
+        s
+    }
+}

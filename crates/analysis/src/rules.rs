@@ -1,0 +1,608 @@
+//! The five audit rules and the engine that runs them over a file.
+//!
+//! All rules work on the lexed token stream of one file at a time
+//! ([`SourceFile`]), skip test regions, and honour
+//! `// audit:allow(rule): reason` annotations. They are deliberately
+//! heuristic: sound enough that every live violation in this workspace is
+//! either a real hazard or carries a written justification, and simple
+//! enough to audit by reading this file. False positives are the
+//! annotation mechanism's job, not a reason to weaken a rule.
+
+use crate::lexer::{Token, TokenKind};
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+/// Rule id for hash-order determinism.
+pub const RULE_HASH_ITER: &str = "hash-iter";
+/// Rule id for modeled-time purity.
+pub const RULE_WALL_CLOCK: &str = "wall-clock";
+/// Rule id for panic-free serving paths.
+pub const RULE_SERVE_PANIC: &str = "serve-panic";
+/// Rule id for float-sum ordering.
+pub const RULE_FLOAT_SUM: &str = "float-sum-order";
+/// Rule id for lossy node-id casts.
+pub const RULE_LOSSY_CAST: &str = "lossy-id-cast";
+/// Rule id for malformed `audit:allow` annotations (meta-check).
+pub const RULE_MALFORMED_ALLOW: &str = "malformed-allow";
+
+/// All real rule ids, in report order.
+pub const ALL_RULES: &[&str] = &[
+    RULE_HASH_ITER,
+    RULE_WALL_CLOCK,
+    RULE_SERVE_PANIC,
+    RULE_FLOAT_SUM,
+    RULE_LOSSY_CAST,
+];
+
+/// The single file allowed to touch `std::time` directly: it defines the
+/// `Stopwatch` gateway everything else must measure wall time through.
+const WALL_CLOCK_MODULES: &[&str] = &["crates/core/src/parallel.rs"];
+
+/// Crates whose request paths must not panic (R3 scope).
+const SERVE_PATH_PREFIXES: &[&str] = &["crates/serve/src/", "crates/cluster/src/"];
+
+/// Run every rule over `file`, appending findings (suppressed ones carry
+/// their annotation reason).
+pub fn check_file(file: &SourceFile, out: &mut Vec<Finding>) {
+    let hash_names = collect_hash_names(file);
+    rule_hash_iter(file, &hash_names, out);
+    rule_wall_clock(file, out);
+    rule_serve_panic(file, out);
+    rule_float_sum(file, &hash_names, out);
+    rule_lossy_cast(file, out);
+    rule_malformed_allows(file, out);
+}
+
+/// Record one match, resolving suppression against the file's
+/// annotations.
+fn emit(file: &SourceFile, rule: &str, line: u32, message: String, out: &mut Vec<Finding>) {
+    let allowed = file.allow_for(rule, line).map(|a| a.reason.clone());
+    out.push(Finding {
+        rule: rule.to_string(),
+        path: file.path.clone(),
+        line,
+        message,
+        allowed,
+    });
+}
+
+/// Names bound to `HashMap`/`HashSet` in this file, found from type
+/// ascriptions (`name: HashMap<..>`, covering lets, struct fields, and
+/// fn params) and initializer bindings (`name = HashMap::new()`).
+fn collect_hash_names(file: &SourceFile) -> Vec<String> {
+    let code = &file.code;
+    let mut names = Vec::new();
+    for (k, t) in code.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // `name : HashMap< ... >`, possibly through references:
+        // `name: &HashMap<..>`, `name: &mut HashMap<..>`,
+        // `name: &'a HashMap<..>`.
+        let mut j = k;
+        while j >= 1
+            && (code[j - 1].is_punct("&")
+                || code[j - 1].is_ident("mut")
+                || code[j - 1].kind == TokenKind::Lifetime)
+        {
+            j -= 1;
+        }
+        if j >= 2 && code[j - 1].is_punct(":") && code[j - 2].kind == TokenKind::Ident {
+            push_unique(&mut names, &code[j - 2].text);
+            continue;
+        }
+        // `name = HashMap::new()` / `HashMap::with_capacity(..)`,
+        // including turbofish forms.
+        if k >= 2 && code[k - 1].is_punct("=") && code[k - 2].kind == TokenKind::Ident {
+            push_unique(&mut names, &code[k - 2].text);
+        }
+    }
+    names
+}
+
+fn push_unique(names: &mut Vec<String>, name: &str) {
+    // Keywords can precede `=` in patterns we don't care about.
+    if matches!(name, "let" | "mut" | "if" | "else" | "return") {
+        return;
+    }
+    if !names.iter().any(|n| n == name) {
+        names.push(name.to_string());
+    }
+}
+
+/// Iteration adaptors whose visit order is the hash map's internal order.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Idents that, appearing later in the same statement, prove the
+/// iteration is re-ordered before it can influence output.
+const ORDER_RESTORING: &[&str] = &[
+    "BTreeMap",
+    "BTreeSet",
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+];
+
+/// R1: iteration over a `HashMap`/`HashSet` in non-test code. The
+/// workspace's determinism guarantees (bit-identical parallel vs.
+/// sequential outputs) assume no hash-order-dependent path reaches f64
+/// accumulation or serialized/report output, so every hash iteration
+/// must either restore an order in the same statement (collect into a
+/// `BTreeMap`/`BTreeSet`, sort) or carry a written justification.
+fn rule_hash_iter(file: &SourceFile, hash_names: &[String], out: &mut Vec<Finding>) {
+    let code = &file.code;
+    let is_hash_expr = |t: &Token| {
+        t.kind == TokenKind::Ident
+            && (hash_names.iter().any(|n| n == &t.text)
+                || t.text == "HashMap"
+                || t.text == "HashSet")
+    };
+    for k in 0..code.len() {
+        let t = &code[k];
+        if file.is_test_line(t.line) {
+            continue;
+        }
+        // `name.iter()` / `name.keys()` … on a hash-typed receiver.
+        if t.kind == TokenKind::Ident
+            && HASH_ITER_METHODS.contains(&t.text.as_str())
+            && k >= 2
+            && code[k - 1].is_punct(".")
+            && is_hash_expr(&code[k - 2])
+            && code.get(k + 1).is_some_and(|n| n.is_punct("("))
+        {
+            if statement_restores_order(code, k) {
+                continue;
+            }
+            emit(
+                file,
+                RULE_HASH_ITER,
+                t.line,
+                format!(
+                    "iteration over hash-ordered `{}.{}()` in non-test code; \
+                     sort or collect into a BTree collection in the same statement",
+                    code[k - 2].text, t.text
+                ),
+                out,
+            );
+            continue;
+        }
+        // `for pat in <expr referencing a hash name> {`
+        if t.is_ident("for") {
+            // Scan to the `in` keyword at bracket depth 0.
+            let mut depth = 0i32;
+            let mut j = k + 1;
+            let mut in_at = None;
+            while j < code.len() && j < k + 40 {
+                let u = &code[j];
+                if u.is_punct("(") || u.is_punct("[") {
+                    depth += 1;
+                } else if u.is_punct(")") || u.is_punct("]") {
+                    depth -= 1;
+                } else if depth == 0 && u.is_ident("in") {
+                    in_at = Some(j);
+                    break;
+                } else if u.is_punct("{") || u.is_punct(";") {
+                    break;
+                }
+                j += 1;
+            }
+            let Some(in_at) = in_at else { continue };
+            // Scan the iterated expression up to the loop body `{`.
+            let mut depth = 0i32;
+            let mut j = in_at + 1;
+            while j < code.len() {
+                let u = &code[j];
+                if u.is_punct("(") || u.is_punct("[") {
+                    depth += 1;
+                } else if u.is_punct(")") || u.is_punct("]") {
+                    depth -= 1;
+                } else if depth == 0 && u.is_punct("{") {
+                    break;
+                }
+                if is_hash_expr(u) {
+                    // Followed by an order-restoring adaptor?
+                    if !statement_restores_order(code, j) {
+                        emit(
+                            file,
+                            RULE_HASH_ITER,
+                            t.line,
+                            format!(
+                                "`for … in` over hash-ordered `{}` in non-test code; \
+                                 iterate a sorted copy or use a BTree collection",
+                                u.text
+                            ),
+                            out,
+                        );
+                    }
+                    break;
+                }
+                j += 1;
+            }
+        }
+    }
+}
+
+/// True when the statement containing token `k` later mentions an
+/// order-restoring ident (sort / BTree collect) before the terminating
+/// `;` — the exemption idiom for R1/R4.
+fn statement_restores_order(code: &[Token], k: usize) -> bool {
+    for t in code.iter().skip(k + 1).take(120) {
+        if t.is_punct(";") {
+            return false;
+        }
+        if t.kind == TokenKind::Ident && ORDER_RESTORING.contains(&t.text.as_str()) {
+            return true;
+        }
+    }
+    false
+}
+
+/// R2: wall-clock reads (`Instant::now`, `SystemTime`) outside the
+/// designated measurement module. Modeled-time code (the cluster cost
+/// model, the open-loop virtual clock) must stay figure-accurate and
+/// deterministic, so real time may only enter through
+/// `ppr_core::parallel::Stopwatch`.
+fn rule_wall_clock(file: &SourceFile, out: &mut Vec<Finding>) {
+    if WALL_CLOCK_MODULES.iter().any(|m| file.path.ends_with(m)) {
+        return;
+    }
+    let code = &file.code;
+    for (k, t) in code.iter().enumerate() {
+        if file.is_test_line(t.line) {
+            continue;
+        }
+        let flagged = if t.is_ident("Instant") {
+            // `Instant::now()` or a `use std::time::Instant` both count:
+            // importing the type is how the dependency creeps in.
+            code.get(k + 1).map(|n| n.is_punct("::")).unwrap_or(false)
+                || code.get(k.wrapping_sub(1)).map(|p| p.is_punct("::")).unwrap_or(false)
+        } else {
+            t.is_ident("SystemTime")
+        };
+        if flagged {
+            emit(
+                file,
+                RULE_WALL_CLOCK,
+                t.line,
+                format!(
+                    "wall-clock access (`{}`) outside core::parallel; \
+                     measure through ppr_core::parallel::Stopwatch",
+                    t.text
+                ),
+                out,
+            );
+        }
+    }
+}
+
+/// R3: panic sources in serving request paths (`ppr-serve`,
+/// `ppr-cluster`): `unwrap()`, `expect()`, `panic!`-family macros, and
+/// slice indexing of the form `x[i as usize]`. A panicking worker thread
+/// poisons a whole batch; request paths must degrade, not die. `assert!`
+/// family is deliberately excluded — those are documented invariant
+/// checks, not error handling.
+fn rule_serve_panic(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !SERVE_PATH_PREFIXES.iter().any(|p| file.path.starts_with(p)) {
+        return;
+    }
+    let code = &file.code;
+    for (k, t) in code.iter().enumerate() {
+        if file.is_test_line(t.line) {
+            continue;
+        }
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "unwrap" | "expect"
+                if k >= 1
+                    && code[k - 1].is_punct(".")
+                    && code.get(k + 1).is_some_and(|n| n.is_punct("(")) =>
+            {
+                emit(
+                    file,
+                    RULE_SERVE_PANIC,
+                    t.line,
+                    format!(
+                        "`.{}()` on a serving path; handle the None/Err case \
+                         or justify why it is unreachable",
+                        t.text
+                    ),
+                    out,
+                );
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if code.get(k + 1).is_some_and(|n| n.is_punct("!")) =>
+            {
+                emit(
+                    file,
+                    RULE_SERVE_PANIC,
+                    t.line,
+                    format!("`{}!` on a serving path", t.text),
+                    out,
+                );
+            }
+            // `expr[i as usize]`: indexing with a cast index is the
+            // pattern where an out-of-range id panics at serve time.
+            "as" if code.get(k + 1).is_some_and(|n| n.is_ident("usize"))
+                && cast_is_inside_index(code, k) =>
+            {
+                emit(
+                    file,
+                    RULE_SERVE_PANIC,
+                    t.line,
+                    "slice indexing with `[… as usize]` on a serving path; \
+                     use `.get(..)` or justify the bound"
+                        .to_string(),
+                    out,
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// True when token `k` (an `as`) sits directly inside `[ … ]` index
+/// brackets (attribute brackets `#[…]` excluded).
+fn cast_is_inside_index(code: &[Token], k: usize) -> bool {
+    // Walk backward to the nearest unmatched `[`.
+    let mut depth = 0i32;
+    let mut i = k;
+    while i > 0 {
+        i -= 1;
+        let t = &code[i];
+        if t.is_punct("]") || t.is_punct(")") || t.is_punct("}") {
+            depth += 1;
+        } else if t.is_punct("(") || t.is_punct("{") {
+            if depth == 0 {
+                return false;
+            }
+            depth -= 1;
+        } else if t.is_punct("[") {
+            if depth == 0 {
+                // Attribute `#[` or slice-literal after `=`/`(`/`,`
+                // don't index; an index bracket follows an expression
+                // (ident, `)`, or `]`).
+                if i == 0 {
+                    return false;
+                }
+                let prev = &code[i - 1];
+                return prev.kind == TokenKind::Ident && !prev.is_ident("mut")
+                    || prev.is_punct(")")
+                    || prev.is_punct("]");
+            }
+            depth -= 1;
+        }
+    }
+    false
+}
+
+/// R4: f64 reduction (`.sum()`, float-seeded `.fold(…)`) over an
+/// iterator whose statement touches a hash-ordered collection. Float
+/// addition is not associative, so hash-order iteration feeding a float
+/// reduction breaks bit-identical reproducibility even when the *set* of
+/// summands is deterministic. Order-insensitive combiners (`f64::max`,
+/// `f64::min`) are exempt.
+fn rule_float_sum(file: &SourceFile, hash_names: &[String], out: &mut Vec<Finding>) {
+    let code = &file.code;
+    let is_hash_token = |t: &Token| {
+        t.kind == TokenKind::Ident
+            && (hash_names.iter().any(|n| n == &t.text)
+                || t.text == "HashMap"
+                || t.text == "HashSet")
+    };
+    for (k, t) in code.iter().enumerate() {
+        if file.is_test_line(t.line) {
+            continue;
+        }
+        if t.kind != TokenKind::Ident || !(t.text == "sum" || t.text == "fold") {
+            continue;
+        }
+        if !(k >= 1 && code[k - 1].is_punct(".")) {
+            continue;
+        }
+        // Statement bounds: back to the previous `;`/`{`/`}`.
+        let start = (0..k)
+            .rev()
+            .find(|&i| {
+                code[i].is_punct(";") || code[i].is_punct("{") || code[i].is_punct("}")
+            })
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        let stmt_has_hash = code[start..k].iter().any(&is_hash_token);
+        if !stmt_has_hash {
+            continue;
+        }
+        let float_involved = if t.text == "sum" {
+            // `.sum::<f64>()` or an f64 ascription in the statement.
+            code.iter()
+                .skip(start)
+                .take(k - start + 8)
+                .any(|u| u.is_ident("f64"))
+        } else {
+            // `.fold(0.0, …)` — float seed literal right after `(`.
+            let seed_is_float = code
+                .get(k + 2)
+                .map(|u| u.kind == TokenKind::Number && (u.text.contains('.') || u.text.contains("f64")))
+                .unwrap_or(false);
+            // Order-insensitive combiner exemption.
+            let mut insensitive = false;
+            let mut depth = 0i32;
+            for u in code.iter().skip(k + 1).take(60) {
+                if u.is_punct("(") {
+                    depth += 1;
+                } else if u.is_punct(")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if u.is_ident("max") || u.is_ident("min") {
+                    insensitive = true;
+                }
+            }
+            seed_is_float && !insensitive
+        };
+        if float_involved && !statement_restores_order(code, k) {
+            emit(
+                file,
+                RULE_FLOAT_SUM,
+                t.line,
+                format!(
+                    "float `.{}` over hash-ordered iteration; float addition is \
+                     order-sensitive — sort first or reduce over a BTree collection",
+                    t.text
+                ),
+                out,
+            );
+        }
+    }
+}
+
+/// Cast targets R5 guards: the node-id width and anything narrower.
+const NARROW_TARGETS: &[&str] = &["u32", "NodeId", "u16", "u8"];
+
+/// R5: `as` casts of *computed* expressions (operand ending in `)` or
+/// `]`) down to node-id width. `expr as u32` silently truncates; id
+/// arithmetic must go through `ppr_graph::node_id` (debug-checked) or
+/// carry a justification for why the value is bounded. Casting a bare
+/// identifier or literal is not flagged (the workspace convention is
+/// that plain locals of `usize` loop index type are bounded by
+/// construction), and range bounds `start..expr as T` are exempt.
+fn rule_lossy_cast(file: &SourceFile, out: &mut Vec<Finding>) {
+    let code = &file.code;
+    for (k, t) in code.iter().enumerate() {
+        if file.is_test_line(t.line) {
+            continue;
+        }
+        if !t.is_ident("as") {
+            continue;
+        }
+        let Some(target) = code.get(k + 1) else { continue };
+        if !(target.kind == TokenKind::Ident && NARROW_TARGETS.contains(&target.text.as_str())) {
+            continue;
+        }
+        if k == 0 {
+            continue;
+        }
+        let prev = &code[k - 1];
+        if !(prev.is_punct(")") || prev.is_punct("]")) {
+            continue;
+        }
+        // Walk the postfix chain back to the operand start.
+        let Some(start) = operand_start(code, k - 1) else { continue };
+        // Range-bound exemption: `lo..expr as T` is an iteration bound,
+        // already guarded by the collection's size.
+        if start > 0 && (code[start - 1].is_punct("..") || code[start - 1].is_punct("..=")) {
+            continue;
+        }
+        emit(
+            file,
+            RULE_LOSSY_CAST,
+            t.line,
+            format!(
+                "computed expression cast `as {}` can silently truncate; \
+                 use ppr_graph::node_id(..) or justify the bound",
+                target.text
+            ),
+            out,
+        );
+    }
+}
+
+/// Index of the first token of the postfix expression whose last token
+/// is at `end` (a `)` or `]`): walks back over matched pairs and
+/// `recv.method` chains.
+fn operand_start(code: &[Token], end: usize) -> Option<usize> {
+    let mut i = end;
+    loop {
+        let t = &code[i];
+        if t.is_punct(")") || t.is_punct("]") {
+            // Match backward to the opener.
+            let close = if t.is_punct(")") { ")" } else { "]" };
+            let open = if t.is_punct(")") { "(" } else { "[" };
+            let mut depth = 0i32;
+            loop {
+                let u = &code[i];
+                if u.is_punct(close) {
+                    depth += 1;
+                } else if u.is_punct(open) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if i == 0 {
+                    return None;
+                }
+                i -= 1;
+            }
+            // `(expr) as T` with nothing before the paren: operand is
+            // the parenthesized expression itself.
+            if i == 0 {
+                return Some(0);
+            }
+            let before = &code[i - 1];
+            if before.kind == TokenKind::Ident
+                && !matches!(before.text.as_str(), "if" | "match" | "while" | "in" | "return")
+            {
+                // `f(args)` / `x[idx]`: include the callee/receiver.
+                i -= 1;
+                continue;
+            }
+            return Some(i);
+        } else if t.kind == TokenKind::Ident || t.kind == TokenKind::Number {
+            // End of a `.method` chain hop: `recv . name` — keep
+            // walking if a dot precedes.
+            if i >= 2 && code[i - 1].is_punct(".") {
+                i -= 2;
+                continue;
+            }
+            if i >= 2 && code[i - 1].is_punct("::") {
+                i -= 2;
+                continue;
+            }
+            return Some(i);
+        } else {
+            return Some(i + 1);
+        }
+    }
+}
+
+/// Meta-check: `audit:allow` annotations must name a known rule and give
+/// a non-empty reason — otherwise the suppression ledger in
+/// `AUDIT_baseline.json` loses meaning.
+fn rule_malformed_allows(file: &SourceFile, out: &mut Vec<Finding>) {
+    for a in &file.allows {
+        let known = ALL_RULES.contains(&a.rule.as_str());
+        if !known || a.reason.is_empty() {
+            out.push(Finding {
+                rule: RULE_MALFORMED_ALLOW.to_string(),
+                path: file.path.clone(),
+                line: a.line,
+                message: if known {
+                    format!("audit:allow({}) has no reason; write the justification", a.rule)
+                } else {
+                    format!(
+                        "audit:allow({}) names an unknown rule (known: {})",
+                        a.rule,
+                        ALL_RULES.join(", ")
+                    )
+                },
+                allowed: None,
+            });
+        }
+    }
+}

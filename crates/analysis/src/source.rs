@@ -1,0 +1,333 @@
+//! Per-file source model: tokens, test-region classification, and
+//! `// audit:allow(rule): reason` suppression annotations.
+//!
+//! The rules only fire on *production* code. A line is in a test region
+//! when it is inside the braces of an item carrying `#[cfg(test)]` or
+//! `#[test]` (the workspace convention for unit tests; integration tests
+//! under `tests/` are excluded at the file-walk level). Regions are found
+//! by brace tracking on the token stream, which is robust against braces
+//! in strings/comments because the lexer already removed those.
+
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// A parsed `audit:allow` annotation.
+#[derive(Clone, Debug)]
+pub struct AllowAnnotation {
+    /// Rule id the annotation suppresses (e.g. `hash-iter`).
+    pub rule: String,
+    /// The justification after the colon. Empty reasons are themselves
+    /// reported as violations by the meta-check in the engine.
+    pub reason: String,
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// Lines this annotation covers: its own line, plus — when the
+    /// comment has no code before it on the line — the first code line
+    /// below it.
+    pub covers: Vec<u32>,
+}
+
+/// One source file prepared for rule evaluation.
+pub struct SourceFile {
+    /// Workspace-relative path (display + report key).
+    pub path: String,
+    /// All tokens except comments, in order.
+    pub code: Vec<Token>,
+    /// Comment tokens, in order.
+    pub comments: Vec<Token>,
+    /// `test_lines[l]` is true when 1-based line `l+1` is inside a
+    /// `#[cfg(test)]`/`#[test]` region.
+    test_lines: Vec<bool>,
+    /// Parsed allow annotations.
+    pub allows: Vec<AllowAnnotation>,
+}
+
+impl SourceFile {
+    /// Lex and classify `text` as the contents of `path`.
+    pub fn parse(path: &str, text: &str) -> Self {
+        let all = tokenize(text);
+        let mut code = Vec::new();
+        let mut comments = Vec::new();
+        for t in all {
+            if t.kind == TokenKind::Comment {
+                comments.push(t);
+            } else {
+                code.push(t);
+            }
+        }
+        let line_count = text.lines().count().max(1);
+        let test_lines = classify_test_lines(&code, line_count);
+        let allows = parse_allows(&comments, &code);
+        Self {
+            path: path.to_string(),
+            code,
+            comments,
+            test_lines,
+            allows,
+        }
+    }
+
+    /// True when 1-based `line` is inside a test region.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_lines
+            .get((line as usize).saturating_sub(1))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// The allow annotation (if any) covering `line` for `rule`.
+    pub fn allow_for(&self, rule: &str, line: u32) -> Option<&AllowAnnotation> {
+        self.allows
+            .iter()
+            .find(|a| a.rule == rule && a.covers.contains(&line))
+    }
+}
+
+/// Mark every line inside a `#[cfg(test)]` / `#[test]` item's braces.
+///
+/// Strategy: walk the code tokens; when we see `#` `[` and the attribute
+/// path contains `test`, remember that the *next* brace-delimited block
+/// belongs to a test item and flood its line span. Nested attribute
+/// brackets (e.g. `#[cfg(all(test, feature = "x"))]`) are handled by
+/// bracket counting.
+fn classify_test_lines(code: &[Token], line_count: usize) -> Vec<bool> {
+    let mut test = vec![false; line_count];
+    let mut i = 0usize;
+    while i < code.len() {
+        if code[i].is_punct("#") && i + 1 < code.len() && code[i + 1].is_punct("[") {
+            // Scan the attribute to its closing bracket.
+            let mut j = i + 2;
+            let mut depth = 1i32;
+            let mut is_test_attr = false;
+            while j < code.len() && depth > 0 {
+                if code[j].is_punct("[") {
+                    depth += 1;
+                } else if code[j].is_punct("]") {
+                    depth -= 1;
+                } else if code[j].is_ident("test") || code[j].is_ident("tests") {
+                    // #[test], #[cfg(test)], #[cfg(all(test, ...))],
+                    // #[tokio::test]-style — all contain the ident.
+                    is_test_attr = true;
+                }
+                j += 1;
+            }
+            if is_test_attr {
+                // Find the start of the item body: the first `{` at
+                // depth 0 relative to parens/brackets after the
+                // attribute (skipping further attributes).
+                let (open, close) = match find_item_braces(code, j) {
+                    Some(span) => span,
+                    None => {
+                        i = j;
+                        continue;
+                    }
+                };
+                let from = code[open].line as usize;
+                let to = code[close].line as usize;
+                for l in from..=to {
+                    if l >= 1 && l <= line_count {
+                        test[l - 1] = true;
+                    }
+                }
+                // Also mark the attribute's own lines.
+                let attr_from = code[i].line as usize;
+                for l in attr_from..from {
+                    if l >= 1 && l <= line_count {
+                        test[l - 1] = true;
+                    }
+                }
+                i = close + 1;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    test
+}
+
+/// From token index `from` (just past an attribute), find the indices of
+/// the `{` opening the next item's body and its matching `}`.
+fn find_item_braces(code: &[Token], from: usize) -> Option<(usize, usize)> {
+    let mut k = from;
+    // Skip any further attributes (`#[...]`) before the item keyword.
+    while k + 1 < code.len() && code[k].is_punct("#") && code[k + 1].is_punct("[") {
+        let mut depth = 1i32;
+        k += 2;
+        while k < code.len() && depth > 0 {
+            if code[k].is_punct("[") {
+                depth += 1;
+            } else if code[k].is_punct("]") {
+                depth -= 1;
+            }
+            k += 1;
+        }
+    }
+    // Scan to the first `{` that is not inside parens/brackets (fn
+    // signatures may contain `[`/`(`; where-clauses may contain `<` but
+    // `<` never wraps a brace at item level). A `;` first means a
+    // braceless item (e.g. `#[test] use …;` — not real, but degrade
+    // gracefully).
+    let mut paren = 0i32;
+    while k < code.len() {
+        let t = &code[k];
+        if t.is_punct("(") || t.is_punct("[") {
+            paren += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            paren -= 1;
+        } else if paren == 0 && t.is_punct(";") {
+            return None;
+        } else if paren == 0 && t.is_punct("{") {
+            // Found the body opener; match braces to the close.
+            let open = k;
+            let mut depth = 0i32;
+            while k < code.len() {
+                if code[k].is_punct("{") {
+                    depth += 1;
+                } else if code[k].is_punct("}") {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some((open, k));
+                    }
+                }
+                k += 1;
+            }
+            // Unbalanced file: cover to EOF.
+            return Some((open, code.len() - 1));
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Parse `// audit:allow(rule): reason` comments and compute coverage.
+///
+/// A trailing comment (code earlier on the same line) covers its own
+/// line. A standalone comment line covers the next line that contains
+/// code; a contiguous stack of standalone comments all cover that same
+/// code line.
+fn parse_allows(comments: &[Token], code: &[Token]) -> Vec<AllowAnnotation> {
+    let mut out = Vec::new();
+    for c in comments {
+        let body = c.text.trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("audit:allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            // Malformed: keep it with an empty rule so the meta-check
+            // can flag it.
+            out.push(AllowAnnotation {
+                rule: String::new(),
+                reason: String::new(),
+                line: c.line,
+                covers: vec![c.line],
+            });
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let after = rest[close + 1..].trim();
+        let reason = after.strip_prefix(':').unwrap_or(after).trim().to_string();
+        let mut covers = vec![c.line];
+        let has_code_on_line = code.iter().any(|t| t.line == c.line);
+        if !has_code_on_line {
+            // Standalone comment: also cover the first code line below.
+            if let Some(next) = code.iter().map(|t| t.line).find(|&l| l > c.line) {
+                covers.push(next);
+            }
+        }
+        out.push(AllowAnnotation {
+            rule,
+            reason,
+            line: c.line,
+            covers,
+        });
+    }
+    // A stack of standalone comments above one code line: make every
+    // annotation in the stack cover that code line (already true — each
+    // finds the same next code line because comments aren't code).
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_region_classification() {
+        let src = "\
+fn prod() {
+    let x = 1;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let y = 2;
+    }
+}
+";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.is_test_line(2));
+        assert!(f.is_test_line(5));
+        assert!(f.is_test_line(9));
+    }
+
+    #[test]
+    fn test_attr_on_single_fn() {
+        let src = "\
+fn prod() {}
+#[test]
+fn unit() {
+    assert!(true);
+}
+fn prod2() {}
+";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(3));
+        assert!(f.is_test_line(4));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn trailing_allow_covers_own_line() {
+        let src = "let x = m.keys(); // audit:allow(hash-iter): lookup only\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.allow_for("hash-iter", 1).is_some());
+        assert!(f.allow_for("wall-clock", 1).is_none());
+    }
+
+    #[test]
+    fn standalone_allow_covers_next_code_line() {
+        let src = "\
+// audit:allow(serve-panic): joined thread cannot outlive scope
+let v = h.join().unwrap();
+";
+        let f = SourceFile::parse("x.rs", src);
+        let a = f.allow_for("serve-panic", 2).expect("covers line 2");
+        assert!(a.reason.contains("scope"));
+    }
+
+    #[test]
+    fn empty_reason_is_kept_for_meta_check() {
+        let src = "let x = 1; // audit:allow(hash-iter)\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.allows.len(), 1);
+        assert!(f.allows[0].reason.is_empty());
+    }
+
+    #[test]
+    fn braces_in_strings_do_not_confuse_regions() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    const S: &str = \"}}}{{{\";
+}
+fn prod() {}
+";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.is_test_line(3));
+        assert!(!f.is_test_line(5));
+    }
+}

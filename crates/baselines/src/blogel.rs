@@ -15,12 +15,12 @@
 
 use crate::BspRunStats;
 use ppr_core::{PprConfig, SparseVector};
-use ppr_graph::{Adjacency, CsrGraph, NodeId};
+use ppr_graph::{node_id, Adjacency, CsrGraph, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::collections::VecDeque;
-use std::time::Instant;
+use ppr_core::parallel::Stopwatch;
 
 /// Graph Voronoi Diagram partition: `blocks` random seeds, multi-source
 /// BFS over the undirected structure; unreachable vertices become fresh
@@ -33,7 +33,7 @@ fn voronoi_blocks(g: &CsrGraph, blocks: usize, seed: u64) -> Vec<u32> {
     for b in 0..blocks.min(n) {
         // Sample distinct seeds (retry on collision).
         loop {
-            let s = rng.random_range(0..n) as NodeId;
+            let s = node_id(rng.random_range(0..n));
             if label[s as usize] == u32::MAX {
                 label[s as usize] = b as u32;
                 queue.push_back(s);
@@ -54,6 +54,8 @@ fn voronoi_blocks(g: &CsrGraph, blocks: usize, seed: u64) -> Vec<u32> {
     let mut next = 0u32;
     for l in label.iter_mut() {
         if *l == u32::MAX {
+            // audit:allow(lossy-id-cast): block count, bounded by the
+            // builder-asserted node bound in practice
             *l = next % blocks.max(1) as u32;
             next += 1;
         }
@@ -84,6 +86,7 @@ impl<'g> BlogelPpr<'g> {
         for (v, &b) in block_of.iter().enumerate() {
             block_members[b as usize].push(v as NodeId);
         }
+        // audit:allow(lossy-id-cast): worker index, bounded by `% workers`
         let worker_of_block = (0..blocks).map(|b| (b % workers) as u32).collect();
         Self {
             graph,
@@ -108,7 +111,7 @@ impl<'g> BlogelPpr<'g> {
     /// Compute the PPV of `source` by block-synchronous iteration.
     pub fn query(&self, source: NodeId, cfg: &PprConfig) -> (SparseVector, BspRunStats) {
         cfg.validate();
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let n = self.graph.node_count();
         let alpha = cfg.alpha;
         let mut stats = BspRunStats::default();
@@ -196,7 +199,7 @@ impl<'g> BlogelPpr<'g> {
                 *slot = 0.0;
             }
             for (b, members) in self.block_members.iter().enumerate() {
-                let mut combined: HashMap<NodeId, f64> = HashMap::new();
+                let mut combined: BTreeMap<NodeId, f64> = BTreeMap::new();
                 for &u in members {
                     let mass = value[u as usize];
                     if mass == 0.0 {
@@ -229,7 +232,7 @@ impl<'g> BlogelPpr<'g> {
             }
         }
 
-        stats.elapsed_seconds = t0.elapsed().as_secs_f64();
+        stats.elapsed_seconds = t0.elapsed_seconds();
         (SparseVector::from_dense(&value, None, 0.0), stats)
     }
 }

@@ -13,8 +13,8 @@
 
 use crate::BspRunStats;
 use ppr_graph::{Adjacency, CsrGraph, NodeId};
-use std::collections::HashMap;
-use std::time::Instant;
+use std::collections::BTreeMap;
+use ppr_core::parallel::Stopwatch;
 
 /// A vertex-centric program in the Pregel style.
 ///
@@ -57,6 +57,7 @@ impl<'g> BspEngine<'g> {
         assert!(workers >= 1);
         let n = graph.node_count();
         let worker_of = (0..n as u64)
+            // audit:allow(lossy-id-cast): worker index, bounded by `% workers`
             .map(|v| ((v.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) % workers as u64) as u32)
             .collect();
         Self {
@@ -89,7 +90,7 @@ impl<'g> BspEngine<'g> {
         tolerance: f64,
         max_supersteps: u32,
     ) -> (Vec<P::Value>, BspRunStats) {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let n = self.graph.node_count();
         let mut stats = BspRunStats::default();
         let mut states: Vec<P::Value> = (0..n as NodeId).map(|v| program.init(v)).collect();
@@ -100,7 +101,7 @@ impl<'g> BspEngine<'g> {
 
             // Compute phase: per worker, run the program and combine
             // outgoing messages per target vertex.
-            type WorkerResult<V> = (Vec<(NodeId, V)>, HashMap<NodeId, f64>, f64);
+            type WorkerResult<V> = (Vec<(NodeId, V)>, BTreeMap<NodeId, f64>, f64);
             let results: Vec<WorkerResult<P::Value>> =
                 std::thread::scope(|scope| {
                     let states = &states;
@@ -109,7 +110,7 @@ impl<'g> BspEngine<'g> {
                         .map(|w| {
                             scope.spawn(move || {
                                 let mut new_states: Vec<(NodeId, P::Value)> = Vec::new();
-                                let mut combined: HashMap<NodeId, f64> = HashMap::new();
+                                let mut combined: BTreeMap<NodeId, f64> = BTreeMap::new();
                                 let mut progress = 0.0f64;
                                 for v in 0..n as NodeId {
                                     if self.worker_of[v as usize] != w {
@@ -167,7 +168,7 @@ impl<'g> BspEngine<'g> {
             }
         }
 
-        stats.elapsed_seconds = t0.elapsed().as_secs_f64();
+        stats.elapsed_seconds = t0.elapsed_seconds();
         (states, stats)
     }
 }

@@ -38,7 +38,7 @@ use ppr_cluster::{Cluster, ClusterConfig, ParallelismMode};
 use ppr_core::gpa::{GpaBuildOptions, GpaIndex};
 use ppr_core::hgpa::{HgpaIndex, OfflineReport};
 use ppr_core::PprConfig;
-use ppr_graph::{CsrGraph, NodeId};
+use ppr_graph::{node_id, CsrGraph, NodeId};
 use ppr_workload::{Dataset, ZipfQueryStream};
 use std::path::{Path, PathBuf};
 
@@ -422,7 +422,7 @@ pub fn run_serve(
     let n = g.node_count();
     let batch = 64.min(n);
     let stride = (n / batch).max(1);
-    let sources: Vec<NodeId> = (0..batch).map(|i| (i * stride) as NodeId).collect();
+    let sources: Vec<NodeId> = (0..batch).map(|i| node_id(i * stride)).collect();
     const ROUNDS: usize = 3;
 
     let mut reply_entries: Option<usize> = None;
@@ -434,12 +434,12 @@ pub fn run_serve(
         let mut wall = f64::INFINITY;
         let mut entries = 0usize;
         for _ in 0..TIMING_REPS {
-            let start = std::time::Instant::now();
+            let start = ppr_core::parallel::Stopwatch::start();
             for _ in 0..ROUNDS {
                 let round = cluster.query_many(&hgpa, &sources);
                 entries = round.machines.iter().map(|m| m.entries).sum();
             }
-            wall = wall.min(start.elapsed().as_secs_f64());
+            wall = wall.min(start.elapsed_seconds());
         }
         report.push(format!("fanout_wall_seconds_t{t}"), wall, "s", Gate::Wall);
         assert_eq!(
@@ -470,9 +470,9 @@ pub fn run_serve(
         let mut wall = f64::INFINITY;
         let mut last = None;
         for _ in 0..TIMING_REPS {
-            let start = std::time::Instant::now();
+            let start = ppr_core::parallel::Stopwatch::start();
             let s = measure_sharded(&hgpa, &requests, &knobs, t);
-            wall = wall.min(start.elapsed().as_secs_f64());
+            wall = wall.min(start.elapsed_seconds());
             last = Some(s);
         }
         let s = last.expect("TIMING_REPS >= 1");

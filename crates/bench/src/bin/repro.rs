@@ -35,6 +35,12 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "Regression gate: bench-compare <baseline-dir> <fresh-dir> fails on >25% \
          wall-clock regressions or drifted deterministic counts (PPR_BENCH_TOLERANCE)",
     ),
+    (
+        "audit",
+        "Static determinism/concurrency audit over the workspace sources; \
+         audit [--json <path>] [--baseline <path>] exits nonzero on violations \
+         or on suppressions beyond the committed AUDIT_baseline.json",
+    ),
 ];
 
 fn main() {
@@ -49,11 +55,44 @@ fn main() {
 
     if selected.is_empty() || selected.contains(&"list") {
         println!("usage: repro [--full] <experiment...>|all|list");
-        println!("       repro bench-compare <baseline-dir> <fresh-dir>\n");
+        println!("       repro bench-compare <baseline-dir> <fresh-dir>");
+        println!("       repro audit [--json <path>] [--baseline <path>]\n");
         for (name, desc) in EXPERIMENTS {
             println!("  {name:<8} {desc}");
         }
         return;
+    }
+
+    // `audit` takes value flags (`--json x`, `--baseline y`), which the
+    // generic `--`-prefix filter above would mangle — parse them here.
+    if args.first().map(String::as_str) == Some("audit") {
+        let mut json_out = None;
+        let mut baseline = None;
+        let mut rest = args[1..].iter();
+        while let Some(a) = rest.next() {
+            match a.as_str() {
+                "--json" => match rest.next() {
+                    Some(p) => json_out = Some(std::path::PathBuf::from(p)),
+                    None => {
+                        eprintln!("usage: repro audit [--json <path>] [--baseline <path>]");
+                        std::process::exit(2);
+                    }
+                },
+                "--baseline" => match rest.next() {
+                    Some(p) => baseline = Some(std::path::PathBuf::from(p)),
+                    None => {
+                        eprintln!("usage: repro audit [--json <path>] [--baseline <path>]");
+                        std::process::exit(2);
+                    }
+                },
+                other => {
+                    eprintln!("audit: unknown argument {other:?}");
+                    eprintln!("usage: repro audit [--json <path>] [--baseline <path>]");
+                    std::process::exit(2);
+                }
+            }
+        }
+        std::process::exit(audit::run(json_out.as_deref(), baseline.as_deref()));
     }
 
     // `bench-compare` takes positional directories, not experiment names.

@@ -13,7 +13,7 @@ use ppr_core::power::power_iteration;
 use ppr_core::PprConfig;
 use ppr_metrics::{avg_l1, kendall_tau_top_k, l_inf, precision_at_k, rag_at_k};
 use ppr_workload::{query_nodes, Dataset};
-use std::time::Instant;
+use ppr_core::parallel::Stopwatch;
 
 /// Aggregated quality/latency of one method against the power-iteration
 /// reference.
@@ -60,16 +60,16 @@ pub fn fig23(profile: &Profile) -> Vec<Fig23Row> {
                     ..Default::default()
                 },
             );
-            let t = Instant::now();
+            let t = Stopwatch::start();
             for &q in &queries {
                 std::hint::black_box(idx.query(q));
             }
-            let hgpa = t.elapsed().as_secs_f64() / queries.len().max(1) as f64;
-            let t = Instant::now();
+            let hgpa = t.elapsed_seconds() / queries.len().max(1) as f64;
+            let t = Stopwatch::start();
             for &q in &queries {
                 std::hint::black_box(power_iteration(&g, q, &cfg));
             }
-            let power = t.elapsed().as_secs_f64() / queries.len().max(1) as f64;
+            let power = t.elapsed_seconds() / queries.len().max(1) as f64;
             Fig23Row {
                 dataset: d.name(),
                 power,
@@ -132,9 +132,9 @@ pub fn fig24_26(d: Dataset, hub_counts: [usize; 2], profile: &Profile) -> Vec<Me
 
     for hubs in hub_counts {
         let idx = FastPpv::build(&g, hubs, 1e-4, &cfg);
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let vectors: Vec<Vec<f64>> = queries.iter().map(|&q| idx.query(q).to_dense(n)).collect();
-        let rt = t.elapsed().as_secs_f64() / queries.len().max(1) as f64;
+        let rt = t.elapsed_seconds() / queries.len().max(1) as f64;
         out.push(score(format!("Fast-{hubs}"), rt, vectors));
     }
 
@@ -146,9 +146,9 @@ pub fn fig24_26(d: Dataset, hub_counts: [usize; 2], profile: &Profile) -> Vec<Me
             ..Default::default()
         },
     );
-    let t = Instant::now();
+    let t = Stopwatch::start();
     let vectors: Vec<Vec<f64>> = queries.iter().map(|&q| hgpa.query(q).to_dense(n)).collect();
-    let rt = t.elapsed().as_secs_f64() / queries.len().max(1) as f64;
+    let rt = t.elapsed_seconds() / queries.len().max(1) as f64;
     out.push(score("HGPA".into(), rt, vectors));
 
     let hgpa_ad = HgpaIndex::build(
@@ -160,12 +160,12 @@ pub fn fig24_26(d: Dataset, hub_counts: [usize; 2], profile: &Profile) -> Vec<Me
             ..Default::default()
         },
     );
-    let t = Instant::now();
+    let t = Stopwatch::start();
     let vectors: Vec<Vec<f64>> = queries
         .iter()
         .map(|&q| hgpa_ad.query(q).to_dense(n))
         .collect();
-    let rt = t.elapsed().as_secs_f64() / queries.len().max(1) as f64;
+    let rt = t.elapsed_seconds() / queries.len().max(1) as f64;
     out.push(score("HGPA_ad".into(), rt, vectors));
 
     out

@@ -371,4 +371,78 @@ mod tests {
         assert!(Json::parse("\"unterminated").is_err());
         assert!(Json::parse("nul").is_err());
     }
+
+    /// The BENCH_*.json / AUDIT_baseline.json gating diffs rendered
+    /// text, so render must be a fixed point: emit → parse → emit is
+    /// byte-identical.
+    #[test]
+    fn render_parse_render_is_byte_stable() {
+        let docs = [
+            obj([
+                ("zeta", Json::Num(-0.0)),
+                ("alpha", Json::Num(0.15)),
+                ("nested", obj([("deep", Json::Arr(vec![Json::Null, Json::Bool(false)]))])),
+                ("text", Json::Str("line\nbreak \"q\" \\slash \u{1f600}".into())),
+                ("empty_arr", Json::Arr(vec![])),
+                ("empty_obj", obj([])),
+            ]),
+            Json::Arr(vec![Json::Num(1e-12), Json::Num(2.0_f64.powi(60)), Json::Num(123456.789)]),
+            Json::Str(String::new()),
+            Json::Num(f64::MIN_POSITIVE),
+        ];
+        for doc in docs {
+            let first = doc.render();
+            let reparsed = Json::parse(&first).expect("own output parses");
+            let second = reparsed.render();
+            assert_eq!(first, second, "render is not a fixed point for {doc:?}");
+        }
+    }
+
+    /// Key order in the input must not affect the rendered form
+    /// (objects are sorted maps) — the property that keeps committed
+    /// baselines diff-stable no matter who writes them.
+    #[test]
+    fn object_key_order_is_canonical() {
+        let a = Json::parse(r#"{"b": 1, "a": 2}"#).unwrap();
+        let b = Json::parse(r#"{"a": 2, "b": 1}"#).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn rejects_structural_malformations() {
+        // Unbalanced / mistyped structure.
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("   ").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("{\"a\": 1,}").is_err());
+        assert!(Json::parse("{a: 1}").is_err());
+        assert!(Json::parse("[1 2]").is_err());
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("}").is_err());
+        // Bad literals and numbers.
+        assert!(Json::parse("truthy").is_err());
+        assert!(Json::parse("1.2.3").is_err());
+        assert!(Json::parse("--5").is_err());
+        // Bad escapes.
+        assert!(Json::parse(r#""\x""#).is_err());
+        assert!(Json::parse(r#""\u12""#).is_err());
+        assert!(Json::parse(r#""\ud800""#).is_err()); // lone surrogate
+    }
+
+    #[test]
+    fn malformed_inputs_never_parse_to_a_value_that_renders_differently() {
+        // Inputs that DO parse must round-trip; nearby corruptions must
+        // be rejected rather than silently coerced.
+        let good = r#"{"k": [1, true, "s"]}"#;
+        let v = Json::parse(good).expect("well-formed");
+        assert_eq!(Json::parse(&v.render()).unwrap(), v);
+        for bad in [
+            r#"{"k": [1, true, "s"]}extra"#,
+            r#"{"k": [1, true, "s"}"#,
+            r#"{"k": [1, true, s]}"#,
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted malformed {bad:?}");
+        }
+    }
 }

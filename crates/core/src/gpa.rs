@@ -125,9 +125,9 @@ impl GpaIndex {
         assert!(opts.machines >= 1);
         let n = g.node_count();
         let machines = opts.machines;
-        let t0 = std::time::Instant::now();
+        let t0 = crate::parallel::Stopwatch::start();
         let partition = flat_partition(g, opts.subgraphs, opts.cover, &opts.partition);
-        let partition_seconds = t0.elapsed().as_secs_f64();
+        let partition_seconds = t0.elapsed_seconds();
 
         let mut hub_rank = vec![u32::MAX; n];
         for (i, &h) in partition.hubs.iter().enumerate() {
@@ -152,7 +152,7 @@ impl GpaIndex {
             }
         };
 
-        let t_build = std::time::Instant::now();
+        let t_build = crate::parallel::Stopwatch::start();
         let (outputs, peak_scratch_bytes) = run_timed(
             hubs + live_parts.len(),
             opts.parallelism,
@@ -200,7 +200,7 @@ impl GpaIndex {
                 }
             },
         );
-        let wall_seconds = t_build.elapsed().as_secs_f64();
+        let wall_seconds = t_build.elapsed_seconds();
 
         let mut base: Vec<SparseVector> = vec![SparseVector::new(); n];
         let mut skeletons: Vec<SparseVector> = vec![SparseVector::new(); hubs];
@@ -217,9 +217,11 @@ impl GpaIndex {
 
         // Even distribution: hubs round-robin, parts round-robin (§3.1).
         let machine_of_hub: Vec<u32> = (0..partition.hubs.len())
+            // audit:allow(lossy-id-cast): machine index, bounded by `% machines`
             .map(|i| (i % machines) as u32)
             .collect();
         let machine_of_part: Vec<u32> = (0..partition.subgraphs.len())
+            // audit:allow(lossy-id-cast): machine index, bounded by `% machines`
             .map(|p| (p % machines) as u32)
             .collect();
 

@@ -202,9 +202,9 @@ impl HgpaIndex {
         cfg: &PprConfig,
         opts: &HgpaBuildOptions,
     ) -> (Self, OfflineReport) {
-        let t0 = std::time::Instant::now();
+        let t0 = crate::parallel::Stopwatch::start();
         let hierarchy = Hierarchy::build(g, &opts.hierarchy);
-        let partition_seconds = t0.elapsed().as_secs_f64();
+        let partition_seconds = t0.elapsed_seconds();
         let (idx, mut report) =
             Self::build_distributed_with_hierarchy(g, cfg, opts, hierarchy);
         report.partition_seconds = partition_seconds;
@@ -258,9 +258,12 @@ impl HgpaIndex {
         let mut machine_of_hub: Vec<u32> = Vec::new();
         for sg in &hierarchy.nodes {
             for (i, &h) in sg.hubs.iter().enumerate() {
+                // audit:allow(lossy-id-cast): hub rank < n, within the
+                // builder-asserted u32::MAX node bound
                 hub_rank[h as usize] = hub_ids.len() as u32;
                 hub_ids.push(h);
                 // Eq. 7: split each subgraph's hub list evenly over machines.
+                // audit:allow(lossy-id-cast): machine index, bounded by `% machines`
                 machine_of_hub.push((i % machines) as u32);
             }
         }
@@ -274,7 +277,7 @@ impl HgpaIndex {
         // The work sets are disjoint and merge in item order, so index
         // contents are identical in every mode.
         let items = build_items(&hierarchy, machines);
-        let t_build = std::time::Instant::now();
+        let t_build = crate::parallel::Stopwatch::start();
         let (outputs, peak_scratch_bytes) = run_timed(
             items.len(),
             opts.parallelism,
@@ -286,7 +289,7 @@ impl HgpaIndex {
             |w| w.push.arena_bytes() + w.skel.arena_bytes(),
             |i, w| run_item(&items[i], cfg, machines, w),
         );
-        let wall_seconds = t_build.elapsed().as_secs_f64();
+        let wall_seconds = t_build.elapsed_seconds();
 
         let mut base: Vec<SparseVector> = vec![SparseVector::new(); n];
         let mut skeletons: Vec<SparseVector> = vec![SparseVector::new(); hub_ids.len()];
@@ -316,6 +319,7 @@ impl HgpaIndex {
         // bases live with their hub's machine.
         let mut machine_of_base = vec![0u32; n];
         for (leaf_idx, leaf) in hierarchy.leaves().enumerate() {
+            // audit:allow(lossy-id-cast): machine index, bounded by `% machines`
             let m = (leaf_idx % machines) as u32;
             for &v in &hierarchy.nodes[leaf].members {
                 machine_of_base[v as usize] = m;
@@ -582,6 +586,8 @@ impl HgpaIndex {
         if self.hub_rank[u as usize] != u32::MAX {
             return;
         }
+        // audit:allow(lossy-id-cast): hub rank < n, within the
+        // builder-asserted u32::MAX node bound
         let rank = self.hub_ids.len() as u32;
         self.hub_rank[u as usize] = rank;
         self.hub_ids.push(u);
@@ -740,6 +746,8 @@ fn build_items(hierarchy: &Hierarchy, machines: usize) -> Vec<BuildItem<'_>> {
                 machine,
             });
         }
+        // audit:allow(lossy-id-cast): hub rank < n, within the
+        // builder-asserted u32::MAX node bound
         rank_cursor += sg.hubs.len() as u32;
     }
     items

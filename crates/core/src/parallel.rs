@@ -19,6 +19,41 @@
 
 use std::time::Instant;
 
+/// The workspace's single wall-clock gateway.
+///
+/// Every wall-clock measurement outside this module goes through
+/// `Stopwatch` (the `repro audit` `wall-clock` rule enforces it). The
+/// point is not the two-line convenience: funnelling real time through
+/// one audited type keeps `std::time` out of modeled-time code — the
+/// cluster cost model, the open-loop virtual clock, the figure
+/// experiments — where a stray `Instant::now()` would silently turn a
+/// reproducible, figure-accurate number into a host-dependent one.
+///
+/// ```
+/// use ppr_core::parallel::Stopwatch;
+/// let sw = Stopwatch::start();
+/// let secs = sw.elapsed_seconds();
+/// assert!(secs >= 0.0);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Begin measuring now.
+    pub fn start() -> Self {
+        Self {
+            started: Instant::now(),
+        }
+    }
+
+    /// Wall-clock seconds since [`Stopwatch::start`].
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
 /// How a fan-out (machines of a query round, or work items of an offline
 /// build) executes.
 ///
@@ -141,9 +176,9 @@ where
         let mut state = make_state();
         let out = (0..count)
             .map(|i| {
-                let t = Instant::now();
+                let t = Stopwatch::start();
                 let v = exec(i, &mut state);
-                (v, t.elapsed().as_secs_f64())
+                (v, t.elapsed_seconds())
             })
             .collect();
         return (out, arena_bytes(&state));
@@ -165,9 +200,9 @@ where
                     let produced = (w..count)
                         .step_by(workers)
                         .map(|i| {
-                            let t = Instant::now();
+                            let t = Stopwatch::start();
                             let v = exec(i, &mut state);
-                            (i, v, t.elapsed().as_secs_f64())
+                            (i, v, t.elapsed_seconds())
                         })
                         .collect();
                     (produced, arena_bytes(&state))

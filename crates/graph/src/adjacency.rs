@@ -33,6 +33,8 @@ pub trait Adjacency {
 
     /// Convenience: true when the node retains every original out-edge.
     fn is_boundary_free(&self, v: NodeId) -> bool {
+        // audit:allow(lossy-id-cast): a neighbour list never exceeds the
+        // builder-asserted u32::MAX node bound
         self.out(v).len() as u32 == self.degree(v)
     }
 }

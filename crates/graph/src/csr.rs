@@ -53,12 +53,14 @@ impl CsrGraph {
     /// Out-degree of `v`.
     #[inline]
     pub fn out_degree(&self, v: NodeId) -> u32 {
+        // audit:allow(lossy-id-cast): degree <= n, asserted at build time
         (self.out_offsets[v as usize + 1] - self.out_offsets[v as usize]) as u32
     }
 
     /// In-degree of `v`.
     #[inline]
     pub fn in_degree(&self, v: NodeId) -> u32 {
+        // audit:allow(lossy-id-cast): degree <= n, asserted at build time
         (self.in_offsets[v as usize + 1] - self.in_offsets[v as usize]) as u32
     }
 

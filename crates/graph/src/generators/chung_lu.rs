@@ -8,7 +8,7 @@
 //! the HSBM generator for realistic dataset stand-ins.
 
 use crate::csr::{CsrGraph, GraphBuilder};
-use crate::NodeId;
+use crate::{node_id, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -76,7 +76,7 @@ pub fn chung_lu_directed(cfg: &ChungLuConfig, seed: u64) -> CsrGraph {
 
     let pick = |c: &[f64], total: f64, rng: &mut StdRng| -> NodeId {
         let x: f64 = rng.random::<f64>() * total;
-        c.partition_point(|&v| v < x).min(n - 1) as NodeId
+        node_id(c.partition_point(|&v| v < x).min(n - 1))
     };
 
     for _ in 0..cfg.edges {

@@ -1,7 +1,7 @@
 //! Directed Erdős–Rényi G(n, p) via geometric edge skipping.
 
 use crate::csr::{CsrGraph, GraphBuilder};
-use crate::NodeId;
+use crate::{node_id, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -37,8 +37,8 @@ pub fn gnp_directed(n: usize, p: f64, seed: u64) -> CsrGraph {
         if idx >= total {
             break;
         }
-        let src = (idx / (n as u64 - 1)) as NodeId;
-        let mut dst = (idx % (n as u64 - 1)) as NodeId;
+        let src = node_id((idx / (n as u64 - 1)) as usize);
+        let mut dst = node_id((idx % (n as u64 - 1)) as usize);
         if dst >= src {
             dst += 1; // skip the diagonal
         }

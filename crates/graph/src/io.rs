@@ -5,7 +5,7 @@
 //! remapped densely on load and the mapping is returned.
 
 use crate::csr::{CsrGraph, GraphBuilder};
-use crate::NodeId;
+use crate::{node_id, NodeId};
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -28,7 +28,7 @@ pub fn read_edge_list<R: Read>(reader: R) -> io::Result<LoadedGraph> {
 
     let intern = |raw: u64, ids: &mut HashMap<u64, NodeId>, orig: &mut Vec<u64>| -> NodeId {
         *ids.entry(raw).or_insert_with(|| {
-            let id = orig.len() as NodeId;
+            let id = node_id(orig.len());
             orig.push(raw);
             id
         })

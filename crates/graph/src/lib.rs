@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! Directed-graph substrate for the exact-ppr workspace.
 //!
@@ -48,3 +48,26 @@ pub use view::{SubView, ViewBuilder};
 /// adjacency arrays and precomputed vectors compact (see the type-size
 /// guidance in the Rust perf book).
 pub type NodeId = u32;
+
+/// The checked narrowing from machine-word indices to [`NodeId`] width.
+///
+/// `expr as u32` silently truncates; every id-producing narrowing in the
+/// workspace goes through this function instead (the `repro audit`
+/// `lossy-id-cast` rule enforces it for computed expressions). The
+/// assert is one predictable compare — noise next to the hash/BTree
+/// work around any call site — and turns a would-be wrong-id bug into a
+/// loud panic at the point of truncation.
+///
+/// [`GraphBuilder::new`] rejects graphs with more than `u32::MAX` nodes,
+/// so indices derived from node or edge positions are always in range;
+/// the check guards the *other* callers (interning unbounded external
+/// ids, synthetic-id arithmetic).
+#[inline]
+pub fn node_id(index: usize) -> NodeId {
+    assert!(
+        index <= NodeId::MAX as usize,
+        "index {index} exceeds NodeId range"
+    );
+    // audit:allow(lossy-id-cast): asserted in range on the line above
+    index as NodeId
+}

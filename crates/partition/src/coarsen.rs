@@ -6,7 +6,7 @@
 //! weights add and whose adjacencies merge.
 
 use crate::work::WorkGraph;
-use ppr_graph::NodeId;
+use ppr_graph::{node_id, NodeId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -114,7 +114,7 @@ pub fn coarsen_ladder(
 
 /// Random helper shared with the initial partitioner.
 pub(crate) fn random_node(n: usize, rng: &mut StdRng) -> NodeId {
-    rng.random_range(0..n) as NodeId
+    node_id(rng.random_range(0..n))
 }
 
 #[cfg(test)]

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! METIS-like multilevel graph partitioning and hub-node selection.
 //!

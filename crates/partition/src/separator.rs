@@ -8,7 +8,7 @@
 
 use crate::hopcroft_karp::Bipartite;
 use crate::vertex_cover::{greedy_cover, matching_cover};
-use ppr_graph::{CsrGraph, NodeId};
+use ppr_graph::{node_id, CsrGraph, NodeId};
 
 /// Which vertex-cover algorithm selects the hubs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -97,8 +97,8 @@ fn konig_hubs(members: &[NodeId], labels: &[u32], edges: &[(NodeId, NodeId)]) ->
         } else {
             (v, u)
         };
-        let li = left_ids.binary_search(&l).unwrap() as u32;
-        let ri = right_ids.binary_search(&r).unwrap() as u32;
+        let li = node_id(left_ids.binary_search(&l).unwrap());
+        let ri = node_id(right_ids.binary_search(&r).unwrap());
         b.add_edge(li, ri);
     }
     let (cl, cr) = b.min_vertex_cover();

@@ -8,7 +8,7 @@
 //! *covering* every cut edge (the separation invariant).
 
 use ppr_graph::NodeId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Greedy max-degree cover: repeatedly take the vertex covering the most
 /// uncovered edges.
@@ -17,7 +17,7 @@ pub fn greedy_cover(edges: &[(NodeId, NodeId)]) -> Vec<NodeId> {
         return Vec::new();
     }
     // Adjacency over the touched vertices only.
-    let mut adj: HashMap<NodeId, Vec<usize>> = HashMap::new();
+    let mut adj: BTreeMap<NodeId, Vec<usize>> = BTreeMap::new();
     for (i, &(u, v)) in edges.iter().enumerate() {
         adj.entry(u).or_default().push(i);
         adj.entry(v).or_default().push(i);

@@ -200,9 +200,14 @@ impl PpvCache {
         true
     }
 
-    /// The source nodes currently resident, in no particular order.
+    /// The source nodes currently resident, in ascending id order.
+    ///
+    /// Sorted at the emission point so callers that report or sweep the
+    /// resident set (shard invalidation, diagnostics) never observe the
+    /// hash map's internal order — the listing is reproducible across
+    /// runs and identical for caches holding the same set.
     pub fn resident_keys(&self) -> Vec<NodeId> {
-        self.map.keys().copied().collect()
+        self.map.keys().copied().collect::<std::collections::BTreeSet<_>>().into_iter().collect()
     }
 
     /// Number of resident entries.

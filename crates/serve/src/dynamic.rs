@@ -51,7 +51,7 @@ use ppr_core::incremental::UpdateStats;
 use ppr_core::{PprConfig, SparseVector};
 use ppr_graph::reach::reverse_reachable;
 use ppr_graph::{delta, CsrGraph, EdgeUpdate, NodeId};
-use std::time::Instant;
+use ppr_core::parallel::Stopwatch;
 
 /// What one [`DynamicPprServer::apply_updates`] call did.
 #[derive(Clone, Debug)]
@@ -191,7 +191,7 @@ impl DynamicPprServer {
     /// hand-off an epoch-based RwLock would enforce in a multi-threaded
     /// deployment.
     pub fn apply_updates(&mut self, updates: &[EdgeUpdate]) -> UpdateOutcome {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
 
         // Net changes only: the incremental updater derives dirty sets
         // from the changed-edge list, so feeding it no-ops — or pairs
@@ -212,11 +212,13 @@ impl DynamicPprServer {
                 evicted: 0,
                 retained: 0,
                 epoch: self.epoch,
-                seconds: t0.elapsed().as_secs_f64(),
+                seconds: t0.elapsed_seconds(),
             };
         }
         let changed: Vec<(NodeId, NodeId)> =
             coalesced.net.iter().map(|up| up.endpoints()).collect();
+        // audit:allow(serve-panic): `coalesce` returns Some(graph) whenever
+        // `net` is non-empty, and the empty case returned above
         let g_new = coalesced.graph.expect("non-empty net rebuilds the graph");
         let stats = self.index.apply_edge_updates(&g_new, &changed);
 
@@ -233,7 +235,7 @@ impl DynamicPprServer {
         self.graph = g_new;
         self.epoch += 1; // release the next epoch to readers
 
-        let seconds = t0.elapsed().as_secs_f64();
+        let seconds = t0.elapsed_seconds();
         self.dynamic_stats.update_batches += 1;
         self.dynamic_stats.edges_changed += changed.len() as u64;
         self.dynamic_stats.subgraphs_recomputed += stats.subgraphs_recomputed as u64;
@@ -287,6 +289,8 @@ impl DynamicPprServer {
     pub fn query(&mut self, u: NodeId) -> SparseVector {
         match self.run_batch(&[Request::Ppv(u)]).responses.pop() {
             Some(Response::Ppv(v)) => v,
+            // audit:allow(serve-panic): execute_batch maps each request to its
+            // same-variant response in order
             _ => unreachable!("Ppv request yields Ppv response"),
         }
     }
@@ -299,6 +303,8 @@ impl DynamicPprServer {
             .pop()
         {
             Some(Response::TopK(t)) => t,
+            // audit:allow(serve-panic): execute_batch maps each request to its
+            // same-variant response in order
             _ => unreachable!("TopK request yields TopK response"),
         }
     }

@@ -259,8 +259,8 @@ pub fn run_open_loop(
     let fresh = stats.fresh_sources - stats_before.fresh_sources;
     let lookups = cached + fresh;
     let queries = sojourns.len();
-    sojourns.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
-    services.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    sojourns.sort_unstable_by(f64::total_cmp);
+    services.sort_unstable_by(f64::total_cmp);
     OpenLoopReport {
         offered_rate: cfg.arrival_rate,
         queries,

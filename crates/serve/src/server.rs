@@ -27,7 +27,7 @@ use ppr_cluster::{
 use ppr_core::{Scratch, SparseVector};
 use ppr_graph::NodeId;
 use std::collections::{HashMap, HashSet};
-use std::time::Instant;
+use ppr_core::parallel::Stopwatch;
 
 /// Serving knobs.
 #[derive(Clone, Copy, Debug)]
@@ -248,6 +248,8 @@ impl<'i, I: DistributedQueryable> PprServer<'i, I> {
     pub fn query(&mut self, u: NodeId) -> SparseVector {
         match self.run_batch(&[Request::Ppv(u)]).responses.pop() {
             Some(Response::Ppv(v)) => v,
+            // audit:allow(serve-panic): execute_batch maps each request to its
+            // same-variant response in order
             _ => unreachable!("Ppv request yields Ppv response"),
         }
     }
@@ -257,6 +259,8 @@ impl<'i, I: DistributedQueryable> PprServer<'i, I> {
         let req = Request::Preference(preference.to_vec());
         match self.run_batch(&[req]).responses.pop() {
             Some(Response::Ppv(v)) => v,
+            // audit:allow(serve-panic): execute_batch maps each request to its
+            // same-variant response in order
             _ => unreachable!("Preference request yields Ppv response"),
         }
     }
@@ -266,6 +270,8 @@ impl<'i, I: DistributedQueryable> PprServer<'i, I> {
         let req = Request::TopK { source: u, k };
         match self.run_batch(&[req]).responses.pop() {
             Some(Response::TopK(t)) => t,
+            // audit:allow(serve-panic): execute_batch maps each request to its
+            // same-variant response in order
             _ => unreachable!("TopK request yields TopK response"),
         }
     }
@@ -328,7 +334,7 @@ pub(crate) fn execute_batch<I: DistributedQueryable>(
     requests: &[Request],
     assembly: ParallelismMode,
 ) -> BatchOutcome {
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
 
     // Distinct sources, first-appearance order. Probe the cache once
     // per distinct source so recency and hit accounting are per batch,
@@ -373,7 +379,7 @@ pub(crate) fn execute_batch<I: DistributedQueryable>(
         }
     }
 
-    let seconds = t0.elapsed().as_secs_f64();
+    let seconds = t0.elapsed_seconds();
     stats.requests += requests.len() as u64;
     stats.batches += 1;
     stats.fresh_sources += missing.len() as u64;
@@ -416,6 +422,8 @@ fn assemble<I: DistributedQueryable>(
         fresh
             .get(&u)
             .or_else(|| cache.peek(u))
+            // audit:allow(serve-panic): the probe phase inserted every batch
+            // source into `fresh` or the cache before assembly runs
             .expect("source resolved earlier in the batch")
     }
     fn assemble_one(
@@ -466,6 +474,8 @@ fn assemble<I: DistributedQueryable>(
             .collect();
         handles
             .into_iter()
+            // audit:allow(serve-panic): join only fails if the worker already
+            // panicked; propagating beats hiding the poisoned batch
             .flat_map(|h| h.join().expect("assembly worker thread"))
             .collect()
     })

@@ -134,7 +134,7 @@ impl ShardSet {
         fn sweep(shard: &mut PpvCache, stale: &[bool]) -> (usize, usize) {
             let (mut evicted, mut retained) = (0usize, 0usize);
             for key in shard.resident_keys() {
-                if stale[key as usize] {
+                if stale.get(key as usize).copied().unwrap_or(false) {
                     shard.remove(key);
                     evicted += 1;
                 } else {
@@ -152,6 +152,8 @@ impl ShardSet {
                     .collect();
                 handles
                     .into_iter()
+                    // audit:allow(serve-panic): join only fails if the sweep
+                    // already panicked; propagating beats hiding it
                     .map(|h| h.join().expect("shard invalidation thread"))
                     .collect()
             });
@@ -259,6 +261,8 @@ impl<'i, I: DistributedQueryable> ShardedPprServer<'i, I> {
     pub fn query(&mut self, u: NodeId) -> SparseVector {
         match self.run_batch(&[Request::Ppv(u)]).responses.pop() {
             Some(Response::Ppv(v)) => v,
+            // audit:allow(serve-panic): execute_batch maps each request to its
+            // same-variant response in order
             _ => unreachable!("Ppv request yields Ppv response"),
         }
     }
@@ -271,6 +275,8 @@ impl<'i, I: DistributedQueryable> ShardedPprServer<'i, I> {
             .pop()
         {
             Some(Response::TopK(t)) => t,
+            // audit:allow(serve-panic): execute_batch maps each request to its
+            // same-variant response in order
             _ => unreachable!("TopK request yields TopK response"),
         }
     }

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! Synthetic stand-ins for the paper's five datasets, plus query workloads.
 //!
@@ -16,7 +16,7 @@
 //! identical graph.
 
 use ppr_graph::generators::{hierarchical_sbm, HsbmConfig};
-use ppr_graph::{CsrGraph, EdgeUpdate, NodeId};
+use ppr_graph::{node_id, CsrGraph, EdgeUpdate, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -393,7 +393,7 @@ impl MixedStream {
     }
 
     fn gen_insert(&mut self) -> Option<EdgeUpdate> {
-        let n = self.out_degree.len() as NodeId;
+        let n = node_id(self.out_degree.len());
         for _ in 0..64 {
             let u = self.rng.random_range(0..n);
             let v = self.rng.random_range(0..n);
@@ -436,7 +436,7 @@ pub fn query_nodes(g: &CsrGraph, count: usize, seed: u64) -> Vec<NodeId> {
     let mut attempts = 0usize;
     while out.len() < count && attempts < count * 100 + 1000 {
         attempts += 1;
-        let v = rng.random_range(0..n) as NodeId;
+        let v = node_id(rng.random_range(0..n));
         if g.out_degree(v) > 0 && seen.insert(v) {
             out.push(v);
         }
