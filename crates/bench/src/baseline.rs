@@ -328,6 +328,11 @@ pub fn run_offline(g: &CsrGraph, cfg: &PprConfig, threads: &[usize]) -> Baseline
 
     let mut gpa_entries: Option<usize> = None;
     let mut hgpa_entries: Option<usize> = None;
+    // Builds are bit-identical across worker counts (pinned in
+    // tests/parallel_build.rs), so any sweep's index serves as the
+    // persistence-phase subject below.
+    let mut gpa_for_persist: Option<GpaIndex> = None;
+    let mut hgpa_for_persist: Option<HgpaIndex> = None;
     for &t in threads {
         // Min-of-N: keep the report of the fastest repetition (its
         // modeled numbers are the least contention-inflated too).
@@ -336,6 +341,7 @@ pub fn run_offline(g: &CsrGraph, cfg: &PprConfig, threads: &[usize]) -> Baseline
         for _ in 0..TIMING_REPS {
             let (gpa, off) = GpaIndex::build_distributed(g, cfg, &build_opts_gpa(t));
             entries = gpa.stored_entries();
+            gpa_for_persist = Some(gpa);
             if best.as_ref().is_none_or(|b| off.wall_seconds < b.wall_seconds) {
                 best = Some(off);
             }
@@ -355,6 +361,7 @@ pub fn run_offline(g: &CsrGraph, cfg: &PprConfig, threads: &[usize]) -> Baseline
         for _ in 0..TIMING_REPS {
             let (hgpa, off) = HgpaIndex::build_distributed(g, cfg, &opts);
             entries = hgpa.stored_entries();
+            hgpa_for_persist = Some(hgpa);
             if best.as_ref().is_none_or(|b| off.wall_seconds < b.wall_seconds) {
                 best = Some(off);
             }
@@ -387,6 +394,76 @@ pub fn run_offline(g: &CsrGraph, cfg: &PprConfig, threads: &[usize]) -> Baseline
         "entries",
         Gate::Exact,
     );
+
+    // Persistence: save each index once (save time is info — it runs
+    // once, offline), time cold loads min-of-N (wall-gated: the load
+    // path is the cold-start serving cost), and record the artifact
+    // size (exact-gated — the encoding and the build are both
+    // deterministic, so a byte of drift means the format or the math
+    // changed, not the hardware). Loaded indexes must answer
+    // bit-identically to the built ones; asserted here as an in-run
+    // echo of tests/persist_roundtrip.rs.
+    let build_ref = *threads.first().expect("non-empty sweep");
+    {
+        let idx = gpa_for_persist.expect("sweep built at least one GPA index");
+        let sw = ppr_core::parallel::Stopwatch::start();
+        let mut buf = Vec::new();
+        ppr_core::persist::save_gpa(&idx, &mut buf).expect("in-memory GPA save");
+        let save_s = sw.elapsed_seconds();
+        let mut load_s = f64::INFINITY;
+        let mut loaded = None;
+        for _ in 0..TIMING_REPS {
+            let sw = ppr_core::parallel::Stopwatch::start();
+            loaded = Some(ppr_core::persist::load_gpa(buf.as_slice()).expect("GPA round-trip"));
+            load_s = load_s.min(sw.elapsed_seconds());
+        }
+        let loaded = loaded.expect("TIMING_REPS >= 1");
+        assert_eq!(loaded.stored_entries(), idx.stored_entries(), "GPA load drifted");
+        for u in [0, g.node_count() / 2, g.node_count() - 1] {
+            assert_eq!(idx.query(node_id(u)), loaded.query(node_id(u)), "GPA PPV drifted at {u}");
+        }
+        report.push("gpa_save_seconds".into(), save_s, "s", Gate::Info);
+        report.push("gpa_load_seconds".into(), load_s, "s", Gate::Wall);
+        report.push("gpa_bytes_on_disk".into(), buf.len() as f64, "bytes", Gate::Exact);
+        if let Some(build) = report.value(&format!("gpa_build_wall_seconds_t{build_ref}")) {
+            report.push(
+                "gpa_load_vs_build_speedup".into(),
+                build / load_s.max(1e-12),
+                "x",
+                Gate::Info,
+            );
+        }
+    }
+    {
+        let idx = hgpa_for_persist.expect("sweep built at least one HGPA index");
+        let sw = ppr_core::parallel::Stopwatch::start();
+        let mut buf = Vec::new();
+        ppr_core::persist::save_hgpa(&idx, &mut buf).expect("in-memory HGPA save");
+        let save_s = sw.elapsed_seconds();
+        let mut load_s = f64::INFINITY;
+        let mut loaded = None;
+        for _ in 0..TIMING_REPS {
+            let sw = ppr_core::parallel::Stopwatch::start();
+            loaded = Some(ppr_core::persist::load_hgpa(buf.as_slice()).expect("HGPA round-trip"));
+            load_s = load_s.min(sw.elapsed_seconds());
+        }
+        let loaded = loaded.expect("TIMING_REPS >= 1");
+        assert_eq!(loaded.stored_entries(), idx.stored_entries(), "HGPA load drifted");
+        for u in [0, g.node_count() / 2, g.node_count() - 1] {
+            assert_eq!(idx.query(node_id(u)), loaded.query(node_id(u)), "HGPA PPV drifted at {u}");
+        }
+        report.push("hgpa_save_seconds".into(), save_s, "s", Gate::Info);
+        report.push("hgpa_load_seconds".into(), load_s, "s", Gate::Wall);
+        report.push("hgpa_bytes_on_disk".into(), buf.len() as f64, "bytes", Gate::Exact);
+        if let Some(build) = report.value(&format!("hgpa_build_wall_seconds_t{build_ref}")) {
+            report.push(
+                "hgpa_load_vs_build_speedup".into(),
+                build / load_s.max(1e-12),
+                "x",
+                Gate::Info,
+            );
+        }
+    }
 
     // Speedups over the 1-worker wall time, per algorithm (info: they
     // measure this host's core count, not the code).
@@ -787,6 +864,14 @@ mod tests {
         assert!(r.value("gpa_stored_entries").unwrap() > 0.0);
         assert!(r.value("hgpa_stored_entries").unwrap() > 0.0);
         assert!(r.value("hgpa_build_speedup_t2").unwrap() > 0.0);
+        // Persistence metrics: artifacts are non-empty and load timing
+        // plus the load-vs-build ratio are present for both indexes.
+        for algo in ["gpa", "hgpa"] {
+            assert!(r.value(&format!("{algo}_bytes_on_disk")).unwrap() > 0.0);
+            assert!(r.value(&format!("{algo}_load_seconds")).unwrap() > 0.0);
+            assert!(r.value(&format!("{algo}_save_seconds")).unwrap() > 0.0);
+            assert!(r.value(&format!("{algo}_load_vs_build_speedup")).unwrap() > 0.0);
+        }
         // The file under the committed name parses back.
         let dir = std::env::temp_dir().join("ppr-baseline-test");
         let path = r.write_to(&dir).unwrap();

@@ -25,6 +25,16 @@ const EXPERIMENTS: &[(&str, &str)] = &[
          dynamic phase with edge updates + queueing delay (PPR_SERVE_* env knobs)",
     ),
     (
+        "index-save",
+        "Build GPA + HGPA for the serving scenario and persist them as checksummed \
+         artifacts (PPR_INDEX_PATH selects the dir, default target/ppr-index)",
+    ),
+    (
+        "index-load",
+        "Cold-start both persisted artifacts — no rebuild — and serve a query batch \
+         from each (the save -> load -> serve path; fails if artifacts are missing)",
+    ),
+    (
         "bench-baseline",
         "Persistent perf baseline: offline builds + query fan-out + serving across the \
          1/2/4/8 worker sweep; writes BENCH_offline.json / BENCH_serve.json \
@@ -124,6 +134,8 @@ fn main() {
             "fig23" | "fig24" | "fig25" | "fig26" => exp_fig23_26::run(&profile),
             "fig28" => exp_fig28::run(&profile),
             "serve" => serve::run(&profile),
+            "index-save" => artifacts::run_save(&profile),
+            "index-load" => artifacts::run_load(&profile),
             "bench-baseline" => baseline::run_and_write(&profile),
             other => {
                 eprintln!("unknown experiment {other:?}; try `repro list`");

@@ -18,6 +18,7 @@
 //! move with machines/levels/tolerance — are the reproduction target.
 //! EXPERIMENTS.md records both sides.
 
+pub mod artifacts;
 pub mod audit;
 pub mod baseline;
 pub mod exp_fig09;

@@ -26,6 +26,10 @@
 //!   events per virtual second (600); 0 skips the open-loop phase
 //! * `PPR_SERVE_SHARDS` — comma-separated worker/shard counts for the
 //!   thread-scaling phase (`1,2,4,8`); empty skips the phase
+//! * `PPR_INDEX_PATH` — artifact directory: cold-start the serving
+//!   indexes from persisted `gpa.pprx` / `hgpa.pprx` files when they
+//!   match the graph/config, building and saving them back otherwise
+//!   (see `repro index-save` / `repro index-load`)
 //!
 //! A **thread-scaling phase** closes the report: the same request stream
 //! through [`ppr_serve::ShardedPprServer`] at each `PPR_SERVE_SHARDS`
@@ -35,9 +39,9 @@
 //! hardware, not a model.
 
 use crate::report::{fmt_bytes, Table};
-use crate::{dataset_graph, default_hgpa_opts, Profile};
+use crate::{dataset_graph, Profile};
 use ppr_cluster::{DistributedQueryable, ParallelismMode};
-use ppr_core::gpa::{GpaBuildOptions, GpaIndex};
+use ppr_core::gpa::GpaBuildOptions;
 use ppr_core::hgpa::HgpaIndex;
 use ppr_core::PprConfig;
 use ppr_graph::CsrGraph;
@@ -301,8 +305,12 @@ pub fn run(profile: &Profile) {
     let cfg = PprConfig::default();
     let machines = 6; // paper default (§6.1)
 
-    let hgpa = HgpaIndex::build(&g, &cfg, &default_hgpa_opts(machines));
-    let gpa = GpaIndex::build(
+    // With PPR_INDEX_PATH set, serving cold-starts from the persisted
+    // artifacts (saving fresh ones back on a miss); otherwise it builds
+    // in-memory as before. Served answers are bit-identical either way
+    // (pinned in tests/persist_roundtrip.rs).
+    let (hgpa, _) = crate::artifacts::load_or_build_hgpa(&g, &cfg, machines);
+    let (gpa, _) = crate::artifacts::load_or_build_gpa(
         &g,
         &cfg,
         &GpaBuildOptions {
@@ -449,6 +457,7 @@ pub fn run(profile: &Profile) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::default_hgpa_opts;
 
     fn tiny_knobs() -> ServeKnobs {
         ServeKnobs {

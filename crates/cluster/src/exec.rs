@@ -156,6 +156,51 @@ impl DistributedQueryable for HgpaIndex {
     }
 }
 
+/// A [`PersistedIndex`](ppr_core::persist::PersistedIndex) serves exactly
+/// like the index it holds: a cold-started process answers the same
+/// fan-out queries, bit-identically, without knowing the kind up front.
+impl DistributedQueryable for ppr_core::persist::PersistedIndex {
+    fn machines(&self) -> usize {
+        match self {
+            Self::Gpa(i) => GpaIndex::machines(i),
+            Self::Hgpa(i) => HgpaIndex::machines(i),
+        }
+    }
+    fn node_count(&self) -> usize {
+        match self {
+            Self::Gpa(i) => GpaIndex::node_count(i),
+            Self::Hgpa(i) => HgpaIndex::node_count(i),
+        }
+    }
+    fn machine_vector(&self, u: NodeId, machine: u32) -> SparseVector {
+        match self {
+            Self::Gpa(i) => GpaIndex::machine_vector(i, u, machine),
+            Self::Hgpa(i) => HgpaIndex::machine_vector(i, u, machine),
+        }
+    }
+    fn machine_vector_preference(
+        &self,
+        preference: &[(NodeId, f64)],
+        machine: u32,
+    ) -> SparseVector {
+        match self {
+            Self::Gpa(i) => GpaIndex::machine_vector_preference(i, preference, machine),
+            Self::Hgpa(i) => HgpaIndex::machine_vector_preference(i, preference, machine),
+        }
+    }
+    fn machine_vector_preference_into(
+        &self,
+        preference: &[(NodeId, f64)],
+        machine: u32,
+        scratch: &mut Scratch,
+    ) -> SparseVector {
+        match self {
+            Self::Gpa(i) => GpaIndex::machine_vector_preference_into(i, preference, machine, scratch),
+            Self::Hgpa(i) => HgpaIndex::machine_vector_preference_into(i, preference, machine, scratch),
+        }
+    }
+}
+
 /// Per-machine execution record for one query.
 #[derive(Clone, Copy, Debug)]
 pub struct MachineStats {

@@ -1,0 +1,509 @@
+//! Binary codec primitives for the on-disk index format.
+//!
+//! [`persist`](crate::persist) encodes every PPV block (partial vectors,
+//! leaf PPVs, skeleton columns) as **delta-varint node ids** followed by
+//! **raw-bit `f64` magnitudes**: sparse supports cluster inside subgraphs
+//! (that is the whole point of hub partitioning, §3.2), so consecutive-id
+//! gaps are tiny and LEB128 shrinks them to one or two bytes, while the
+//! untouched `f64` bit patterns keep round-trips bit-identical — the
+//! exactness gate holds on a loaded index exactly as it does on a built
+//! one.
+//!
+//! Everything here is defensive by construction:
+//!
+//! * [`Cursor`] reads are bounds-checked — truncated input yields
+//!   [`CodecError`], never a panic;
+//! * length prefixes are validated against the bytes actually remaining
+//!   (`n` claimed elements need at least `n` encoded bytes), so a lying
+//!   length field cannot trigger a huge allocation;
+//! * delta decoding rejects non-monotone id sequences and ids past the
+//!   declared node bound, so a decoded [`SparseVector`] always satisfies
+//!   the sorted-distinct invariant the query kernels rely on;
+//! * every on-disk section carries a [`crc32`] checksum (CRC-32/IEEE),
+//!   verified before any decoding starts.
+
+use crate::SparseVector;
+use ppr_graph::NodeId;
+use std::fmt;
+
+/// A malformed or truncated byte stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodecError {
+    message: String,
+}
+
+impl CodecError {
+    /// A new error with the given description.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<CodecError> for std::io::Error {
+    fn from(e: CodecError) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.message)
+    }
+}
+
+/// Codec result.
+pub type Result<T> = std::result::Result<T, CodecError>;
+
+fn err<T>(message: impl Into<String>) -> Result<T> {
+    Err(CodecError::new(message))
+}
+
+// ------------------------------------------------------------------ CRC32
+
+/// CRC-32/IEEE lookup table (polynomial 0xEDB88320, reflected).
+const CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 == 1 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32/IEEE of `bytes` (the zlib/`cksum -o3` polynomial).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ----------------------------------------------------------------- varint
+
+/// Append `x` as LEB128 (7 bits per byte, high bit = continuation).
+pub fn write_varint(buf: &mut Vec<u8>, mut x: u64) {
+    loop {
+        // audit:allow(lossy-id-cast): masked to the low 7 bits, fits u8
+        let byte = (x & 0x7F) as u8;
+        x >>= 7;
+        if x == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Map a signed value to an unsigned one with small absolute values
+/// staying small (zigzag): 0, -1, 1, -2, ... → 0, 1, 2, 3, ...
+pub fn zigzag(x: i64) -> u64 {
+    ((x << 1) ^ (x >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(x: u64) -> i64 {
+    ((x >> 1) as i64) ^ -((x & 1) as i64)
+}
+
+// ----------------------------------------------------------------- cursor
+
+/// Bounds-checked reader over a byte slice. Every read either yields a
+/// value or a [`CodecError`]; nothing panics and nothing reads past the
+/// end.
+#[derive(Clone, Copy, Debug)]
+pub struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Absolute position from the start of the slice.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Consume exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if n > self.remaining() {
+            return err(format!(
+                "truncated input: need {n} bytes, {} remain",
+                self.remaining()
+            ));
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Consume one byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Consume a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Consume a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Consume a raw-bit little-endian `f64`. The bit pattern is
+    /// preserved exactly (including negative zero and NaN payloads), so
+    /// save→load round-trips are bit-identical.
+    pub fn f64_bits(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Consume a LEB128 varint (at most 10 bytes; the final byte of a
+    /// maximal encoding may only contribute the low bit).
+    pub fn varint(&mut self) -> Result<u64> {
+        let mut x = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift == 63 && byte > 1 {
+                return err("varint overflows u64");
+            }
+            x |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(x);
+            }
+            shift += 7;
+            if shift > 63 {
+                return err("varint longer than 10 bytes");
+            }
+        }
+    }
+
+    /// Consume a varint and validate it as an element count: each of the
+    /// `n` claimed elements occupies at least `min_element_bytes` of the
+    /// remaining input, so a lying length field is rejected *before* any
+    /// allocation happens — this is the anti-OOM gate every decoded
+    /// collection goes through.
+    pub fn checked_len(&mut self, min_element_bytes: usize) -> Result<usize> {
+        let n = self.varint()?;
+        let budget = (self.remaining() / min_element_bytes.max(1)) as u64;
+        if n > budget {
+            return err(format!(
+                "length field claims {n} elements but only {} bytes remain",
+                self.remaining()
+            ));
+        }
+        Ok(n as usize)
+    }
+}
+
+// ------------------------------------------------------------- id blocks
+
+/// Append a strictly increasing id sequence as first-id + varint gaps.
+/// Rejects unsorted or duplicated ids — the caller's sorted-distinct
+/// invariant is enforced at the encoding boundary, not assumed.
+pub fn write_ids_delta(buf: &mut Vec<u8>, ids: &[NodeId]) -> Result<()> {
+    let mut prev: Option<NodeId> = None;
+    for &id in ids {
+        match prev {
+            None => write_varint(buf, u64::from(id)),
+            Some(p) => {
+                if id <= p {
+                    return err(format!(
+                        "non-monotone id sequence: {id} follows {p}"
+                    ));
+                }
+                write_varint(buf, u64::from(id - p));
+            }
+        }
+        prev = Some(id);
+    }
+    Ok(())
+}
+
+/// Decode `count` delta-varint ids, enforcing strict monotonicity and
+/// `id < bound` throughout. Inverse of [`write_ids_delta`].
+pub fn read_ids_delta(cur: &mut Cursor<'_>, count: usize, bound: u64) -> Result<Vec<NodeId>> {
+    let mut ids = Vec::with_capacity(count);
+    let mut acc = 0u64;
+    for i in 0..count {
+        let v = cur.varint()?;
+        if i == 0 {
+            acc = v;
+        } else {
+            if v == 0 {
+                return err("zero delta in id sequence (duplicate id)");
+            }
+            acc = match acc.checked_add(v) {
+                Some(a) => a,
+                None => return err("id delta overflows u64"),
+            };
+        }
+        if acc >= bound {
+            return err(format!("id {acc} out of bounds (node count {bound})"));
+        }
+        match NodeId::try_from(acc) {
+            Ok(id) => ids.push(id),
+            Err(_) => return err(format!("id {acc} exceeds NodeId range")),
+        }
+    }
+    Ok(ids)
+}
+
+// ------------------------------------------------------------- PPV blocks
+
+/// Append a sparse vector: varint nnz, delta-varint ids, then raw `f64`
+/// bits per entry. Ids must be strictly increasing (the
+/// [`SparseVector`] invariant); violations are reported, not trusted.
+pub fn write_ppv(buf: &mut Vec<u8>, v: &SparseVector) -> Result<()> {
+    write_varint(buf, v.nnz() as u64);
+    let ids: Vec<NodeId> = v.iter().map(|(id, _)| id).collect();
+    write_ids_delta(buf, &ids)?;
+    for (_, x) in v.iter() {
+        buf.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+    Ok(())
+}
+
+/// Decode a PPV block written by [`write_ppv`]. Entries come back with
+/// the exact bit patterns that went in; `bound` caps the id space.
+pub fn read_ppv(cur: &mut Cursor<'_>, bound: u64) -> Result<SparseVector> {
+    // Each entry costs >= 1 id byte + 8 magnitude bytes.
+    let nnz = cur.checked_len(9)?;
+    let ids = read_ids_delta(cur, nnz, bound)?;
+    let mut entries = Vec::with_capacity(nnz);
+    for id in ids {
+        entries.push((id, cur.f64_bits()?));
+    }
+    Ok(SparseVector::from_entries(entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip_varint(x: u64) -> u64 {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, x);
+        let mut cur = Cursor::new(&buf);
+        let got = cur.varint().unwrap();
+        assert!(cur.is_empty(), "trailing bytes after varint {x}");
+        got
+    }
+
+    #[test]
+    fn varint_boundary_values() {
+        for x in [
+            0u64,
+            1,
+            127,
+            128,
+            129,
+            16_383,
+            16_384,
+            u64::from(u32::MAX) - 1,
+            u64::from(u32::MAX),
+            u64::from(u32::MAX) + 1,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            assert_eq!(roundtrip_varint(x), x);
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overflow_and_truncation() {
+        // 11 continuation bytes: longer than any valid u64 encoding.
+        let long = [0x80u8; 11];
+        assert!(Cursor::new(&long).varint().is_err());
+        // 10 bytes whose final byte carries bits beyond the 64th.
+        let mut over = [0x80u8; 10];
+        over[9] = 0x02;
+        assert!(Cursor::new(&over).varint().is_err());
+        // Truncated mid-continuation.
+        assert!(Cursor::new(&[0x80u8]).varint().is_err());
+        assert!(Cursor::new(&[]).varint().is_err());
+    }
+
+    #[test]
+    fn zigzag_boundary_values() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        assert_eq!(zigzag(i64::MAX), u64::MAX - 1);
+        assert_eq!(zigzag(i64::MIN), u64::MAX);
+        for x in [0i64, 1, -1, 42, -42, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(x)), x);
+        }
+    }
+
+    #[test]
+    fn delta_empty_and_single() {
+        for ids in [vec![], vec![0u32], vec![u32::MAX - 1]] {
+            let mut buf = Vec::new();
+            write_ids_delta(&mut buf, &ids).unwrap();
+            let mut cur = Cursor::new(&buf);
+            let got = read_ids_delta(&mut cur, ids.len(), u64::from(u32::MAX)).unwrap();
+            assert_eq!(got, ids);
+        }
+    }
+
+    #[test]
+    fn delta_rejects_non_monotone_on_encode() {
+        let mut buf = Vec::new();
+        assert!(write_ids_delta(&mut buf, &[3, 3]).is_err(), "duplicate");
+        let mut buf = Vec::new();
+        assert!(write_ids_delta(&mut buf, &[5, 2]).is_err(), "descending");
+    }
+
+    #[test]
+    fn delta_rejects_zero_gap_and_out_of_bounds_on_decode() {
+        // Hand-built stream: first id 4, then gap 0 (a duplicate).
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 4);
+        write_varint(&mut buf, 0);
+        assert!(read_ids_delta(&mut Cursor::new(&buf), 2, 100).is_err());
+        // First id beyond the bound.
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 100);
+        assert!(read_ids_delta(&mut Cursor::new(&buf), 1, 100).is_err());
+        // Accumulated id overflowing u64.
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u64::MAX);
+        write_varint(&mut buf, u64::MAX);
+        assert!(read_ids_delta(&mut Cursor::new(&buf), 2, u64::MAX).is_err());
+    }
+
+    #[test]
+    fn ppv_empty_block() {
+        let mut buf = Vec::new();
+        write_ppv(&mut buf, &SparseVector::new()).unwrap();
+        assert_eq!(buf, vec![0u8]);
+        let got = read_ppv(&mut Cursor::new(&buf), 10).unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn ppv_preserves_exotic_float_bits() {
+        let v = SparseVector::from_entries(vec![
+            (0u32, -0.0),
+            (1, f64::MIN_POSITIVE / 4.0), // subnormal
+            (7, 1.0e-300),
+            (8, f64::MAX),
+        ]);
+        let mut buf = Vec::new();
+        write_ppv(&mut buf, &v).unwrap();
+        let got = read_ppv(&mut Cursor::new(&buf), 10).unwrap();
+        let a: Vec<(u32, u64)> = v.iter().map(|(i, x)| (i, x.to_bits())).collect();
+        let b: Vec<(u32, u64)> = got.iter().map(|(i, x)| (i, x.to_bits())).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lying_length_field_is_rejected_before_allocating() {
+        // A block claiming 2^60 entries backed by 3 bytes: checked_len
+        // must fail from the byte budget without touching an allocator.
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 1u64 << 60);
+        buf.extend_from_slice(&[1, 2, 3]);
+        assert!(read_ppv(&mut Cursor::new(&buf), u64::MAX).is_err());
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard CRC-32/IEEE check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    proptest! {
+        #[test]
+        fn varint_roundtrips(x in 0u64..=u64::MAX) {
+            prop_assert_eq!(roundtrip_varint(x), x);
+        }
+
+        #[test]
+        fn zigzag_roundtrips(x in i64::MIN..=i64::MAX) {
+            prop_assert_eq!(unzigzag(zigzag(x)), x);
+            // Small magnitudes stay small (the property delta coding uses).
+            if x.abs() < (1 << 20) {
+                prop_assert!(zigzag(x) < (1 << 21));
+            }
+        }
+
+        #[test]
+        fn id_blocks_roundtrip(raw_ids in proptest::collection::vec(0u32..1_000_000, 0..200)) {
+            let mut ids = raw_ids;
+            ids.sort_unstable();
+            ids.dedup();
+            let mut buf = Vec::new();
+            write_ids_delta(&mut buf, &ids).unwrap();
+            let mut cur = Cursor::new(&buf);
+            let got = read_ids_delta(&mut cur, ids.len(), 1_000_000).unwrap();
+            prop_assert_eq!(got, ids);
+            prop_assert!(cur.is_empty());
+        }
+
+        #[test]
+        fn ppv_blocks_roundtrip(
+            entries in proptest::collection::btree_map(
+                0u32..10_000,
+                // Arbitrary bit patterns: magnitudes round-trip raw, so
+                // exotic floats (subnormals, huge exponents) must survive.
+                (0u64..=u64::MAX).prop_map(f64::from_bits),
+                0..100,
+            )
+        ) {
+            let v = SparseVector::from_entries(
+                entries.into_iter().filter(|&(_, x)| x != 0.0).collect(),
+            );
+            let mut buf = Vec::new();
+            write_ppv(&mut buf, &v).unwrap();
+            let mut cur = Cursor::new(&buf);
+            let got = read_ppv(&mut cur, 10_000).unwrap();
+            prop_assert!(cur.is_empty());
+            let a: Vec<(u32, u64)> = v.iter().map(|(i, x)| (i, x.to_bits())).collect();
+            let b: Vec<(u32, u64)> = got.iter().map(|(i, x)| (i, x.to_bits())).collect();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

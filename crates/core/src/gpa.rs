@@ -300,6 +300,39 @@ impl GpaIndex {
             + self.skeletons.iter().map(SparseVector::nnz).sum::<usize>()
     }
 
+    /// Reassemble from persisted fields. The loader (`core::persist`)
+    /// validates the partition before calling this; `hub_rank` is derived
+    /// here from hub order rather than stored.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_persist_parts(
+        n: usize,
+        cfg: PprConfig,
+        machines: usize,
+        partition: FlatPartition,
+        base: Vec<SparseVector>,
+        skeletons: Vec<SparseVector>,
+        machine_of_hub: Vec<u32>,
+        machine_of_part: Vec<u32>,
+    ) -> Self {
+        let mut hub_rank = vec![u32::MAX; n];
+        for (rank, &h) in partition.hubs.iter().enumerate() {
+            // audit:allow(lossy-id-cast): hub rank < n, within the
+            // loader-validated u32 node bound
+            hub_rank[h as usize] = rank as u32;
+        }
+        Self {
+            n,
+            cfg,
+            machines,
+            partition,
+            base,
+            hub_rank,
+            skeletons,
+            machine_of_hub,
+            machine_of_part,
+        }
+    }
+
     /// Machine that stores node `u`'s base (partial) vector.
     pub fn machine_of_node(&self, u: NodeId) -> u32 {
         match self.partition.part_of[u as usize] {

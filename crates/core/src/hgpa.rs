@@ -607,38 +607,10 @@ impl HgpaIndex {
         self.machine_of_base[u as usize] = machine;
     }
 
-    /// Decompose into the fields the binary persistence layer writes.
-    #[allow(clippy::type_complexity)]
-    pub(crate) fn persist_parts(
-        &self,
-    ) -> (
-        usize,
-        &PprConfig,
-        usize,
-        &Hierarchy,
-        &[SparseVector],
-        &[u32],
-        &[NodeId],
-        &[SparseVector],
-        &[u32],
-        &[u32],
-    ) {
-        (
-            self.n,
-            &self.cfg,
-            self.machines,
-            &self.hierarchy,
-            &self.base,
-            &self.hub_rank,
-            &self.hub_ids,
-            &self.skeletons,
-            &self.machine_of_hub,
-            &self.machine_of_base,
-        )
-    }
-
-    /// Reassemble from persisted fields (build statistics are not stored —
-    /// they describe the original build run, not the index contents).
+    /// Reassemble from persisted fields. The loader (`core::persist`)
+    /// derives `hub_rank` from the stored hub list and validates every
+    /// field before calling this; build statistics round-trip so a
+    /// cold-started process can still report offline cost accounting.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_persist_parts(
         n: usize,
@@ -651,6 +623,7 @@ impl HgpaIndex {
         skeletons: Vec<SparseVector>,
         machine_of_hub: Vec<u32>,
         machine_of_base: Vec<u32>,
+        stats: HgpaBuildStats,
     ) -> Self {
         Self {
             n,
@@ -663,7 +636,7 @@ impl HgpaIndex {
             skeletons,
             machine_of_hub,
             machine_of_base,
-            stats: HgpaBuildStats::default(),
+            stats,
         }
     }
 }

@@ -23,6 +23,11 @@
 //! * [`parallel`] — the [`ParallelismMode`] switch (shared with
 //!   `ppr-cluster`'s online fan-out) and the timed work pool both offline
 //!   builds deal their hub-column / local-PPV work items through.
+//! * [`codec`] — varint/delta/zigzag primitives, CRC32, and the
+//!   compressed PPV block encoding the storage tier is built on.
+//! * [`persist`] — the versioned, checksummed on-disk index format:
+//!   save/load for both [`gpa::GpaIndex`] and [`hgpa::HgpaIndex`], so
+//!   §5's precomputation is paid once and served from disk thereafter.
 //!
 //! ## Semantics
 //!
@@ -33,6 +38,7 @@
 //! power kernel also offers the dangling policy of Algorithm 2 for
 //! comparison; see [`power::DanglingPolicy`].
 
+pub mod codec;
 pub mod gpa;
 pub mod hgpa;
 pub mod incremental;

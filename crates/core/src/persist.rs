@@ -1,221 +1,627 @@
-//! Binary persistence for precomputed indexes.
+//! The on-disk index format: versioned, checksummed, compressed.
 //!
-//! The paper's precomputation runs for hours (Figures 12/16); nobody
-//! recomputes it per process. This module writes an [`HgpaIndex`] to any
-//! `Write` sink in a small versioned little-endian format and reads it
-//! back, so each simulated machine (or a real deployment's shard) can
-//! persist its state. The format is self-contained — no external
-//! serialization crates — and defends against truncation, bad magic, and
-//! version mismatch with explicit errors.
+//! The paper's §5 precomputation runs for hours (Figures 12/16); nobody
+//! recomputes it per process. This module makes built indexes durable
+//! artifacts: both [`GpaIndex`] and [`HgpaIndex`] save to (and load
+//! from) a self-contained binary format with no external serialization
+//! crates, so a serving process can **cold-start from disk** and answer
+//! bit-identical queries without touching the builder.
+//!
+//! ## Layout (version 2)
+//!
+//! ```text
+//! offset 0   magic            b"PPRX"                      4 bytes
+//! offset 4   version          u32 LE  (= 2)                4 bytes
+//! offset 8   kind             u32 LE  (1 = GPA, 2 = HGPA)  4 bytes
+//! offset 12  section count    u32 LE                       4 bytes
+//! offset 16  section table    count x { tag [u8;4], len u64 LE, crc32 u32 LE }
+//! then       header crc32     u32 LE over bytes [0, 16 + 16*count)
+//! then       section payloads, concatenated in table order
+//! ```
+//!
+//! Sections are tagged byte blobs; each carries its own CRC-32 in the
+//! table and the table itself is covered by the header CRC, so **every
+//! byte of the file is checksummed** — any truncation, bit flip, or
+//! zero-fill is detected before a single field is decoded. PPV blocks
+//! (partial vectors, leaf PPVs, skeleton columns) are compressed as
+//! delta-varint node ids plus raw-bit `f64` magnitudes
+//! ([`codec::write_ppv`]): supports cluster inside subgraphs, so gaps
+//! are small, while the untouched float bits make save→load round-trips
+//! **bit-identical** — the exactness gate holds on a loaded index.
+//!
+//! Loading defends in depth: length fields are validated against the
+//! bytes actually present before any allocation
+//! ([`codec::Cursor::checked_len`]), ids are bounds-checked and must be
+//! strictly monotone, machine assignments must be in range, and the
+//! hierarchy's parent pointers must be topologically ordered (so query
+//! walks terminate). Every failure is an [`io::Error`] — the loader
+//! never panics, which keeps `ppr-serve` cold-start panic-free.
+//!
+//! Version-1 files (the pre-codec, uncompressed, HGPA-only layout) are
+//! no longer readable; the loader identifies them by their version field
+//! and reports a rebuild-and-re-save error.
 
-use crate::hgpa::HgpaIndex;
+use crate::codec::{self, crc32, write_varint, Cursor};
+use crate::gpa::GpaIndex;
+use crate::hgpa::{HgpaBuildStats, HgpaIndex};
 use crate::{PprConfig, SparseVector};
 use ppr_graph::NodeId;
-use ppr_partition::{Hierarchy, SubgraphNode};
+use ppr_partition::{FlatPartition, Hierarchy, SubgraphNode};
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"PPRX";
-const VERSION: u32 = 1;
-/// Sanity cap on any single length field (guards corrupt files from
-/// triggering huge allocations).
-const MAX_LEN: u64 = 1 << 33;
+/// The format version this build writes and reads.
+pub const FORMAT_VERSION: u32 = 2;
+/// Sanity cap on the section count (the format defines fewer than ten).
+const MAX_SECTIONS: u32 = 32;
+/// Sanity cap on the persisted machine count (guards the per-machine
+/// vectors allocated by storage accounting).
+const MAX_MACHINES: u64 = 1 << 20;
 
-// ---------------------------------------------------------------- writing
+const KIND_GPA: u32 = 1;
+const KIND_HGPA: u32 = 2;
 
-struct Sink<W: Write> {
-    w: W,
+// Section tags.
+const TAG_CFG: [u8; 4] = *b"CFG\0";
+const TAG_PART: [u8; 4] = *b"PART";
+const TAG_HIER: [u8; 4] = *b"HIER";
+const TAG_PLAC: [u8; 4] = *b"PLAC";
+const TAG_BASE: [u8; 4] = *b"BASE";
+const TAG_SKEL: [u8; 4] = *b"SKEL";
+const TAG_STAT: [u8; 4] = *b"STAT";
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
-impl<W: Write> Sink<W> {
-    fn u32(&mut self, x: u32) -> io::Result<()> {
-        self.w.write_all(&x.to_le_bytes())
-    }
-    fn u64(&mut self, x: u64) -> io::Result<()> {
-        self.w.write_all(&x.to_le_bytes())
-    }
-    fn f64(&mut self, x: f64) -> io::Result<()> {
-        self.w.write_all(&x.to_le_bytes())
-    }
-    fn usize(&mut self, x: usize) -> io::Result<()> {
-        self.u64(x as u64)
-    }
-    fn opt_u32(&mut self, x: Option<u32>) -> io::Result<()> {
-        match x {
-            None => self.u32(u32::MAX), // sentinel; real values never reach it
-            Some(v) => {
-                debug_assert!(v < u32::MAX);
-                self.u32(v)
-            }
+// -------------------------------------------------------------- container
+
+/// Which index type a persisted file holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexKind {
+    /// A flat graph-partition index (§3).
+    Gpa,
+    /// A hierarchical index (§4).
+    Hgpa,
+}
+
+impl IndexKind {
+    fn code(self) -> u32 {
+        match self {
+            IndexKind::Gpa => KIND_GPA,
+            IndexKind::Hgpa => KIND_HGPA,
         }
     }
-    fn u32_slice(&mut self, xs: &[u32]) -> io::Result<()> {
-        self.usize(xs.len())?;
-        for &x in xs {
-            self.u32(x)?;
+
+    fn parse(code: u32) -> io::Result<Self> {
+        match code {
+            KIND_GPA => Ok(IndexKind::Gpa),
+            KIND_HGPA => Ok(IndexKind::Hgpa),
+            other => Err(bad(format!("unknown index kind {other}"))),
         }
-        Ok(())
-    }
-    fn usize_slice(&mut self, xs: &[usize]) -> io::Result<()> {
-        self.usize(xs.len())?;
-        for &x in xs {
-            self.u64(x as u64)?;
-        }
-        Ok(())
-    }
-    fn sparse(&mut self, v: &SparseVector) -> io::Result<()> {
-        self.usize(v.nnz())?;
-        for (id, x) in v.iter() {
-            self.u32(id)?;
-            self.f64(x)?;
-        }
-        Ok(())
     }
 }
 
-// ---------------------------------------------------------------- reading
-
-struct Source<R: Read> {
-    r: R,
+/// One section's location inside a persisted file, as listed by
+/// [`sections`] (tooling / test introspection).
+#[derive(Clone, Copy, Debug)]
+pub struct SectionInfo {
+    /// Four-byte section tag (e.g. `BASE`).
+    pub tag: [u8; 4],
+    /// Byte offset of the payload from the start of the file.
+    pub offset: usize,
+    /// Payload length in bytes.
+    pub len: usize,
+    /// CRC-32 of the payload, as recorded in the section table.
+    pub crc: u32,
 }
 
-impl<R: Read> Source<R> {
-    fn u32(&mut self) -> io::Result<u32> {
-        let mut b = [0u8; 4];
-        self.r.read_exact(&mut b)?;
-        Ok(u32::from_le_bytes(b))
-    }
-    fn u64(&mut self) -> io::Result<u64> {
-        let mut b = [0u8; 8];
-        self.r.read_exact(&mut b)?;
-        Ok(u64::from_le_bytes(b))
-    }
-    fn f64(&mut self) -> io::Result<f64> {
-        let mut b = [0u8; 8];
-        self.r.read_exact(&mut b)?;
-        Ok(f64::from_le_bytes(b))
-    }
-    fn len(&mut self) -> io::Result<usize> {
-        let x = self.u64()?;
-        if x > MAX_LEN {
-            return Err(bad("length field exceeds sanity cap"));
-        }
-        Ok(x as usize)
-    }
-    fn opt_u32(&mut self) -> io::Result<Option<u32>> {
-        let x = self.u32()?;
-        Ok(if x == u32::MAX { None } else { Some(x) })
-    }
-    fn u32_vec(&mut self) -> io::Result<Vec<u32>> {
-        let n = self.len()?;
-        let mut out = Vec::with_capacity(n.min(1 << 20));
-        for _ in 0..n {
-            out.push(self.u32()?);
-        }
-        Ok(out)
-    }
-    fn usize_vec(&mut self) -> io::Result<Vec<usize>> {
-        let n = self.len()?;
-        let mut out = Vec::with_capacity(n.min(1 << 20));
-        for _ in 0..n {
-            out.push(self.u64()? as usize);
-        }
-        Ok(out)
-    }
-    fn sparse(&mut self) -> io::Result<SparseVector> {
-        let n = self.len()?;
-        let mut entries: Vec<(NodeId, f64)> = Vec::with_capacity(n.min(1 << 20));
-        for _ in 0..n {
-            let id = self.u32()?;
-            let x = self.f64()?;
-            entries.push((id, x));
-        }
-        Ok(SparseVector::from_entries(entries))
-    }
+/// A writer-side section: tag plus accumulated payload.
+struct SectionBuf {
+    tag: [u8; 4],
+    payload: Vec<u8>,
 }
 
-fn bad(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+/// Assemble and emit a complete file from its sections.
+fn write_container<W: Write>(
+    mut w: W,
+    kind: IndexKind,
+    sections: &[SectionBuf],
+) -> io::Result<()> {
+    if sections.len() > MAX_SECTIONS as usize {
+        return Err(bad("too many sections to write"));
+    }
+    let mut header = Vec::with_capacity(16 + 16 * sections.len());
+    header.extend_from_slice(MAGIC);
+    header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    header.extend_from_slice(&kind.code().to_le_bytes());
+    // audit:allow(lossy-id-cast): bounded by the MAX_SECTIONS check above
+    header.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    for s in sections {
+        header.extend_from_slice(&s.tag);
+        header.extend_from_slice(&(s.payload.len() as u64).to_le_bytes());
+        header.extend_from_slice(&crc32(&s.payload).to_le_bytes());
+    }
+    let header_crc = crc32(&header);
+    w.write_all(&header)?;
+    w.write_all(&header_crc.to_le_bytes())?;
+    for s in sections {
+        w.write_all(&s.payload)?;
+    }
+    w.flush()
 }
 
-// ------------------------------------------------------------- public API
-
-/// Write `index` to `writer`.
-pub fn save_hgpa<W: Write>(index: &HgpaIndex, writer: W) -> io::Result<()> {
-    let mut s = Sink { w: writer };
-    s.w.write_all(MAGIC)?;
-    s.u32(VERSION)?;
-
-    let (n, cfg, machines, hierarchy, base, hub_rank, hub_ids, skeletons, machine_of_hub, machine_of_base) =
-        index.persist_parts();
-
-    s.usize(n)?;
-    s.f64(cfg.alpha)?;
-    s.f64(cfg.epsilon)?;
-    s.u32(cfg.max_iterations)?;
-    s.usize(machines)?;
-
-    // Hierarchy.
-    s.usize(hierarchy.nodes.len())?;
-    for node in &hierarchy.nodes {
-        s.u32(node.level)?;
-        s.opt_u32(node.parent.map(|p| p as u32))?;
-        s.usize_slice(&node.children)?;
-        s.u32_slice(&node.members)?;
-        s.u32_slice(&node.hubs)?;
-    }
-    s.usize_slice(&hierarchy.home)?;
-    s.usize(hierarchy.hub_level.len())?;
-    for &hl in &hierarchy.hub_level {
-        s.opt_u32(hl)?;
-    }
-    s.u32(hierarchy.depth)?;
-
-    // Vectors.
-    s.usize(base.len())?;
-    for v in base {
-        s.sparse(v)?;
-    }
-    s.u32_slice(hub_rank)?;
-    s.u32_slice(hub_ids)?;
-    s.usize(skeletons.len())?;
-    for v in skeletons {
-        s.sparse(v)?;
-    }
-    s.u32_slice(machine_of_hub)?;
-    s.u32_slice(machine_of_base)?;
-    s.w.flush()
-}
-
-/// Read an index previously written by [`save_hgpa`].
-pub fn load_hgpa<R: Read>(reader: R) -> io::Result<HgpaIndex> {
-    let mut s = Source { r: reader };
-    let mut magic = [0u8; 4];
-    s.r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
+/// Parse and fully verify a file's header, returning its kind and the
+/// CRC-verified section list. Shared by every loader and by [`sections`].
+fn parse_container(bytes: &[u8]) -> io::Result<(IndexKind, Vec<SectionInfo>)> {
+    let mut cur = Cursor::new(bytes);
+    let magic = cur.take(4).map_err(|_| bad("file too short for magic"))?;
+    if magic != MAGIC {
         return Err(bad("not an exact-ppr index file (bad magic)"));
     }
-    let version = s.u32()?;
-    if version != VERSION {
-        return Err(bad("unsupported index format version"));
+    let version = cur.u32().map_err(io::Error::from)?;
+    if version != FORMAT_VERSION {
+        return Err(bad(format!(
+            "unsupported index format version {version} (this build reads version \
+             {FORMAT_VERSION}; version-1 files predate the sectioned format — \
+             rebuild the index and re-save)"
+        )));
+    }
+    let kind = IndexKind::parse(cur.u32().map_err(io::Error::from)?)?;
+    let count = cur.u32().map_err(io::Error::from)?;
+    if count > MAX_SECTIONS {
+        return Err(bad(format!("section count {count} exceeds sanity cap")));
+    }
+    let header_len = 16usize + 16 * count as usize;
+    if bytes.len() < header_len + 4 {
+        return Err(bad("truncated file: section table cut short"));
+    }
+    let stored_crc = u32::from_le_bytes([
+        bytes[header_len],
+        bytes[header_len + 1],
+        bytes[header_len + 2],
+        bytes[header_len + 3],
+    ]);
+    if crc32(&bytes[..header_len]) != stored_crc {
+        return Err(bad("header checksum mismatch"));
     }
 
-    let n = s.len()?;
-    let cfg = PprConfig {
-        alpha: s.f64()?,
-        epsilon: s.f64()?,
-        max_iterations: s.u32()?,
-    };
-    cfg.validate();
-    let machines = s.len()?;
+    let mut sections = Vec::with_capacity(count as usize);
+    let mut offset = header_len + 4;
+    for _ in 0..count {
+        let tag_bytes = cur.take(4).map_err(io::Error::from)?;
+        let tag = [tag_bytes[0], tag_bytes[1], tag_bytes[2], tag_bytes[3]];
+        let len64 = cur.u64().map_err(io::Error::from)?;
+        let crc = cur.u32().map_err(io::Error::from)?;
+        let Ok(len) = usize::try_from(len64) else {
+            return Err(bad("section length exceeds address space"));
+        };
+        let Some(end) = offset.checked_add(len) else {
+            return Err(bad("section length overflows file offset"));
+        };
+        if end > bytes.len() {
+            return Err(bad(format!(
+                "truncated file: section {} claims {len} bytes past the end",
+                tag_str(tag)
+            )));
+        }
+        if sections.iter().any(|s: &SectionInfo| s.tag == tag) {
+            return Err(bad(format!("duplicate section {}", tag_str(tag))));
+        }
+        sections.push(SectionInfo {
+            tag,
+            offset,
+            len,
+            crc,
+        });
+        offset = end;
+    }
+    if offset != bytes.len() {
+        return Err(bad(format!(
+            "file length mismatch: sections end at byte {offset}, file has {}",
+            bytes.len()
+        )));
+    }
+    for s in &sections {
+        if crc32(&bytes[s.offset..s.offset + s.len]) != s.crc {
+            return Err(bad(format!("section {} checksum mismatch", tag_str(s.tag))));
+        }
+    }
+    Ok((kind, sections))
+}
 
-    let node_count = s.len()?;
-    let mut nodes = Vec::with_capacity(node_count.min(1 << 20));
-    for _ in 0..node_count {
-        let level = s.u32()?;
-        let parent = s.opt_u32()?.map(|p| p as usize);
-        let children = s.usize_vec()?;
-        let members = s.u32_vec()?;
-        let hubs = s.u32_vec()?;
+fn tag_str(tag: [u8; 4]) -> String {
+    tag.iter()
+        .map(|&b| {
+            if b.is_ascii_graphic() {
+                char::from(b)
+            } else {
+                '.'
+            }
+        })
+        .collect()
+}
+
+/// Header-validate `bytes` and list its sections (tag, offset, length,
+/// CRC) without decoding any payload. For tooling and the corruption
+/// test suite; fails on exactly the containers the loaders reject.
+pub fn sections(bytes: &[u8]) -> io::Result<Vec<SectionInfo>> {
+    parse_container(bytes).map(|(_, s)| s)
+}
+
+/// Locate a required section's payload.
+fn section<'a>(
+    bytes: &'a [u8],
+    sections: &[SectionInfo],
+    tag: [u8; 4],
+) -> io::Result<Cursor<'a>> {
+    sections
+        .iter()
+        .find(|s| s.tag == tag)
+        .map(|s| Cursor::new(&bytes[s.offset..s.offset + s.len]))
+        .ok_or_else(|| bad(format!("missing section {}", tag_str(tag))))
+}
+
+/// A decoded section must leave no unconsumed bytes.
+fn finish(cur: Cursor<'_>, tag: [u8; 4]) -> io::Result<()> {
+    if cur.is_empty() {
+        Ok(())
+    } else {
+        Err(bad(format!(
+            "section {} has {} trailing bytes",
+            tag_str(tag),
+            cur.remaining()
+        )))
+    }
+}
+
+// ------------------------------------------------------------ CFG section
+
+struct Header {
+    cfg: PprConfig,
+    n: usize,
+    machines: usize,
+}
+
+fn encode_cfg(cfg: &PprConfig, n: usize, machines: usize) -> SectionBuf {
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&cfg.alpha.to_bits().to_le_bytes());
+    payload.extend_from_slice(&cfg.epsilon.to_bits().to_le_bytes());
+    write_varint(&mut payload, u64::from(cfg.max_iterations));
+    write_varint(&mut payload, n as u64);
+    write_varint(&mut payload, machines as u64);
+    SectionBuf {
+        tag: TAG_CFG,
+        payload,
+    }
+}
+
+fn decode_cfg(bytes: &[u8], secs: &[SectionInfo]) -> io::Result<Header> {
+    let mut cur = section(bytes, secs, TAG_CFG)?;
+    let alpha = cur.f64_bits().map_err(io::Error::from)?;
+    let epsilon = cur.f64_bits().map_err(io::Error::from)?;
+    let max_iterations = cur.varint().map_err(io::Error::from)?;
+    let n = cur.varint().map_err(io::Error::from)?;
+    let machines = cur.varint().map_err(io::Error::from)?;
+    finish(cur, TAG_CFG)?;
+
+    // Validate with errors, not the builder's panicking asserts: a
+    // forged file must never take the loader down.
+    if !(alpha.is_finite() && alpha > 0.0 && alpha < 1.0) {
+        return Err(bad(format!("persisted alpha {alpha} outside (0,1)")));
+    }
+    if !(epsilon.is_finite() && epsilon > 0.0) {
+        return Err(bad(format!("persisted epsilon {epsilon} not positive")));
+    }
+    let Ok(max_iterations) = u32::try_from(max_iterations) else {
+        return Err(bad("persisted max_iterations exceeds u32"));
+    };
+    if max_iterations == 0 {
+        return Err(bad("persisted max_iterations is zero"));
+    }
+    if n > u64::from(NodeId::MAX) {
+        return Err(bad(format!("node count {n} exceeds NodeId range")));
+    }
+    if machines == 0 || machines > MAX_MACHINES {
+        return Err(bad(format!("machine count {machines} outside [1, 2^20]")));
+    }
+    Ok(Header {
+        cfg: PprConfig {
+            alpha,
+            epsilon,
+            max_iterations,
+        },
+        n: n as usize,
+        machines: machines as usize,
+    })
+}
+
+// ---------------------------------------------------------- PPV sections
+
+fn encode_ppv_list(tag: [u8; 4], vectors: &[SparseVector]) -> io::Result<SectionBuf> {
+    let mut payload = Vec::new();
+    write_varint(&mut payload, vectors.len() as u64);
+    for v in vectors {
+        codec::write_ppv(&mut payload, v)?;
+    }
+    Ok(SectionBuf { tag, payload })
+}
+
+fn decode_ppv_list(
+    bytes: &[u8],
+    secs: &[SectionInfo],
+    tag: [u8; 4],
+    expect: usize,
+    bound: u64,
+) -> io::Result<Vec<SparseVector>> {
+    let mut cur = section(bytes, secs, tag)?;
+    // Each vector costs at least its one-byte nnz varint.
+    let count = cur.checked_len(1).map_err(io::Error::from)?;
+    if count != expect {
+        return Err(bad(format!(
+            "section {} holds {count} vectors, expected {expect}",
+            tag_str(tag)
+        )));
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(codec::read_ppv(&mut cur, bound)?);
+    }
+    finish(cur, tag)?;
+    Ok(out)
+}
+
+// ------------------------------------------------- machine-placement lists
+
+fn write_machine_list(payload: &mut Vec<u8>, machines_of: &[u32]) {
+    write_varint(payload, machines_of.len() as u64);
+    for &m in machines_of {
+        write_varint(payload, u64::from(m));
+    }
+}
+
+fn read_machine_list(
+    cur: &mut Cursor<'_>,
+    expect: usize,
+    machines: usize,
+    what: &str,
+) -> io::Result<Vec<u32>> {
+    let count = cur.checked_len(1).map_err(io::Error::from)?;
+    if count != expect {
+        return Err(bad(format!(
+            "{what} placement lists {count} entries, expected {expect}"
+        )));
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let m = cur.varint().map_err(io::Error::from)?;
+        if m >= machines as u64 {
+            return Err(bad(format!(
+                "{what} placement names machine {m} of {machines}"
+            )));
+        }
+        let Ok(m) = u32::try_from(m) else {
+            return Err(bad(format!("{what} placement machine id exceeds u32")));
+        };
+        out.push(m);
+    }
+    Ok(out)
+}
+
+// ------------------------------------------------------------- GPA format
+
+/// Write a [`GpaIndex`] to `writer` in the sectioned format.
+pub fn save_gpa<W: Write>(index: &GpaIndex, writer: W) -> io::Result<()> {
+    let n = index.node_count();
+    let machines = index.machines();
+    let partition = index.partition();
+
+    let mut part = Vec::new();
+    write_varint(&mut part, partition.hubs.len() as u64);
+    codec::write_ids_delta(&mut part, &partition.hubs)?;
+    write_varint(&mut part, partition.subgraphs.len() as u64);
+    for members in &partition.subgraphs {
+        write_varint(&mut part, members.len() as u64);
+        codec::write_ids_delta(&mut part, members)?;
+    }
+
+    let mut plac = Vec::new();
+    write_machine_list(&mut plac, index.machine_of_hub());
+    write_machine_list(&mut plac, index.machine_of_part());
+
+    let sections = [
+        encode_cfg(index.config(), n, machines),
+        SectionBuf {
+            tag: TAG_PART,
+            payload: part,
+        },
+        SectionBuf {
+            tag: TAG_PLAC,
+            payload: plac,
+        },
+        encode_ppv_list(TAG_BASE, index.base_vectors())?,
+        encode_ppv_list(TAG_SKEL, index.skeleton_columns())?,
+    ];
+    write_container(writer, IndexKind::Gpa, &sections)
+}
+
+fn decode_gpa(bytes: &[u8], secs: &[SectionInfo]) -> io::Result<GpaIndex> {
+    let header = decode_cfg(bytes, secs)?;
+    let (n, machines) = (header.n, header.machines);
+    let bound = n as u64;
+
+    let mut cur = section(bytes, secs, TAG_PART)?;
+    let hub_count = cur.checked_len(1).map_err(io::Error::from)?;
+    let hubs = codec::read_ids_delta(&mut cur, hub_count, bound)?;
+    let part_count = cur.checked_len(1).map_err(io::Error::from)?;
+    let mut subgraphs = Vec::with_capacity(part_count);
+    for _ in 0..part_count {
+        let members = cur.checked_len(1).map_err(io::Error::from)?;
+        subgraphs.push(codec::read_ids_delta(&mut cur, members, bound)?);
+    }
+    finish(cur, TAG_PART)?;
+
+    // Derive `part_of` (and implicitly validate the partition: every
+    // node is a hub or a member of exactly one part).
+    let mut part_of: Vec<Option<u32>> = vec![None; n];
+    let mut assigned = vec![false; n];
+    for &h in &hubs {
+        assigned[h as usize] = true;
+    }
+    for (p, members) in subgraphs.iter().enumerate() {
+        let Ok(p32) = u32::try_from(p) else {
+            return Err(bad("part index exceeds u32"));
+        };
+        for &v in members {
+            if assigned[v as usize] {
+                return Err(bad(format!("node {v} assigned twice in partition")));
+            }
+            assigned[v as usize] = true;
+            part_of[v as usize] = Some(p32);
+        }
+    }
+    if let Some(v) = assigned.iter().position(|&a| !a) {
+        return Err(bad(format!("node {v} is neither hub nor part member")));
+    }
+
+    let mut cur = section(bytes, secs, TAG_PLAC)?;
+    let machine_of_hub = read_machine_list(&mut cur, hubs.len(), machines, "hub")?;
+    let machine_of_part = read_machine_list(&mut cur, subgraphs.len(), machines, "part")?;
+    finish(cur, TAG_PLAC)?;
+
+    let base = decode_ppv_list(bytes, secs, TAG_BASE, n, bound)?;
+    let skeletons = decode_ppv_list(bytes, secs, TAG_SKEL, hubs.len(), bound)?;
+
+    Ok(GpaIndex::from_persist_parts(
+        n,
+        header.cfg,
+        machines,
+        FlatPartition {
+            hubs,
+            subgraphs,
+            part_of,
+        },
+        base,
+        skeletons,
+        machine_of_hub,
+        machine_of_part,
+    ))
+}
+
+// ------------------------------------------------------------ HGPA format
+
+/// Write an [`HgpaIndex`] to `writer` in the sectioned format.
+pub fn save_hgpa<W: Write>(index: &HgpaIndex, writer: W) -> io::Result<()> {
+    let n = index.node_count();
+    let machines = index.machines();
+    let hierarchy = index.hierarchy();
+
+    let mut hier = Vec::new();
+    write_varint(&mut hier, hierarchy.nodes.len() as u64);
+    for node in &hierarchy.nodes {
+        write_varint(&mut hier, u64::from(node.level));
+        write_varint(&mut hier, node.parent.map_or(0, |p| p as u64 + 1));
+        write_varint(&mut hier, node.children.len() as u64);
+        for &c in &node.children {
+            write_varint(&mut hier, c as u64);
+        }
+        write_varint(&mut hier, node.members.len() as u64);
+        codec::write_ids_delta(&mut hier, &node.members)?;
+        write_varint(&mut hier, node.hubs.len() as u64);
+        codec::write_ids_delta(&mut hier, &node.hubs)?;
+    }
+    write_varint(&mut hier, hierarchy.home.len() as u64);
+    for &h in &hierarchy.home {
+        write_varint(&mut hier, h as u64);
+    }
+    write_varint(&mut hier, hierarchy.hub_level.len() as u64);
+    for &hl in &hierarchy.hub_level {
+        write_varint(&mut hier, hl.map_or(0, |l| u64::from(l) + 1));
+    }
+    write_varint(&mut hier, u64::from(hierarchy.depth));
+
+    let mut plac = Vec::new();
+    write_varint(&mut plac, index.hub_ids().len() as u64);
+    for &h in index.hub_ids() {
+        write_varint(&mut plac, u64::from(h));
+    }
+    write_machine_list(&mut plac, index.machine_of_hub());
+    write_machine_list(&mut plac, index.machine_of_base());
+
+    let stats = index.stats();
+    let mut stat = Vec::new();
+    write_varint(&mut stat, stats.partial_pushes);
+    write_varint(&mut stat, stats.skeleton_columns as u64);
+    write_varint(&mut stat, stats.leaf_vectors as u64);
+    write_varint(&mut stat, stats.dropped_entries as u64);
+
+    let sections = [
+        encode_cfg(index.config(), n, machines),
+        SectionBuf {
+            tag: TAG_HIER,
+            payload: hier,
+        },
+        SectionBuf {
+            tag: TAG_PLAC,
+            payload: plac,
+        },
+        encode_ppv_list(TAG_BASE, index.base_vectors())?,
+        encode_ppv_list(TAG_SKEL, index.skeleton_columns())?,
+        SectionBuf {
+            tag: TAG_STAT,
+            payload: stat,
+        },
+    ];
+    write_container(writer, IndexKind::Hgpa, &sections)
+}
+
+fn decode_hierarchy(cur: &mut Cursor<'_>, n: usize) -> io::Result<Hierarchy> {
+    let bound = n as u64;
+    let node_count = cur.checked_len(1).map_err(io::Error::from)?;
+    let mut nodes = Vec::with_capacity(node_count);
+    for i in 0..node_count {
+        let level64 = cur.varint().map_err(io::Error::from)?;
+        let Ok(level) = u32::try_from(level64) else {
+            return Err(bad("hierarchy level exceeds u32"));
+        };
+        let parent_plus1 = cur.varint().map_err(io::Error::from)?;
+        // Parent pointers must point strictly backwards in the arena
+        // (the builder appends children after parents); this is what
+        // guarantees root-to-home query walks terminate on a loaded
+        // index, so it is enforced here rather than assumed.
+        let parent = match parent_plus1 {
+            0 => {
+                if i != 0 {
+                    return Err(bad(format!("hierarchy node {i} claims to be a root")));
+                }
+                None
+            }
+            p => {
+                let p = p - 1;
+                if p >= i as u64 {
+                    return Err(bad(format!(
+                        "hierarchy node {i} has forward parent pointer {p}"
+                    )));
+                }
+                Some(p as usize)
+            }
+        };
+        if i == 0 && parent.is_some() {
+            return Err(bad("hierarchy root has a parent"));
+        }
+        let child_count = cur.checked_len(1).map_err(io::Error::from)?;
+        let mut children = Vec::with_capacity(child_count);
+        for _ in 0..child_count {
+            let c = cur.varint().map_err(io::Error::from)?;
+            if c >= node_count as u64 {
+                return Err(bad("hierarchy child index out of bounds"));
+            }
+            children.push(c as usize);
+        }
+        let member_count = cur.checked_len(1).map_err(io::Error::from)?;
+        let members = codec::read_ids_delta(cur, member_count, bound)?;
+        let hub_count = cur.checked_len(1).map_err(io::Error::from)?;
+        let hubs = codec::read_ids_delta(cur, hub_count, bound)?;
         nodes.push(SubgraphNode {
             level,
             parent,
@@ -224,51 +630,102 @@ pub fn load_hgpa<R: Read>(reader: R) -> io::Result<HgpaIndex> {
             hubs,
         });
     }
-    let home = s.usize_vec()?;
-    let hl_count = s.len()?;
-    let mut hub_level = Vec::with_capacity(hl_count.min(1 << 20));
-    for _ in 0..hl_count {
-        hub_level.push(s.opt_u32()?);
+
+    let home_count = cur.checked_len(1).map_err(io::Error::from)?;
+    if home_count != n {
+        return Err(bad(format!(
+            "hierarchy home lists {home_count} nodes, expected {n}"
+        )));
     }
-    let depth = s.u32()?;
-    let hierarchy = Hierarchy {
+    let mut home = Vec::with_capacity(n);
+    for _ in 0..n {
+        let h = cur.varint().map_err(io::Error::from)?;
+        if h >= node_count as u64 {
+            return Err(bad("hierarchy home index out of bounds"));
+        }
+        home.push(h as usize);
+    }
+
+    let hl_count = cur.checked_len(1).map_err(io::Error::from)?;
+    if hl_count != n {
+        return Err(bad(format!(
+            "hierarchy hub levels list {hl_count} nodes, expected {n}"
+        )));
+    }
+    let mut hub_level = Vec::with_capacity(n);
+    for _ in 0..n {
+        let hl = cur.varint().map_err(io::Error::from)?;
+        hub_level.push(match hl {
+            0 => None,
+            l => match u32::try_from(l - 1) {
+                Ok(l) => Some(l),
+                Err(_) => return Err(bad("hub level exceeds u32")),
+            },
+        });
+    }
+    let depth64 = cur.varint().map_err(io::Error::from)?;
+    let Ok(depth) = u32::try_from(depth64) else {
+        return Err(bad("hierarchy depth exceeds u32"));
+    };
+    Ok(Hierarchy {
         nodes,
         home,
         hub_level,
         depth,
+    })
+}
+
+fn decode_hgpa(bytes: &[u8], secs: &[SectionInfo]) -> io::Result<HgpaIndex> {
+    let header = decode_cfg(bytes, secs)?;
+    let (n, machines) = (header.n, header.machines);
+    let bound = n as u64;
+
+    let mut cur = section(bytes, secs, TAG_HIER)?;
+    let hierarchy = decode_hierarchy(&mut cur, n)?;
+    finish(cur, TAG_HIER)?;
+
+    let mut cur = section(bytes, secs, TAG_PLAC)?;
+    let hub_count = cur.checked_len(1).map_err(io::Error::from)?;
+    let mut hub_ids = Vec::with_capacity(hub_count);
+    let mut hub_rank = vec![u32::MAX; n];
+    for rank in 0..hub_count {
+        let h = cur.varint().map_err(io::Error::from)?;
+        if h >= bound {
+            return Err(bad(format!("hub id {h} out of bounds")));
+        }
+        let h = h as NodeId;
+        if hub_rank[h as usize] != u32::MAX {
+            return Err(bad(format!("hub {h} listed twice")));
+        }
+        let Ok(rank32) = u32::try_from(rank) else {
+            return Err(bad("hub rank exceeds u32"));
+        };
+        hub_rank[h as usize] = rank32;
+        hub_ids.push(h);
+    }
+    let machine_of_hub = read_machine_list(&mut cur, hub_ids.len(), machines, "hub")?;
+    let machine_of_base = read_machine_list(&mut cur, n, machines, "base")?;
+    finish(cur, TAG_PLAC)?;
+
+    let base = decode_ppv_list(bytes, secs, TAG_BASE, n, bound)?;
+    let skeletons = decode_ppv_list(bytes, secs, TAG_SKEL, hub_ids.len(), bound)?;
+
+    let mut cur = section(bytes, secs, TAG_STAT)?;
+    let partial_pushes = cur.varint().map_err(io::Error::from)?;
+    let to_usize = |x: u64, what: &str| -> io::Result<usize> {
+        usize::try_from(x).map_err(|_| bad(format!("persisted {what} exceeds usize")))
     };
-
-    let base_count = s.len()?;
-    if base_count != n {
-        return Err(bad("base vector count does not match node count"));
-    }
-    let mut base = Vec::with_capacity(base_count.min(1 << 20));
-    for _ in 0..base_count {
-        base.push(s.sparse()?);
-    }
-    let hub_rank = s.u32_vec()?;
-    let hub_ids = s.u32_vec()?;
-    let skel_count = s.len()?;
-    if skel_count != hub_ids.len() {
-        return Err(bad("skeleton count does not match hub count"));
-    }
-    let mut skeletons = Vec::with_capacity(skel_count.min(1 << 20));
-    for _ in 0..skel_count {
-        skeletons.push(s.sparse()?);
-    }
-    let machine_of_hub = s.u32_vec()?;
-    let machine_of_base = s.u32_vec()?;
-
-    if hub_rank.len() != n || machine_of_base.len() != n || machine_of_hub.len() != hub_ids.len() {
-        return Err(bad("inconsistent array lengths in index file"));
-    }
-    if hierarchy.home.len() != n || hierarchy.hub_level.len() != n {
-        return Err(bad("hierarchy does not match node count"));
-    }
+    let stats = HgpaBuildStats {
+        partial_pushes,
+        skeleton_columns: to_usize(cur.varint().map_err(io::Error::from)?, "stat")?,
+        leaf_vectors: to_usize(cur.varint().map_err(io::Error::from)?, "stat")?,
+        dropped_entries: to_usize(cur.varint().map_err(io::Error::from)?, "stat")?,
+    };
+    finish(cur, TAG_STAT)?;
 
     Ok(HgpaIndex::from_persist_parts(
         n,
-        cfg,
+        header.cfg,
         machines,
         hierarchy,
         base,
@@ -277,58 +734,220 @@ pub fn load_hgpa<R: Read>(reader: R) -> io::Result<HgpaIndex> {
         skeletons,
         machine_of_hub,
         machine_of_base,
+        stats,
     ))
 }
 
-/// Convenience: save to a filesystem path.
+// ------------------------------------------------------------- public API
+
+/// Either index type, as loaded from a persisted file whose kind the
+/// caller did not know up front. Implements the cluster's
+/// `DistributedQueryable` (in `ppr-cluster`), so a serving front-end can
+/// cold-start from whichever artifact is on disk.
+#[derive(Debug)]
+pub enum PersistedIndex {
+    /// A loaded flat-partition index.
+    Gpa(GpaIndex),
+    /// A loaded hierarchical index.
+    Hgpa(HgpaIndex),
+}
+
+impl PersistedIndex {
+    /// Which index type this is.
+    pub fn kind(&self) -> IndexKind {
+        match self {
+            PersistedIndex::Gpa(_) => IndexKind::Gpa,
+            PersistedIndex::Hgpa(_) => IndexKind::Hgpa,
+        }
+    }
+
+    /// Number of machines the index was built for.
+    pub fn machines(&self) -> usize {
+        match self {
+            PersistedIndex::Gpa(i) => i.machines(),
+            PersistedIndex::Hgpa(i) => i.machines(),
+        }
+    }
+
+    /// Number of graph nodes.
+    pub fn node_count(&self) -> usize {
+        match self {
+            PersistedIndex::Gpa(i) => i.node_count(),
+            PersistedIndex::Hgpa(i) => i.node_count(),
+        }
+    }
+
+    /// Total stored entries (space accounting).
+    pub fn stored_entries(&self) -> usize {
+        match self {
+            PersistedIndex::Gpa(i) => i.stored_entries(),
+            PersistedIndex::Hgpa(i) => i.stored_entries(),
+        }
+    }
+
+    /// PPR configuration the index was built with.
+    pub fn config(&self) -> &PprConfig {
+        match self {
+            PersistedIndex::Gpa(i) => i.config(),
+            PersistedIndex::Hgpa(i) => i.config(),
+        }
+    }
+
+    /// Exact PPV of `u`, reconstructed centrally.
+    pub fn query(&self, u: NodeId) -> SparseVector {
+        match self {
+            PersistedIndex::Gpa(i) => i.query(u),
+            PersistedIndex::Hgpa(i) => i.query(u),
+        }
+    }
+}
+
+fn read_all<R: Read>(mut reader: R) -> io::Result<Vec<u8>> {
+    // Allocation is bounded by what the stream actually yields, so a
+    // lying length field inside the file cannot inflate this read.
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    Ok(bytes)
+}
+
+/// Read a [`GpaIndex`] previously written by [`save_gpa`].
+pub fn load_gpa<R: Read>(reader: R) -> io::Result<GpaIndex> {
+    let bytes = read_all(reader)?;
+    let (kind, secs) = parse_container(&bytes)?;
+    if kind != IndexKind::Gpa {
+        return Err(bad("file holds an HGPA index, not a GPA index (kind mismatch)"));
+    }
+    decode_gpa(&bytes, &secs)
+}
+
+/// Read an [`HgpaIndex`] previously written by [`save_hgpa`].
+pub fn load_hgpa<R: Read>(reader: R) -> io::Result<HgpaIndex> {
+    let bytes = read_all(reader)?;
+    let (kind, secs) = parse_container(&bytes)?;
+    if kind != IndexKind::Hgpa {
+        return Err(bad("file holds a GPA index, not an HGPA index (kind mismatch)"));
+    }
+    decode_hgpa(&bytes, &secs)
+}
+
+/// Read whichever index the file holds.
+pub fn load_index<R: Read>(reader: R) -> io::Result<PersistedIndex> {
+    let bytes = read_all(reader)?;
+    let (kind, secs) = parse_container(&bytes)?;
+    match kind {
+        IndexKind::Gpa => decode_gpa(&bytes, &secs).map(PersistedIndex::Gpa),
+        IndexKind::Hgpa => decode_hgpa(&bytes, &secs).map(PersistedIndex::Hgpa),
+    }
+}
+
+/// Convenience: save a GPA index to a filesystem path.
+pub fn save_gpa_file<P: AsRef<std::path::Path>>(index: &GpaIndex, path: P) -> io::Result<()> {
+    save_gpa(index, io::BufWriter::new(std::fs::File::create(path)?))
+}
+
+/// Convenience: save an HGPA index to a filesystem path.
 pub fn save_hgpa_file<P: AsRef<std::path::Path>>(index: &HgpaIndex, path: P) -> io::Result<()> {
     save_hgpa(index, io::BufWriter::new(std::fs::File::create(path)?))
 }
 
-/// Convenience: load from a filesystem path.
+/// Convenience: load a GPA index from a filesystem path.
+pub fn load_gpa_file<P: AsRef<std::path::Path>>(path: P) -> io::Result<GpaIndex> {
+    load_gpa(io::BufReader::new(std::fs::File::open(path)?))
+}
+
+/// Convenience: load an HGPA index from a filesystem path.
 pub fn load_hgpa_file<P: AsRef<std::path::Path>>(path: P) -> io::Result<HgpaIndex> {
     load_hgpa(io::BufReader::new(std::fs::File::open(path)?))
+}
+
+/// Convenience: load whichever index a file holds.
+pub fn load_index_file<P: AsRef<std::path::Path>>(path: P) -> io::Result<PersistedIndex> {
+    load_index(io::BufReader::new(std::fs::File::open(path)?))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gpa::GpaBuildOptions;
     use crate::hgpa::HgpaBuildOptions;
     use ppr_graph::generators::{hierarchical_sbm, HsbmConfig};
 
-    fn sample_index() -> (ppr_graph::CsrGraph, HgpaIndex) {
-        let g = hierarchical_sbm(
+    fn sample_graph() -> ppr_graph::CsrGraph {
+        hierarchical_sbm(
             &HsbmConfig {
                 nodes: 150,
                 ..Default::default()
             },
             61,
-        );
-        let idx = HgpaIndex::build(
-            &g,
+        )
+    }
+
+    fn sample_hgpa() -> HgpaIndex {
+        HgpaIndex::build(
+            &sample_graph(),
             &PprConfig {
                 epsilon: 1e-7,
                 ..Default::default()
             },
             &HgpaBuildOptions::default(),
-        );
-        (g, idx)
+        )
+    }
+
+    fn sample_gpa() -> GpaIndex {
+        GpaIndex::build(
+            &sample_graph(),
+            &PprConfig {
+                epsilon: 1e-7,
+                ..Default::default()
+            },
+            &GpaBuildOptions::default(),
+        )
     }
 
     #[test]
-    fn roundtrip_preserves_queries() {
-        let (_, idx) = sample_index();
+    fn hgpa_roundtrip_preserves_queries_and_stats() {
+        let idx = sample_hgpa();
         let mut buf = Vec::new();
         save_hgpa(&idx, &mut buf).unwrap();
         let loaded = load_hgpa(buf.as_slice()).unwrap();
         for u in [0u32, 42, 149] {
-            let a = idx.query(u);
-            let b = loaded.query(u);
-            assert_eq!(a, b, "u {u}");
+            assert_eq!(idx.query(u), loaded.query(u), "u {u}");
         }
         assert_eq!(idx.machines(), loaded.machines());
         assert_eq!(idx.hub_ids(), loaded.hub_ids());
         assert_eq!(idx.stored_entries(), loaded.stored_entries());
+        assert_eq!(idx.stats(), loaded.stats());
+    }
+
+    #[test]
+    fn gpa_roundtrip_preserves_queries() {
+        let idx = sample_gpa();
+        let mut buf = Vec::new();
+        save_gpa(&idx, &mut buf).unwrap();
+        let loaded = load_gpa(buf.as_slice()).unwrap();
+        for u in [0u32, 42, 149] {
+            assert_eq!(idx.query(u), loaded.query(u), "u {u}");
+        }
+        assert_eq!(idx.hubs(), loaded.hubs());
+        assert_eq!(idx.stored_entries(), loaded.stored_entries());
+    }
+
+    #[test]
+    fn load_index_detects_kind() {
+        let mut buf = Vec::new();
+        save_gpa(&sample_gpa(), &mut buf).unwrap();
+        assert_eq!(load_index(buf.as_slice()).unwrap().kind(), IndexKind::Gpa);
+        let mut buf = Vec::new();
+        save_hgpa(&sample_hgpa(), &mut buf).unwrap();
+        assert_eq!(load_index(buf.as_slice()).unwrap().kind(), IndexKind::Hgpa);
+    }
+
+    #[test]
+    fn kind_mismatch_is_an_error() {
+        let mut buf = Vec::new();
+        save_gpa(&sample_gpa(), &mut buf).unwrap();
+        let err = load_hgpa(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("kind"), "{err}");
     }
 
     #[test]
@@ -338,28 +957,30 @@ mod tests {
     }
 
     #[test]
-    fn rejects_wrong_version() {
-        let mut buf = Vec::new();
-        buf.extend_from_slice(MAGIC);
-        buf.extend_from_slice(&99u32.to_le_bytes());
-        buf.extend_from_slice(&[0u8; 64]);
-        let err = load_hgpa(buf.as_slice()).unwrap_err();
-        assert!(err.to_string().contains("version"));
+    fn rejects_old_and_future_versions() {
+        for version in [1u32, 99] {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(MAGIC);
+            buf.extend_from_slice(&version.to_le_bytes());
+            buf.extend_from_slice(&[0u8; 64]);
+            let err = load_hgpa(buf.as_slice()).unwrap_err();
+            assert!(err.to_string().contains("version"), "{err}");
+        }
     }
 
     #[test]
     fn rejects_truncation() {
-        let (_, idx) = sample_index();
+        let idx = sample_hgpa();
         let mut buf = Vec::new();
         save_hgpa(&idx, &mut buf).unwrap();
-        for cut in [10usize, buf.len() / 2, buf.len() - 3] {
+        for cut in [0usize, 3, 10, buf.len() / 2, buf.len() - 3] {
             assert!(load_hgpa(&buf[..cut]).is_err(), "cut at {cut}");
         }
     }
 
     #[test]
     fn file_roundtrip() {
-        let (_, idx) = sample_index();
+        let idx = sample_hgpa();
         let dir = std::env::temp_dir().join("ppr_persist_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("idx.pprx");
@@ -370,12 +991,28 @@ mod tests {
 
     #[test]
     fn machine_vectors_survive_roundtrip() {
-        let (_, idx) = sample_index();
+        let idx = sample_hgpa();
         let mut buf = Vec::new();
         save_hgpa(&idx, &mut buf).unwrap();
         let loaded = load_hgpa(buf.as_slice()).unwrap();
         for m in 0..idx.machines() as u32 {
             assert_eq!(idx.machine_vector(33, m), loaded.machine_vector(33, m));
         }
+    }
+
+    #[test]
+    fn sections_lists_the_documented_layout() {
+        let mut buf = Vec::new();
+        save_hgpa(&sample_hgpa(), &mut buf).unwrap();
+        let secs = sections(&buf).unwrap();
+        let tags: Vec<[u8; 4]> = secs.iter().map(|s| s.tag).collect();
+        assert_eq!(
+            tags,
+            vec![TAG_CFG, TAG_HIER, TAG_PLAC, TAG_BASE, TAG_SKEL, TAG_STAT]
+        );
+        // Sections are contiguous after the header and cover the file.
+        let header_len = 16 + 16 * secs.len() + 4;
+        assert_eq!(secs[0].offset, header_len);
+        assert_eq!(secs.last().unwrap().offset + secs.last().unwrap().len, buf.len());
     }
 }

@@ -6,7 +6,7 @@ use crate::PartitionConfig;
 use ppr_graph::{CsrGraph, NodeId};
 
 /// A graph split into `m` disjoint subgraphs separated by hub nodes.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FlatPartition {
     /// Hub nodes (sorted): a vertex cover of all cut edges.
     pub hubs: Vec<NodeId>,

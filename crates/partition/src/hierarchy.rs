@@ -15,7 +15,7 @@ use crate::PartitionConfig;
 use ppr_graph::{CsrGraph, NodeId};
 
 /// One subgraph in the hierarchy.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SubgraphNode {
     /// Level in the hierarchy; the root (whole graph) is level 0.
     pub level: u32,
@@ -73,7 +73,7 @@ impl Default for HierarchyConfig {
 }
 
 /// The full hierarchical partition of a graph.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Hierarchy {
     /// Arena of subgraphs; index 0 is the root.
     pub nodes: Vec<SubgraphNode>,

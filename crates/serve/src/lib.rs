@@ -34,6 +34,12 @@
 //! `PPR_TEST_THREADS=1` forces the sequential fallback everywhere, and
 //! `PPR_SERVE_SHARDS` sizes the shard fleet in `repro serve`.
 //!
+//! Serving can **cold-start from disk**: [`ColdStart`] loads a persisted
+//! index artifact (`ppr_core::persist`, either kind — the format is
+//! self-describing) and owns it, so a serving process skips the offline
+//! build entirely and still answers bit-identically to one serving the
+//! freshly built index (pinned in `tests/persist_roundtrip.rs`).
+//!
 //! Serving does not stop when the graph changes. [`DynamicPprServer`]
 //! owns a mutable HGPA index plus the current graph and interleaves query
 //! batches with [`ppr_graph::EdgeUpdate`] batches: updates run through
@@ -50,12 +56,14 @@
 //! queueing-delay percentiles; `docs/ARCHITECTURE.md` has the data-flow
 //! picture.
 
+pub mod boot;
 pub mod cache;
 pub mod dynamic;
 pub mod openloop;
 pub mod server;
 pub mod shard;
 
+pub use boot::ColdStart;
 pub use cache::{CacheStats, PpvCache};
 pub use dynamic::{DynamicPprServer, DynamicStats, UpdateOutcome};
 pub use openloop::{run_open_loop, OpenLoopConfig, OpenLoopReport, ServeEvent, ServiceModel};

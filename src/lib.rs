@@ -56,7 +56,10 @@ pub mod prelude {
         gpa::{GpaBuildOptions, GpaIndex},
         hgpa::{HgpaBuildOptions, HgpaIndex, QuerySession},
         incremental::UpdateStats,
-        persist::{load_hgpa_file, save_hgpa_file},
+        persist::{
+            load_gpa_file, load_hgpa_file, load_index_file, save_gpa_file, save_hgpa_file,
+            PersistedIndex,
+        },
         power::{global_pagerank, power_iteration, DanglingPolicy},
         sparse::SparseVector,
         PprConfig,
@@ -67,8 +70,8 @@ pub mod prelude {
     };
     pub use ppr_metrics::{avg_l1, kendall_tau_top_k, l_inf, precision_at_k, rag_at_k};
     pub use ppr_serve::{
-        DynamicPprServer, OpenLoopConfig, OpenLoopReport, PprServer, Request, Response,
-        ServeConfig, ServeEvent, ServiceModel, ShardedPprServer,
+        ColdStart, DynamicPprServer, OpenLoopConfig, OpenLoopReport, PprServer, Request,
+        Response, ServeConfig, ServeEvent, ServiceModel, ShardedPprServer,
     };
     pub use ppr_workload::{
         Dataset, DatasetSpec, MixedEvent, MixedStream, MixedStreamConfig, ZipfQueryStream,
