@@ -15,14 +15,17 @@
 //!    at the same sweep —
 //!
 //! and emits `BENCH_offline.json` + `BENCH_serve.json` (schema
-//! `ppr-bench-baseline/v1`). The committed copies at the repo root are
-//! the baseline; CI re-runs the phases and [`compare`]s fresh numbers
-//! against them, failing on any `wall`-gated metric that regressed more
-//! than the tolerance (default 25%, `PPR_BENCH_TOLERANCE`) and on any
-//! `exact`-gated count that changed at all — entry counts are
-//! deterministic, so a drift there means the math changed, not the
-//! hardware. `info`-gated metrics (modeled seconds, throughput, scratch
-//! bytes) are recorded for trend analysis but never gate.
+//! `ppr-bench-baseline/v1`); the [`crate::incremental`] phase adds
+//! `BENCH_incremental.json` under the same schema. The committed copies
+//! at the repo root are the baseline; CI re-runs the phases and
+//! [`compare`]s fresh numbers against them, failing on any `wall`-gated
+//! metric that regressed more than the tolerance (default 25%,
+//! `PPR_BENCH_TOLERANCE`), on any `exact`-gated count that changed at
+//! all — entry counts are deterministic, so a drift there means the
+//! math changed, not the hardware — and on any `floor`-gated speedup
+//! that fell to 1x or below. `info`-gated metrics (modeled seconds,
+//! throughput, scratch bytes) are recorded for trend analysis but never
+//! gate.
 //!
 //! Wall-gated numbers compare across hosts only in the regression
 //! direction (a faster host trivially passes); the gate is meant for
@@ -49,6 +52,12 @@ pub enum Gate {
     Wall,
     /// Deterministic count: fails on any difference.
     Exact,
+    /// Lower-bounded ratio (speedups): fails when the fresh value drops
+    /// to 1.0 or below. The committed value is a trend record; the gate
+    /// itself is the absolute 1x floor, so it holds on any host — an
+    /// incremental path that stops beating a from-scratch rebuild has
+    /// lost its reason to exist, however fast the hardware.
+    Floor,
     /// Recorded for trends; never gates.
     Info,
 }
@@ -58,6 +67,7 @@ impl Gate {
         match self {
             Gate::Wall => "wall",
             Gate::Exact => "exact",
+            Gate::Floor => "floor",
             Gate::Info => "info",
         }
     }
@@ -66,6 +76,7 @@ impl Gate {
         match s {
             "wall" => Some(Gate::Wall),
             "exact" => Some(Gate::Exact),
+            "floor" => Some(Gate::Floor),
             "info" => Some(Gate::Info),
             _ => None,
         }
@@ -89,7 +100,8 @@ pub struct Metric {
 /// `BENCH_serve.json`).
 #[derive(Clone, Debug)]
 pub struct BaselineReport {
-    /// `"offline"` or `"serve"` — selects the file name.
+    /// `"offline"`, `"serve"`, or `"incremental"` — selects the file
+    /// name.
     pub kind: &'static str,
     /// Cores of the host that produced the numbers. Wall-gated
     /// comparisons across different hardware classes are only meaningful
@@ -147,7 +159,7 @@ impl BaselineReport {
         format!("BENCH_{}.json", self.kind)
     }
 
-    fn push(&mut self, name: String, value: f64, unit: &'static str, gate: Gate) {
+    pub(crate) fn push(&mut self, name: String, value: f64, unit: &'static str, gate: Gate) {
         self.metrics.push(Metric {
             name,
             value,
@@ -199,6 +211,7 @@ impl BaselineReport {
         let kind = match v.get("kind").and_then(Json::as_str) {
             Some("offline") => "offline",
             Some("serve") => "serve",
+            Some("incremental") => "incremental",
             other => return Err(format!("unknown baseline kind {other:?}")),
         };
         let threads = v
@@ -630,6 +643,18 @@ pub fn compare(
                     });
                 }
             }
+            Gate::Floor => {
+                if value <= 1.0 {
+                    failures.push(Regression {
+                        name: m.name.clone(),
+                        detail: format!(
+                            "{}: {value:.2}x fell to or below the 1x floor \
+                             (baseline recorded {:.2}x)",
+                            m.name, m.value
+                        ),
+                    });
+                }
+            }
             Gate::Info => unreachable!("filtered above"),
         }
     }
@@ -716,7 +741,7 @@ pub fn compare_dirs(baseline_dir: &Path, fresh_dir: &Path) {
         .unwrap_or(0.25);
     let mut failures = Vec::new();
     let mut checked = 0usize;
-    for kind in ["offline", "serve"] {
+    for kind in ["offline", "serve", "incremental"] {
         let baseline = match BaselineReport::read_from(baseline_dir, kind) {
             Ok(r) => r,
             Err(e) => {
@@ -797,6 +822,12 @@ mod tests {
                     unit: "x",
                     gate: Gate::Info,
                 },
+                Metric {
+                    name: "x_incr_speedup".into(),
+                    value: 6.0,
+                    unit: "x",
+                    gate: Gate::Floor,
+                },
             ],
         }
     }
@@ -807,10 +838,11 @@ mod tests {
         let parsed = BaselineReport::from_json(&r.to_json()).unwrap();
         assert_eq!(parsed.kind, "offline");
         assert_eq!(parsed.threads, vec![1, 2]);
-        assert_eq!(parsed.metrics.len(), 3);
+        assert_eq!(parsed.metrics.len(), 4);
         assert_eq!(parsed.value("x_entries"), Some(42.0));
         assert_eq!(parsed.metrics[0].gate, Gate::Wall);
         assert_eq!(parsed.metrics[2].gate, Gate::Info);
+        assert_eq!(parsed.metrics[3].gate, Gate::Floor);
     }
 
     #[test]
@@ -832,6 +864,16 @@ mod tests {
         let fails = compare(&base, &fresh, 0.25);
         assert_eq!(fails.len(), 1);
         assert!(fails[0].detail.contains("deterministic"));
+        // Floor: a worse-but-still-above-1x speedup passes, dropping to
+        // the floor (or under) fails no matter what the baseline stored.
+        fresh.metrics[1].value = 42.0;
+        fresh.metrics[3].value = 1.2;
+        assert!(compare(&base, &fresh, 0.25).is_empty());
+        fresh.metrics[3].value = 0.9;
+        let fails = compare(&base, &fresh, 0.25);
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].detail.contains("floor"));
+        fresh.metrics[3].value = 6.0;
         // Missing metric.
         fresh.metrics.remove(0);
         assert!(!compare(&base, &fresh, 0.25).is_empty());

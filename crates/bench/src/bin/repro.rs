@@ -41,9 +41,16 @@ const EXPERIMENTS: &[(&str, &str)] = &[
          (PPR_BENCH_BASELINE selects the output dir, PPR_BENCH_THREADS the sweep)",
     ),
     (
+        "bench-incremental",
+        "Initial-vs-incremental speedup curves: single-edge inserts at leaf/mid/root \
+         hierarchy positions on Email/Web/Youtube; writes BENCH_incremental.json with \
+         floor-gated localized-update speedups (PPR_BENCH_BASELINE selects the dir)",
+    ),
+    (
         "bench-compare",
         "Regression gate: bench-compare <baseline-dir> <fresh-dir> fails on >25% \
-         wall-clock regressions or drifted deterministic counts (PPR_BENCH_TOLERANCE)",
+         wall-clock regressions, drifted deterministic counts, or incremental \
+         speedups at/below the 1x floor (PPR_BENCH_TOLERANCE)",
     ),
     (
         "audit",
@@ -137,6 +144,7 @@ fn main() {
             "index-save" => artifacts::run_save(&profile),
             "index-load" => artifacts::run_load(&profile),
             "bench-baseline" => baseline::run_and_write(&profile),
+            "bench-incremental" => incremental::run_and_write(&profile),
             other => {
                 eprintln!("unknown experiment {other:?}; try `repro list`");
                 std::process::exit(2);

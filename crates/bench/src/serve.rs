@@ -162,6 +162,7 @@ pub fn mixed_events(stream: &mut MixedStream, count: usize) -> Vec<ServeEvent> {
     (0..count)
         .map(|_| match stream.next_event() {
             MixedEvent::Update(batch) => ServeEvent::Update(batch),
+            MixedEvent::Churn(delta) => ServeEvent::Churn(delta),
             MixedEvent::Query(u) => {
                 query_no += 1;
                 ServeEvent::Query(match query_no % 10 {

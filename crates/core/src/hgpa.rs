@@ -95,7 +95,7 @@ pub struct HgpaBuildStats {
 /// let (v, score) = ppv.top_k(1)[0];
 /// assert!((index.query_value(0, v) - score).abs() < 1e-12);
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct HgpaIndex {
     n: usize,
     cfg: PprConfig,
@@ -412,6 +412,9 @@ impl HgpaIndex {
         dense: &mut [f64],
         touched: &mut Vec<NodeId>,
     ) {
+        if !self.is_live(u) {
+            return; // tombstoned or out-of-range source: empty PPV
+        }
         let alpha = self.cfg.alpha;
         // Walk the root-to-home path; every subgraph on it contributes its
         // hub terms (the leaf, having no hubs, contributes none).
@@ -463,6 +466,9 @@ impl HgpaIndex {
     /// the full vector: only the hub terms along `u`'s path are probed at
     /// coordinate `v`, costing O(path hubs · log nnz).
     pub fn query_value(&self, u: NodeId, v: NodeId) -> f64 {
+        if !self.is_live(u) {
+            return 0.0; // tombstoned or out-of-range source
+        }
         let alpha = self.cfg.alpha;
         let mut acc = self.base[u as usize].get(v);
         for sg_idx in self.hierarchy.path_to(u) {
@@ -493,9 +499,18 @@ impl HgpaIndex {
         self.machines
     }
 
-    /// Number of graph nodes.
+    /// Number of graph nodes, **including tombstones** of removed nodes
+    /// (the id space stays dense under node churn).
     pub fn node_count(&self) -> usize {
         self.n
+    }
+
+    /// Is `v` a node this index currently serves? `false` for ids out of
+    /// range and for tombstones left by node removal; queries for such
+    /// sources return the empty vector (or `0.0` from
+    /// [`HgpaIndex::query_value`]) instead of panicking.
+    pub fn is_live(&self, v: NodeId) -> bool {
+        (v as usize) < self.n && self.hierarchy.home[v as usize] != usize::MAX
     }
 
     /// The partition hierarchy backing this index.
@@ -605,6 +620,70 @@ impl HgpaIndex {
             .unwrap_or(0);
         self.machine_of_hub.push(machine);
         self.machine_of_base[u as usize] = machine;
+    }
+
+    /// Admit a freshly added node (id `self.n`, extending the dense id
+    /// space) as a member of the least-populated leaf; returns that
+    /// leaf's arena index so the updater can dirty it. The node's base
+    /// vector starts empty — the caller recomputes the leaf against the
+    /// new graph.
+    pub(crate) fn admit_node(&mut self, v: NodeId) -> usize {
+        debug_assert_eq!(v as usize, self.n, "added ids must extend the dense id space");
+        let leaf = self
+            .hierarchy
+            .leaves()
+            .min_by_key(|&l| (self.hierarchy.nodes[l].members.len(), l))
+            .expect("a hierarchy always has at least one leaf");
+        // Leaf members are never hubs, so the first member's base machine
+        // is the leaf's round-robin owner (empty leaf: machine 0).
+        let machine = self.hierarchy.nodes[leaf]
+            .members
+            .first()
+            .map(|&m| self.machine_of_base[m as usize])
+            .unwrap_or(0);
+        // Member lists are closed upward: insert into the leaf and every
+        // ancestor (new ids sort after all existing members).
+        let mut cursor = Some(leaf);
+        while let Some(i) = cursor {
+            let node = &mut self.hierarchy.nodes[i];
+            if let Err(pos) = node.members.binary_search(&v) {
+                node.members.insert(pos, v);
+            }
+            cursor = node.parent;
+        }
+        self.hierarchy.home.push(leaf);
+        self.hierarchy.hub_level.push(None);
+        self.n += 1;
+        self.base.push(SparseVector::new());
+        self.hub_rank.push(u32::MAX);
+        self.machine_of_base.push(machine);
+        leaf
+    }
+
+    /// Excise a removed node: drop it from every subgraph on its
+    /// root-to-home chain (member and hub lists), clear its stored
+    /// vectors, and tombstone its id (`home = usize::MAX`). The id space
+    /// stays dense; a former hub's rank slot is orphaned (its skeleton
+    /// column is emptied and the rank never reused).
+    pub(crate) fn excise_node(&mut self, v: NodeId) {
+        let path = self.hierarchy.path_to(v);
+        for sg in path {
+            let node = &mut self.hierarchy.nodes[sg];
+            if let Ok(pos) = node.members.binary_search(&v) {
+                node.members.remove(pos);
+            }
+            if let Ok(pos) = node.hubs.binary_search(&v) {
+                node.hubs.remove(pos);
+            }
+        }
+        self.hierarchy.home[v as usize] = usize::MAX;
+        self.hierarchy.hub_level[v as usize] = None;
+        self.base[v as usize] = SparseVector::new();
+        let rank = self.hub_rank[v as usize];
+        if rank != u32::MAX {
+            self.skeletons[rank as usize] = SparseVector::new();
+            self.hub_rank[v as usize] = u32::MAX;
+        }
     }
 
     /// Reassemble from persisted fields. The loader (`core::persist`)

@@ -160,11 +160,13 @@ pub struct CoalescedDelta {
 /// same graph, while batches that churn the same edges (bursty streams,
 /// retries) cost proportionally less maintenance.
 pub fn coalesce_updates(g: &CsrGraph, updates: &[EdgeUpdate]) -> CoalescedDelta {
-    use std::collections::HashMap;
-    // Evolving presence overlay, as in `apply_effective_updates`, plus
-    // each edge's first effective position for deterministic net order.
+    use std::collections::{HashMap, HashSet};
+    // Evolving presence overlay, as in `apply_effective_updates`. `order`
+    // is the single ordering authority: an edge joins it at its *first*
+    // effective mention, and `touched` is pure membership — nothing reads
+    // a position out of it.
     let mut overlay: HashMap<(NodeId, NodeId), bool> = HashMap::new();
-    let mut first_touch: HashMap<(NodeId, NodeId), usize> = HashMap::new();
+    let mut touched: HashSet<(NodeId, NodeId)> = HashSet::new();
     let mut order: Vec<(NodeId, NodeId)> = Vec::new();
     let mut skipped = 0usize;
     let mut effective = 0usize;
@@ -178,7 +180,7 @@ pub fn coalesce_updates(g: &CsrGraph, updates: &[EdgeUpdate]) -> CoalescedDelta 
         if effect {
             overlay.insert(e, matches!(up, EdgeUpdate::Insert(..)));
             effective += 1;
-            if first_touch.insert(e, order.len()).is_none() {
+            if touched.insert(e) {
                 order.push(e);
             }
         } else {
@@ -210,6 +212,194 @@ pub fn coalesce_updates(g: &CsrGraph, updates: &[EdgeUpdate]) -> CoalescedDelta 
         skipped,
         cancelled,
     }
+}
+
+/// One node-set change.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NodeUpdate {
+    /// Append a new node. Ids stay dense: the k-th `Add` of a batch
+    /// applied to an n-node graph creates node `n + k`, initially
+    /// isolated (edge updates later in the same batch may wire it).
+    Add,
+    /// Remove a node: every incident edge (both directions) is dropped
+    /// and the id becomes a permanent **tombstone** — it stays in the
+    /// CSR id space as an isolated node (so no other id shifts) and must
+    /// never be referenced by a later update or query.
+    Remove(NodeId),
+}
+
+/// A batch of node and edge changes over one graph snapshot: node churn
+/// applies first, in order, then the edge updates (which may reference
+/// nodes the batch just added, but not ones it removed).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GraphDelta {
+    /// Node churn, applied first.
+    pub nodes: Vec<NodeUpdate>,
+    /// Edge updates, applied after the node churn.
+    pub edges: Vec<EdgeUpdate>,
+}
+
+impl GraphDelta {
+    /// A pure edge batch (the pre-churn update language).
+    pub fn from_edges(edges: Vec<EdgeUpdate>) -> Self {
+        GraphDelta {
+            nodes: Vec::new(),
+            edges,
+        }
+    }
+
+    /// No events at all?
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty() && self.edges.is_empty()
+    }
+}
+
+/// Why a [`GraphDelta`] cannot apply to a graph.
+///
+/// Only *structural* misuse within one batch is detectable here: the CSR
+/// itself does not distinguish a tombstone from a node that was always
+/// isolated, so referencing a node removed by an *earlier* batch is the
+/// index/serving layer's liveness check (`ppr-core`), not this one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaError {
+    /// `Remove` named an id outside the graph's id space.
+    RemoveOutOfRange {
+        /// The offending id.
+        node: NodeId,
+        /// The id-space size it had to fit in.
+        nodes: usize,
+    },
+    /// The same node was removed twice in one batch.
+    DoubleRemove {
+        /// The node removed twice.
+        node: NodeId,
+    },
+    /// An edge update referenced a node the same batch removed.
+    EdgeOnRemovedNode {
+        /// The offending edge.
+        edge: (NodeId, NodeId),
+        /// Its removed endpoint.
+        removed: NodeId,
+    },
+    /// An edge update referenced an id outside the post-churn id space.
+    EdgeOutOfRange {
+        /// The offending edge.
+        edge: (NodeId, NodeId),
+        /// The id-space size after the batch's node adds.
+        nodes: usize,
+    },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            DeltaError::RemoveOutOfRange { node, nodes } => {
+                write!(f, "cannot remove node {node}: graph has {nodes} nodes")
+            }
+            DeltaError::DoubleRemove { node } => {
+                write!(f, "node {node} removed twice in one batch")
+            }
+            DeltaError::EdgeOnRemovedNode { edge, removed } => write!(
+                f,
+                "edge ({}, {}) references node {removed}, removed in the same batch",
+                edge.0, edge.1
+            ),
+            DeltaError::EdgeOutOfRange { edge, nodes } => write!(
+                f,
+                "edge ({}, {}) out of range: graph has {nodes} nodes after churn",
+                edge.0, edge.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// The result of [`apply_delta`].
+#[derive(Clone, Debug)]
+pub struct AppliedGraphDelta {
+    /// The rebuilt graph: node churn plus the net edge change.
+    pub graph: CsrGraph,
+    /// Ids assigned to the batch's `Add` events, in order.
+    pub added: Vec<NodeId>,
+    /// Nodes tombstoned by the batch, in order.
+    pub removed: Vec<NodeId>,
+    /// Incident edges the node removals dropped (before the batch's own
+    /// edge updates applied), in the original graph's sorted edge order.
+    pub dropped_edges: Vec<(NodeId, NodeId)>,
+    /// Net edge updates, exactly as [`coalesce_updates`] reports them,
+    /// judged against the post-churn graph.
+    pub net: Vec<EdgeUpdate>,
+    /// Edge updates dropped as no-ops (see [`CoalescedDelta::skipped`]).
+    pub skipped: usize,
+    /// Effective-but-reversed edge updates (see
+    /// [`CoalescedDelta::cancelled`]).
+    pub cancelled: usize,
+}
+
+/// Apply a full [`GraphDelta`] — node churn first, then edges — and
+/// report everything the incremental index maintenance needs: the ids
+/// added and tombstoned, the incident edges the removals dropped, and
+/// the coalesced net edge change.
+///
+/// Errors (structurally invalid batches) leave `g` untouched; `g` is
+/// never mutated either way (CSR graphs are immutable — this rebuilds).
+pub fn apply_delta(g: &CsrGraph, delta: &GraphDelta) -> Result<AppliedGraphDelta, DeltaError> {
+    let mut added = Vec::new();
+    let mut removed = Vec::new();
+    let mut removed_set = std::collections::HashSet::new();
+    let mut n = g.node_count();
+    for &nu in &delta.nodes {
+        match nu {
+            NodeUpdate::Add => {
+                added.push(crate::node_id(n));
+                n += 1;
+            }
+            NodeUpdate::Remove(v) => {
+                if (v as usize) >= n {
+                    return Err(DeltaError::RemoveOutOfRange { node: v, nodes: n });
+                }
+                if !removed_set.insert(v) {
+                    return Err(DeltaError::DoubleRemove { node: v });
+                }
+                removed.push(v);
+            }
+        }
+    }
+    for up in &delta.edges {
+        let edge = up.endpoints();
+        for x in [edge.0, edge.1] {
+            if (x as usize) >= n {
+                return Err(DeltaError::EdgeOutOfRange { edge, nodes: n });
+            }
+            if removed_set.contains(&x) {
+                return Err(DeltaError::EdgeOnRemovedNode { edge, removed: x });
+            }
+        }
+    }
+
+    // Rebuild over the churned node set: surviving edges carry over,
+    // removal-dropped ones are reported for dirty tracking.
+    let mut dropped_edges = Vec::new();
+    let mut b = GraphBuilder::new(n);
+    for e in g.edges() {
+        if removed_set.contains(&e.0) || removed_set.contains(&e.1) {
+            dropped_edges.push(e);
+        } else {
+            b.push_edge(e.0, e.1);
+        }
+    }
+    let mid = b.build();
+    let c = coalesce_updates(&mid, &delta.edges);
+    Ok(AppliedGraphDelta {
+        graph: c.graph.unwrap_or(mid),
+        added,
+        removed,
+        dropped_edges,
+        net: c.net,
+        skipped: c.skipped,
+        cancelled: c.cancelled,
+    })
 }
 
 #[cfg(test)]
@@ -358,6 +548,147 @@ mod tests {
             seq = apply_edge_updates(&seq, &[up]);
         }
         assert!(rebuilt.edges().eq(seq.edges()));
+    }
+
+    #[test]
+    fn net_order_is_first_effective_touch() {
+        // Edge A is touched effectively at positions 0, 2, 3; edge B at
+        // position 1. The net must list A before B — first effective
+        // touch, not last.
+        let g = from_edges(5, &[(1, 2)]);
+        let d = coalesce_updates(
+            &g,
+            &[
+                EdgeUpdate::Remove(1, 2), // A: effective
+                EdgeUpdate::Insert(3, 4), // B: effective
+                EdgeUpdate::Insert(1, 2), // A again
+                EdgeUpdate::Remove(1, 2), // A again: net Remove
+            ],
+        );
+        assert_eq!(
+            d.net,
+            vec![EdgeUpdate::Remove(1, 2), EdgeUpdate::Insert(3, 4)]
+        );
+        assert_eq!((d.skipped, d.cancelled), (0, 2));
+    }
+
+    #[test]
+    fn node_add_grows_the_graph_with_dense_ids() {
+        let g = from_edges(3, &[(0, 1), (1, 2)]);
+        let out = apply_delta(
+            &g,
+            &GraphDelta {
+                nodes: vec![NodeUpdate::Add, NodeUpdate::Add],
+                edges: vec![],
+            },
+        )
+        .unwrap();
+        assert_eq!(out.added, vec![3, 4]);
+        assert_eq!(out.graph.node_count(), 5);
+        // New nodes are isolated; old edges survive untouched.
+        assert!(out.graph.out_neighbors(3).is_empty());
+        assert!(out.graph.out_neighbors(4).is_empty());
+        assert!(g.edges().eq(out.graph.edges()));
+        assert!(out.removed.is_empty() && out.dropped_edges.is_empty());
+    }
+
+    #[test]
+    fn node_removal_drops_incident_edges_and_tombstones() {
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 1), (2, 3), (3, 0)]);
+        let out = apply_delta(
+            &g,
+            &GraphDelta {
+                nodes: vec![NodeUpdate::Remove(1)],
+                edges: vec![],
+            },
+        )
+        .unwrap();
+        // The id space is unchanged — node 1 becomes a tombstone.
+        assert_eq!(out.graph.node_count(), 4);
+        assert!(out.graph.out_neighbors(1).is_empty());
+        assert!(out.graph.in_neighbors(1).is_empty());
+        assert_eq!(out.dropped_edges, vec![(0, 1), (1, 2), (2, 1)]);
+        assert_eq!(out.removed, vec![1]);
+        assert!(out.graph.has_edge(2, 3) && out.graph.has_edge(3, 0));
+    }
+
+    #[test]
+    fn add_then_wire_within_one_batch() {
+        let g = from_edges(3, &[(0, 1)]);
+        let out = apply_delta(
+            &g,
+            &GraphDelta {
+                nodes: vec![NodeUpdate::Add],
+                edges: vec![EdgeUpdate::Insert(3, 0), EdgeUpdate::Insert(1, 3)],
+            },
+        )
+        .unwrap();
+        assert_eq!(out.added, vec![3]);
+        assert!(out.graph.has_edge(3, 0) && out.graph.has_edge(1, 3));
+        assert_eq!(out.net.len(), 2);
+        assert_eq!((out.skipped, out.cancelled), (0, 0));
+    }
+
+    #[test]
+    fn invalid_deltas_are_rejected_not_applied() {
+        let g = from_edges(3, &[(0, 1), (1, 2)]);
+        let err = |d: GraphDelta| apply_delta(&g, &d).unwrap_err();
+        assert_eq!(
+            err(GraphDelta {
+                nodes: vec![NodeUpdate::Remove(7)],
+                edges: vec![],
+            }),
+            DeltaError::RemoveOutOfRange { node: 7, nodes: 3 }
+        );
+        assert_eq!(
+            err(GraphDelta {
+                nodes: vec![NodeUpdate::Remove(1), NodeUpdate::Remove(1)],
+                edges: vec![],
+            }),
+            DeltaError::DoubleRemove { node: 1 }
+        );
+        assert_eq!(
+            err(GraphDelta {
+                nodes: vec![NodeUpdate::Remove(1)],
+                edges: vec![EdgeUpdate::Insert(0, 1)],
+            }),
+            DeltaError::EdgeOnRemovedNode {
+                edge: (0, 1),
+                removed: 1
+            }
+        );
+        assert_eq!(
+            err(GraphDelta {
+                nodes: vec![],
+                edges: vec![EdgeUpdate::Insert(0, 9)],
+            }),
+            DeltaError::EdgeOutOfRange {
+                edge: (0, 9),
+                nodes: 3
+            }
+        );
+    }
+
+    #[test]
+    fn churn_plus_edges_matches_manual_composition() {
+        // Remove a node, add one, rewire — the result must equal doing
+        // the same by hand with the primitive operations.
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let out = apply_delta(
+            &g,
+            &GraphDelta {
+                nodes: vec![NodeUpdate::Remove(2), NodeUpdate::Add],
+                edges: vec![EdgeUpdate::Insert(1, 4), EdgeUpdate::Insert(4, 3)],
+            },
+        )
+        .unwrap();
+        let mut b = GraphBuilder::new(5);
+        for e in [(0, 1), (3, 0), (1, 4), (4, 3)] {
+            b.push_edge(e.0, e.1);
+        }
+        assert!(out.graph.edges().eq(b.build().edges()));
+        assert_eq!(out.added, vec![4]);
+        assert_eq!(out.dropped_edges, vec![(1, 2), (2, 3)]);
     }
 
     #[test]

@@ -20,12 +20,14 @@
 //! * [`io`] — plain edge-list reading/writing.
 //! * [`dense`] — a dense linear-system PPR solver used as machine-precision
 //!   ground truth in tests.
-//! * [`delta`] — [`EdgeUpdate`] batches over immutable CSR graphs, the
-//!   vocabulary shared by the dynamic workload generator, the incremental
-//!   index updater, and the serving layer.
-//! * [`reach`] — reverse reachability (multi-source BFS and an SCC
-//!   condensation), the conservative cache-invalidation predicate for
-//!   serving under updates.
+//! * [`delta`] — [`EdgeUpdate`] / [`NodeUpdate`] batches ([`GraphDelta`])
+//!   over immutable CSR graphs, the vocabulary shared by the dynamic
+//!   workload generator, the incremental index updater, and the serving
+//!   layer. Node removal tombstones the id (incident edges drop, the id
+//!   space stays dense); node addition appends the next dense id.
+//! * [`reach`] — reachability predicates (multi-source BFS both ways and
+//!   an SCC condensation), the conservative staleness predicate shared by
+//!   cache invalidation and incremental index maintenance.
 
 pub mod adjacency;
 pub mod analytics;
@@ -40,8 +42,11 @@ pub mod view;
 
 pub use adjacency::{Adjacency, InAdjacency};
 pub use csr::{CsrGraph, GraphBuilder};
-pub use delta::{apply_edge_updates, apply_effective_updates, AppliedDelta, EdgeUpdate};
-pub use reach::{reverse_reachable, SccCondensation};
+pub use delta::{
+    apply_delta, apply_edge_updates, apply_effective_updates, AppliedDelta, AppliedGraphDelta,
+    DeltaError, EdgeUpdate, GraphDelta, NodeUpdate,
+};
+pub use reach::{forward_reachable, reverse_reachable, SccCondensation};
 pub use view::{SubView, ViewBuilder};
 
 /// Node identifier. Graphs are limited to `u32::MAX` nodes, which keeps

@@ -11,11 +11,15 @@
 //!
 //! * [`reverse_reachable`] — one multi-source BFS over the *in*-adjacency,
 //!   O(V + E) per call; what the server uses per update batch.
+//!   [`forward_reachable`] is its out-adjacency twin (who is reached
+//!   *from* the touched set), the staleness predicate for skeleton
+//!   columns in incremental index maintenance.
 //! * [`SccCondensation`] — Tarjan condensation built once, then any number
 //!   of target sets answered by a backward sweep over the component DAG in
 //!   O(V + E) worst case but touching only component granularity; useful
-//!   when many predicates are evaluated against one graph snapshot, and as
-//!   an independent oracle for the BFS.
+//!   when many predicates are evaluated against one graph snapshot (the
+//!   incremental updater reuses one across low-churn batches), and as an
+//!   independent oracle for the BFS.
 
 use crate::csr::CsrGraph;
 use crate::scc::{strongly_connected_components, SccResult};
@@ -45,6 +49,38 @@ pub fn reverse_reachable(g: &CsrGraph, targets: &[NodeId]) -> Vec<bool> {
             if !reach[p as usize] {
                 reach[p as usize] = true;
                 queue.push(p);
+            }
+        }
+    }
+    reach
+}
+
+/// `out[v] == true` iff at least one node of `sources` can reach `v` in
+/// `g` (every source trivially reaches itself). Multi-source BFS over
+/// out-edges — the forward twin of [`reverse_reachable`], used by the
+/// incremental index updater to decide which *skeleton columns* an
+/// update can affect (a column of hub `h` aggregates walks into `h`, so
+/// it is stale only when a touched node reaches `h`).
+pub fn forward_reachable(g: &CsrGraph, sources: &[NodeId]) -> Vec<bool> {
+    let n = g.node_count();
+    let mut reach = vec![false; n];
+    let mut queue: Vec<NodeId> = Vec::with_capacity(sources.len());
+    for &s in sources {
+        let s_us = s as usize;
+        assert!(s_us < n, "source {s} out of range for {n}-node graph");
+        if !reach[s_us] {
+            reach[s_us] = true;
+            queue.push(s);
+        }
+    }
+    let mut head = 0;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        for &w in g.out_neighbors(v) {
+            if !reach[w as usize] {
+                reach[w as usize] = true;
+                queue.push(w);
             }
         }
     }
@@ -108,6 +144,33 @@ impl SccCondensation {
             .map(|&c| comp_hit[c as usize])
             .collect()
     }
+
+    /// `out[v] == true` iff at least one node of `sources` can reach `v`
+    /// — the forward twin of [`sources_reaching`](Self::sources_reaching).
+    ///
+    /// Since successors carry smaller component ids than their
+    /// predecessors (see `sources_reaching`), one *descending* sweep
+    /// propagates "reached from a source component" from sources toward
+    /// sinks.
+    pub fn reachable_from(&self, sources: &[NodeId]) -> Vec<bool> {
+        let mut comp_hit = vec![false; self.scc.count];
+        for &s in sources {
+            comp_hit[self.scc.component_of[s as usize] as usize] = true;
+        }
+        for c in (0..self.scc.count).rev() {
+            if !comp_hit[c] {
+                continue;
+            }
+            for &s in &self.comp_edges[c] {
+                comp_hit[s as usize] = true;
+            }
+        }
+        self.scc
+            .component_of
+            .iter()
+            .map(|&c| comp_hit[c as usize])
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +225,41 @@ mod tests {
                     reverse_reachable(&g, &targets),
                     "seed {seed} targets {targets:?}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn forward_chain_reachability() {
+        let g = from_edges(5, &[(0, 1), (1, 2), (2, 3)]);
+        let r = forward_reachable(&g, &[1]);
+        assert_eq!(r, vec![false, true, true, true, false]);
+        assert!(forward_reachable(&g, &[]).iter().all(|&x| !x));
+    }
+
+    #[test]
+    fn forward_matches_reverse_on_transpose_and_condensation() {
+        for seed in 0..8u64 {
+            let g = hierarchical_sbm(
+                &HsbmConfig {
+                    nodes: 250,
+                    reciprocity: 0.3,
+                    ..Default::default()
+                },
+                seed,
+            );
+            // Transpose oracle: v reachable from S in g  <=>  v reaches S
+            // in g's transpose.
+            let t = {
+                let mut b = crate::csr::GraphBuilder::new(g.node_count());
+                b.extend_edges(g.edges().map(|(u, v)| (v, u)));
+                b.build()
+            };
+            let cond = SccCondensation::build(&g);
+            for sources in [vec![0u32], vec![17, 200], vec![249, 1, 100, 30]] {
+                let fwd = forward_reachable(&g, &sources);
+                assert_eq!(fwd, reverse_reachable(&t, &sources), "seed {seed}");
+                assert_eq!(fwd, cond.reachable_from(&sources), "seed {seed}");
             }
         }
     }

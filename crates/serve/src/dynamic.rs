@@ -4,11 +4,19 @@
 //! forces the caller to rebuild out of band and blast the whole PPV cache.
 //! [`DynamicPprServer`] instead *owns* a mutable [`HgpaIndex`] plus the
 //! current [`CsrGraph`] and accepts interleaved query batches and
-//! [`EdgeUpdate`] batches:
+//! [`GraphDelta`] batches (edge updates plus node churn):
 //!
-//! * updates flow through `ppr-core`'s exact incremental maintenance
-//!   ([`HgpaIndex::apply_edge_updates`]) — O(depth) subgraph
-//!   recomputations, never a rebuild;
+//! * updates flow through `ppr-core`'s exact incremental maintenance — a
+//!   persistent [`MaintenanceEngine`] whose push/skeleton buffers and SCC
+//!   condensation survive across batches — with per-vector staleness
+//!   scoped by reachability, never a rebuild. Batches may churn the node
+//!   set: an added node joins a leaf and serves immediately, a removed
+//!   node is excised (tombstoned) and thereafter answers empty;
+//! * invalid batches are **rejected, not panicked on**: a structurally
+//!   broken delta ([`ppr_graph::DeltaError`]) or a reference to a
+//!   tombstoned node ([`UpdateError::DeadNode`](ppr_core::incremental::UpdateError))
+//!   returns `Err` and leaves graph, index, cache, and epoch exactly as
+//!   they were;
 //! * cache invalidation is **fine-grained**: the updater reports the
 //!   touched node set ([`UpdateStats::dirty_nodes`]) and the server evicts
 //!   only cached sources that can *reach* a touched node
@@ -30,12 +38,12 @@
 //! [`ShardedPprServer`](crate::ShardedPprServer). Writes follow an
 //! **epoch discipline** echoing incremental view maintenance: all serving
 //! inside one epoch sees a single `(graph, index)` version. An update
-//! batch (1) *quiesces* readers — `apply_updates` takes `&mut self`, so
+//! batch (1) *quiesces* readers — `apply_delta` takes `&mut self`, so
 //! the borrow checker itself guarantees every scoped reader worker has
 //! drained before the writer runs, exactly the hand-off a
-//! write-preferring lock would enforce across real threads; (2) first
-//! **coalesces** the batch to its net edge-set change
-//! ([`ppr_graph::delta::coalesce_updates`]) and applies incremental
+//! write-preferring lock would enforce across real threads; (2) applies
+//! the batch at the graph level — node churn first, then the **coalesced
+//! net** edge change ([`ppr_graph::apply_delta`]) — and runs incremental
 //! maintenance *once*; (3) runs fine-grained invalidation per shard, in
 //! parallel — shards share nothing; and (4) releases the next
 //! [`DynamicPprServer::epoch`]. No query batch ever spans an epoch
@@ -47,16 +55,18 @@ use crate::server::{execute_batch, BatchOutcome, Request, Response, ServeConfig,
 use crate::shard::ShardSet;
 use ppr_cluster::{Cluster, ClusterConfig};
 use ppr_core::hgpa::{HgpaBuildOptions, HgpaIndex};
-use ppr_core::incremental::UpdateStats;
+use ppr_core::incremental::{MaintenanceEngine, UpdateError, UpdateStats};
 use ppr_core::{PprConfig, SparseVector};
 use ppr_graph::reach::reverse_reachable;
-use ppr_graph::{delta, CsrGraph, EdgeUpdate, NodeId};
+use ppr_graph::{delta, AppliedGraphDelta, CsrGraph, EdgeUpdate, GraphDelta, NodeId};
 use ppr_core::parallel::Stopwatch;
 
-/// What one [`DynamicPprServer::apply_updates`] call did.
+/// What one [`DynamicPprServer::apply_delta`] call did.
 #[derive(Clone, Debug)]
 pub struct UpdateOutcome {
-    /// Net updates applied to the edge set (after coalescing).
+    /// Net updates applied to the edge set (after coalescing). Node churn
+    /// is reported separately, via [`UpdateStats::nodes_added`] /
+    /// [`UpdateStats::nodes_removed`] on `stats`.
     pub applied: usize,
     /// Updates skipped as no-ops (inserting an existing edge, removing a
     /// missing one, self-loops).
@@ -89,6 +99,10 @@ pub struct DynamicStats {
     pub edges_changed: u64,
     /// Updates eliminated by net-effect coalescing across all batches.
     pub updates_coalesced: u64,
+    /// Nodes added by churn batches.
+    pub nodes_added: u64,
+    /// Nodes tombstoned by churn batches.
+    pub nodes_removed: u64,
     /// Subgraph recomputations performed by the incremental updater.
     pub subgraphs_recomputed: u64,
     /// Vectors (bases + skeleton columns) recomputed.
@@ -110,7 +124,7 @@ pub struct DynamicStats {
 /// use ppr_core::hgpa::HgpaBuildOptions;
 /// use ppr_core::PprConfig;
 /// use ppr_graph::generators::{hierarchical_sbm, HsbmConfig};
-/// use ppr_graph::EdgeUpdate;
+/// use ppr_graph::{EdgeUpdate, GraphDelta, NodeUpdate};
 /// use ppr_serve::{DynamicPprServer, ServeConfig};
 ///
 /// let graph = hierarchical_sbm(&HsbmConfig { nodes: 150, ..Default::default() }, 3);
@@ -122,15 +136,25 @@ pub struct DynamicStats {
 ///     ServeConfig::default(),
 /// );
 /// let before = server.query(5);
-/// let outcome = server.apply_updates(&[EdgeUpdate::Insert(5, 120)]);
+/// let outcome = server.apply_updates(&[EdgeUpdate::Insert(5, 120)]).expect("live endpoints");
 /// assert_eq!(outcome.applied, 1);
 /// let after = server.query(5); // exact on the *new* graph
 /// assert!(server.graph().has_edge(5, 120));
+/// // Node churn flows through the same epoch barrier: add node 150 and
+/// // wire it in one batch — it serves exactly, immediately.
+/// let churn = GraphDelta {
+///     nodes: vec![NodeUpdate::Add],
+///     edges: vec![EdgeUpdate::Insert(150, 5)],
+/// };
+/// let outcome = server.apply_delta(&churn).expect("valid churn batch");
+/// assert_eq!(outcome.stats.nodes_added, 1);
+/// assert!(server.query(150).get(5) > 0.0);
 /// # let _ = (before, after);
 /// ```
 pub struct DynamicPprServer {
     graph: CsrGraph,
     index: HgpaIndex,
+    engine: MaintenanceEngine,
     cluster: Cluster,
     cache: ShardSet,
     config: ServeConfig,
@@ -170,6 +194,7 @@ impl DynamicPprServer {
         Self {
             graph,
             index,
+            engine: MaintenanceEngine::new(),
             cluster,
             cache: ShardSet::new(config.shards.max(1), config.cache_capacity_bytes),
             config,
@@ -179,48 +204,82 @@ impl DynamicPprServer {
         }
     }
 
-    /// Apply a batch of edge updates as one **epoch barrier**: coalesce
-    /// the batch to its net change, rebuild the CSR, bring the index up
-    /// to date incrementally (once), evict — per shard, in parallel —
-    /// exactly the cached sources whose PPVs the batch can affect (those
-    /// reaching a touched node), and release the next epoch.
+    /// Apply a batch of edge updates as one **epoch barrier** — the
+    /// edge-only convenience wrapper over
+    /// [`DynamicPprServer::apply_delta`].
+    ///
+    /// # Errors
+    /// Rejected exactly as [`DynamicPprServer::apply_delta`] rejects; an
+    /// `Err` leaves the server untouched.
+    pub fn apply_updates(&mut self, updates: &[EdgeUpdate]) -> Result<UpdateOutcome, UpdateError> {
+        self.apply_delta(&GraphDelta::from_edges(updates.to_vec()))
+    }
+
+    /// Apply one [`GraphDelta`] — node churn plus edge updates — as one
+    /// **epoch barrier**: apply the batch at the graph level (churn
+    /// first, then the coalesced net edge change), bring the index up to
+    /// date incrementally (once, through the persistent maintenance
+    /// engine), evict — per shard, in parallel — exactly the cached
+    /// sources whose PPVs the batch can affect (those reaching a touched
+    /// node), and release the next epoch.
     ///
     /// Readers are quiesced structurally: this method takes `&mut self`,
     /// so every scoped assembly worker of the previous query batch has
     /// provably terminated before maintenance starts — the single-writer
     /// hand-off an epoch-based RwLock would enforce in a multi-threaded
     /// deployment.
-    pub fn apply_updates(&mut self, updates: &[EdgeUpdate]) -> UpdateOutcome {
+    ///
+    /// # Errors
+    /// A structurally invalid batch ([`UpdateError::Delta`]) or one
+    /// referencing a node that is not live in the index
+    /// ([`UpdateError::DeadNode`]) is rejected before any state moves:
+    /// graph, index, cache, epoch, and counters stay exactly as they
+    /// were, and serving continues on the current version.
+    pub fn apply_delta(&mut self, delta: &GraphDelta) -> Result<UpdateOutcome, UpdateError> {
         let t0 = Stopwatch::start();
 
         // Net changes only: the incremental updater derives dirty sets
         // from the changed-edge list, so feeding it no-ops — or pairs
         // that cancel within the batch — would invalidate (and
         // recompute) for nothing. `ppr-graph::delta` is the single
-        // authority on update semantics (within-batch dependencies,
-        // self-loops, duplicates, net effects).
-        let coalesced = delta::coalesce_updates(&self.graph, updates);
-        let skipped = coalesced.skipped;
-        let cancelled = coalesced.cancelled;
-        self.dynamic_stats.updates_coalesced += cancelled as u64;
-        if coalesced.net.is_empty() {
-            return UpdateOutcome {
-                applied: 0,
-                skipped,
-                coalesced: cancelled,
-                stats: UpdateStats::default(),
-                evicted: 0,
-                retained: 0,
-                epoch: self.epoch,
-                seconds: t0.elapsed_seconds(),
+        // authority on update semantics (node churn first, within-batch
+        // dependencies, self-loops, duplicates, net effects).
+        let applied = if delta.nodes.is_empty() {
+            // Edge-only fast path: a batch with no net effect skips the
+            // CSR rebuild entirely (and the epoch barrier with it).
+            let c = delta::coalesce_updates(&self.graph, &delta.edges);
+            let Some(graph) = c.graph else {
+                self.dynamic_stats.updates_coalesced += c.cancelled as u64;
+                return Ok(UpdateOutcome {
+                    applied: 0,
+                    skipped: c.skipped,
+                    coalesced: c.cancelled,
+                    stats: UpdateStats::default(),
+                    evicted: 0,
+                    retained: 0,
+                    epoch: self.epoch,
+                    seconds: t0.elapsed_seconds(),
+                });
             };
-        }
-        let changed: Vec<(NodeId, NodeId)> =
-            coalesced.net.iter().map(|up| up.endpoints()).collect();
-        // audit:allow(serve-panic): `coalesce` returns Some(graph) whenever
-        // `net` is non-empty, and the empty case returned above
-        let g_new = coalesced.graph.expect("non-empty net rebuilds the graph");
-        let stats = self.index.apply_edge_updates(&g_new, &changed);
+            AppliedGraphDelta {
+                graph,
+                added: Vec::new(),
+                removed: Vec::new(),
+                dropped_edges: Vec::new(),
+                net: c.net,
+                skipped: c.skipped,
+                cancelled: c.cancelled,
+            }
+        } else {
+            // A batch with node churn always has a net effect (the churn
+            // itself), so the barrier always fires on this path.
+            delta::apply_delta(&self.graph, delta)?
+        };
+
+        // Exact incremental maintenance, once per barrier. The engine
+        // validates the whole batch before mutating anything, so an `Err`
+        // here leaves the server on its current (consistent) version.
+        let stats = self.engine.apply(&mut self.index, &applied)?;
 
         // Fine-grained invalidation, shard by shard: a cached PPV of
         // source `s` can only be stale if `s` reaches a touched node (see
@@ -229,15 +288,19 @@ impl DynamicPprServer {
         let mut evicted = 0usize;
         let mut retained = 0usize;
         if !self.cache.is_empty() {
-            let stale = reverse_reachable(&g_new, &stats.dirty_nodes);
+            let stale = reverse_reachable(&applied.graph, &stats.dirty_nodes);
             (evicted, retained) = self.cache.invalidate_stale(&stale, self.config.parallelism);
         }
-        self.graph = g_new;
+        let changed = applied.net.len();
+        self.graph = applied.graph;
         self.epoch += 1; // release the next epoch to readers
 
         let seconds = t0.elapsed_seconds();
         self.dynamic_stats.update_batches += 1;
-        self.dynamic_stats.edges_changed += changed.len() as u64;
+        self.dynamic_stats.edges_changed += changed as u64;
+        self.dynamic_stats.updates_coalesced += applied.cancelled as u64;
+        self.dynamic_stats.nodes_added += stats.nodes_added as u64;
+        self.dynamic_stats.nodes_removed += stats.nodes_removed as u64;
         self.dynamic_stats.subgraphs_recomputed += stats.subgraphs_recomputed as u64;
         self.dynamic_stats.vectors_recomputed += stats.vectors_recomputed as u64;
         self.dynamic_stats.hubs_promoted += stats.promoted_hubs.len() as u64;
@@ -245,16 +308,16 @@ impl DynamicPprServer {
         self.dynamic_stats.entries_retained += retained as u64;
         self.dynamic_stats.update_seconds += seconds;
 
-        UpdateOutcome {
-            applied: changed.len(),
-            skipped,
-            coalesced: cancelled,
+        Ok(UpdateOutcome {
+            applied: changed,
+            skipped: applied.skipped,
+            coalesced: applied.cancelled,
             stats,
             evicted,
             retained,
             epoch: self.epoch,
             seconds,
-        }
+        })
     }
 
     /// Answer a request stream, coalescing up to `max_batch` requests per
@@ -411,10 +474,12 @@ mod tests {
         let mut s = server(150, 5);
         let warm = s.query(3);
         let existing = s.graph().edges().next().unwrap();
-        let out = s.apply_updates(&[
-            EdgeUpdate::Insert(existing.0, existing.1), // already present
-            EdgeUpdate::Remove(9, 9),                   // absent self-loop
-        ]);
+        let out = s
+            .apply_updates(&[
+                EdgeUpdate::Insert(existing.0, existing.1), // already present
+                EdgeUpdate::Remove(9, 9),                   // absent self-loop
+            ])
+            .expect("no-op batch is valid");
         assert_eq!((out.applied, out.skipped), (0, 2));
         assert_eq!((out.evicted, out.retained), (0, 0));
         assert_eq!(s.dynamic_stats().update_batches, 0);
@@ -428,7 +493,9 @@ mod tests {
         let warm = s.query(3);
         let (u, v) = (0u32, 140u32);
         assert!(!s.graph().has_edge(u, v));
-        let out = s.apply_updates(&[EdgeUpdate::Insert(u, v), EdgeUpdate::Remove(u, v)]);
+        let out = s
+            .apply_updates(&[EdgeUpdate::Insert(u, v), EdgeUpdate::Remove(u, v)])
+            .expect("cancelled batch is valid");
         // Both updates are effective in sequence, but their net effect is
         // nothing: coalescing cancels them before the (expensive)
         // incremental updater runs, no epoch barrier fires, and the cache
@@ -447,10 +514,10 @@ mod tests {
     fn effective_batches_advance_the_epoch() {
         let mut s = server(150, 11);
         assert_eq!(s.epoch(), 0);
-        let out = s.apply_updates(&[EdgeUpdate::Insert(0, 140)]);
+        let out = s.apply_updates(&[EdgeUpdate::Insert(0, 140)]).expect("valid");
         assert_eq!((out.applied, out.epoch), (1, 1));
         assert_eq!(s.epoch(), 1);
-        let out = s.apply_updates(&[EdgeUpdate::Remove(0, 140)]);
+        let out = s.apply_updates(&[EdgeUpdate::Remove(0, 140)]).expect("valid");
         assert_eq!((out.applied, out.epoch), (1, 2));
         assert_eq!(s.epoch(), 2);
     }
@@ -463,7 +530,7 @@ mod tests {
         let (u, v) = (2u32, 150u32);
         assert!(!g0.has_edge(u, v));
         let before = s.query(u);
-        let out = s.apply_updates(&[EdgeUpdate::Insert(u, v)]);
+        let out = s.apply_updates(&[EdgeUpdate::Insert(u, v)]).expect("valid");
         assert_eq!(out.applied, 1);
         let after = s.query(u);
         assert_ne!(before, after, "inserting an out-edge of u must change its PPV");
@@ -486,6 +553,68 @@ mod tests {
             .query(s.index(), u)
             .result;
         assert_eq!(s.query(u), direct);
+    }
+
+    #[test]
+    fn node_churn_is_served_exactly() {
+        use ppr_graph::NodeUpdate;
+        let cfg = PprConfig::default();
+        let mut s = DynamicPprServer::build(sample(160, 21), &cfg, &opts(3), ServeConfig::default());
+        let out = s
+            .apply_delta(&GraphDelta {
+                nodes: vec![NodeUpdate::Remove(40), NodeUpdate::Add],
+                edges: vec![EdgeUpdate::Insert(2, 160), EdgeUpdate::Insert(160, 7)],
+            })
+            .expect("valid churn batch");
+        assert_eq!((out.stats.nodes_added, out.stats.nodes_removed), (1, 1));
+        assert_eq!((out.epoch, s.epoch()), (1, 1));
+        assert!(s.index().is_live(160) && !s.index().is_live(40));
+        assert_eq!(s.dynamic_stats().nodes_added, 1);
+        assert_eq!(s.dynamic_stats().nodes_removed, 1);
+        // The removed node answers empty; the added node serves at once.
+        assert_eq!(s.query(40).nnz(), 0);
+        assert!(s.query(160).get(7) > 0.0);
+        // Differential: a from-scratch recomputation on the maintained
+        // hierarchy reproduces the served answers bit for bit.
+        let rebuilt = HgpaIndex::build_with_hierarchy(
+            s.graph(),
+            &cfg,
+            &opts(3),
+            s.index().hierarchy().clone(),
+        );
+        for u in [2u32, 7, 160] {
+            assert_eq!(s.index().query(u), rebuilt.query(u));
+        }
+    }
+
+    #[test]
+    fn dead_node_updates_are_rejected_without_damage() {
+        use ppr_graph::NodeUpdate;
+        let mut s = server(150, 13);
+        s.apply_delta(&GraphDelta {
+            nodes: vec![NodeUpdate::Remove(9)],
+            edges: vec![],
+        })
+        .expect("valid removal");
+        let warm = s.query(3);
+        let epoch = s.epoch();
+        let batches = s.dynamic_stats().update_batches;
+        // An edge on a tombstone is rejected by the index's liveness
+        // check — an Err, not a panic — and nothing moves.
+        let err = s.apply_updates(&[EdgeUpdate::Insert(9, 3)]).unwrap_err();
+        assert!(matches!(err, UpdateError::DeadNode { node: 9 }), "{err}");
+        assert!(err.to_string().contains("not live"));
+        // Structurally invalid batches are rejected at the graph level.
+        let err = s
+            .apply_delta(&GraphDelta {
+                nodes: vec![NodeUpdate::Remove(9), NodeUpdate::Remove(9)],
+                edges: vec![],
+            })
+            .unwrap_err();
+        assert!(matches!(err, UpdateError::Delta(_)), "{err}");
+        assert_eq!(s.epoch(), epoch, "rejected batches release no epoch");
+        assert_eq!(s.dynamic_stats().update_batches, batches);
+        assert_eq!(s.query(3), warm, "serving continues on the old version");
     }
 
     #[test]

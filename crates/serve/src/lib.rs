@@ -42,13 +42,16 @@
 //!
 //! Serving does not stop when the graph changes. [`DynamicPprServer`]
 //! owns a mutable HGPA index plus the current graph and interleaves query
-//! batches with [`ppr_graph::EdgeUpdate`] batches: updates run through
-//! `ppr-core`'s exact incremental maintenance, and instead of flushing
-//! the PPV cache it evicts **only** the sources that can reach a touched
-//! node (reverse reachability over the new graph — the conservative
-//! staleness predicate), so hit rates survive updates. The [`openloop`]
-//! module adds a Poisson-arrival virtual-clock driver whose report
-//! separates queueing delay (sojourn) from service time.
+//! batches with [`ppr_graph::GraphDelta`] batches — edge updates *and*
+//! node churn (adds/removes): updates run through `ppr-core`'s exact
+//! incremental maintenance (a persistent [`MaintenanceEngine`] that
+//! narrows recomputation to reachability-stale vectors), invalid batches
+//! come back as [`UpdateError`] values instead of panics, and instead of
+//! flushing the PPV cache it evicts **only** the sources that can reach a
+//! touched node (reverse reachability over the new graph — the
+//! conservative staleness predicate), so hit rates survive updates. The
+//! [`openloop`] module adds a Poisson-arrival virtual-clock driver whose
+//! report separates queueing delay (sojourn) from service time.
 //!
 //! The `repro serve` mode in `ppr-bench` drives a Zipf-skewed query
 //! stream through this server and reports throughput, p50/p99 latency,
@@ -66,6 +69,7 @@ pub mod shard;
 pub use boot::ColdStart;
 pub use cache::{CacheStats, PpvCache};
 pub use dynamic::{DynamicPprServer, DynamicStats, UpdateOutcome};
+pub use ppr_core::incremental::{MaintenanceEngine, UpdateError, UpdateStats};
 pub use openloop::{run_open_loop, OpenLoopConfig, OpenLoopReport, ServeEvent, ServiceModel};
 pub use server::{BatchOutcome, PprServer, Request, Response, ServeConfig, ServeStats};
 pub use shard::ShardedPprServer;

@@ -24,7 +24,8 @@
 
 use crate::dynamic::{DynamicPprServer, UpdateOutcome};
 use crate::server::{BatchOutcome, Request};
-use ppr_graph::EdgeUpdate;
+use ppr_core::incremental::UpdateError;
+use ppr_graph::{EdgeUpdate, GraphDelta};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -35,6 +36,9 @@ pub enum ServeEvent {
     Query(Request),
     /// A batch of edge updates (served alone, as a write barrier).
     Update(Vec<EdgeUpdate>),
+    /// A node-churn batch (edge updates plus node adds/removes), served
+    /// alone as a write barrier exactly like [`ServeEvent::Update`].
+    Churn(GraphDelta),
 }
 
 /// How a batch's time on the virtual clock is priced.
@@ -124,15 +128,20 @@ impl Default for OpenLoopConfig {
 /// Internal-consistency invariants (pinned in `tests/dynamic_serving.rs`):
 /// every query's sojourn ≥ its service time (so the p50/p99 sojourn
 /// dominate the p50/p99 service pointwise), p99 ≥ p50, mean wait ≥ 0, and
-/// `queries + update_batches` equals the driven event count.
+/// `queries + update_batches + rejected_batches` equals the driven event
+/// count.
 #[derive(Clone, Debug, PartialEq)]
 pub struct OpenLoopReport {
     /// Configured mean arrival rate (events per virtual second).
     pub offered_rate: f64,
     /// Queries completed.
     pub queries: usize,
-    /// Update batches applied.
+    /// Update/churn batches applied.
     pub update_batches: usize,
+    /// Update/churn batches rejected as invalid (dead-node references,
+    /// structurally broken deltas). A rejection bills no virtual service
+    /// time: the server state never moved.
+    pub rejected_batches: usize,
     /// Query batches (fan-out rounds, including all-cached ones) executed.
     pub batches: usize,
     /// Virtual seconds from first arrival to last completion.
@@ -164,6 +173,27 @@ pub struct OpenLoopReport {
 /// Value at quantile `q ∈ [0, 1]` of an ascending-sorted sample (nearest
 /// rank); 0 on an empty sample. Callers sort once and index all quantiles
 /// (and the max, its last element) from the same array.
+/// Settle one write barrier's result: an applied batch is billed its
+/// virtual service seconds, a rejected one bills nothing (the server
+/// state never moved — see [`DynamicPprServer::apply_delta`]).
+fn settle_write(
+    res: Result<UpdateOutcome, UpdateError>,
+    service: &ServiceModel,
+    update_batches: &mut usize,
+    rejected_batches: &mut usize,
+) -> f64 {
+    match res {
+        Ok(out) => {
+            *update_batches += 1;
+            service.update_seconds(&out)
+        }
+        Err(_) => {
+            *rejected_batches += 1;
+            0.0
+        }
+    }
+}
+
 fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
@@ -210,6 +240,7 @@ pub fn run_open_loop(
     let mut services: Vec<f64> = Vec::new();
     let mut total_wait = 0.0f64;
     let mut update_batches = 0usize;
+    let mut rejected_batches = 0usize;
     let mut batches = 0usize;
     let mut max_queue_depth = 0usize;
     let mut requests: Vec<Request> = Vec::new();
@@ -223,9 +254,21 @@ pub fn run_open_loop(
 
         match &events[i] {
             ServeEvent::Update(batch) => {
-                let out = server.apply_updates(batch);
-                clock += cfg.service.update_seconds(&out);
-                update_batches += 1;
+                clock += settle_write(
+                    server.apply_updates(batch),
+                    &cfg.service,
+                    &mut update_batches,
+                    &mut rejected_batches,
+                );
+                i += 1;
+            }
+            ServeEvent::Churn(delta) => {
+                clock += settle_write(
+                    server.apply_delta(delta),
+                    &cfg.service,
+                    &mut update_batches,
+                    &mut rejected_batches,
+                );
                 i += 1;
             }
             ServeEvent::Query(_) => {
@@ -235,7 +278,8 @@ pub fn run_open_loop(
                 while i < events.len() && requests.len() < max_batch && arrivals[i] <= clock {
                     match &events[i] {
                         ServeEvent::Query(req) => requests.push(req.clone()),
-                        ServeEvent::Update(_) => break, // write barrier
+                        // Write barriers end the batch.
+                        ServeEvent::Update(_) | ServeEvent::Churn(_) => break,
                     }
                     i += 1;
                 }
@@ -265,6 +309,7 @@ pub fn run_open_loop(
         offered_rate: cfg.arrival_rate,
         queries,
         update_batches,
+        rejected_batches,
         batches,
         makespan_seconds: clock,
         achieved_qps: queries as f64 / clock.max(1e-12),
@@ -323,9 +368,22 @@ mod tests {
     }
 
     fn events() -> Vec<ServeEvent> {
+        use ppr_graph::NodeUpdate;
         (0..40)
             .map(|i| {
-                if i % 9 == 4 {
+                if i == 25 {
+                    // Structurally invalid: removes a node outside the id
+                    // space. Must be rejected, not served (or panicked on).
+                    ServeEvent::Churn(GraphDelta {
+                        nodes: vec![NodeUpdate::Remove(500)],
+                        edges: vec![],
+                    })
+                } else if i % 13 == 6 {
+                    ServeEvent::Churn(GraphDelta {
+                        nodes: vec![NodeUpdate::Add],
+                        edges: vec![],
+                    })
+                } else if i % 9 == 4 {
                     ServeEvent::Update(vec![ppr_graph::EdgeUpdate::Insert(
                         (i * 7) % 120,
                         (i * 13 + 1) % 120,
@@ -361,8 +419,9 @@ mod tests {
                 service: ServiceModel::modeled_default(),
             },
         );
-        assert_eq!(r.queries + r.update_batches, evs.len());
+        assert_eq!(r.queries + r.update_batches + r.rejected_batches, evs.len());
         assert!(r.update_batches > 0 && r.batches > 0);
+        assert_eq!(r.rejected_batches, 1, "the invalid churn batch");
         assert!(r.p99_sojourn_ms >= r.p50_sojourn_ms);
         assert!(r.p99_service_ms >= r.p50_service_ms);
         assert!(r.p50_sojourn_ms >= r.p50_service_ms);

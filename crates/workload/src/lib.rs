@@ -16,7 +16,7 @@
 //! identical graph.
 
 use ppr_graph::generators::{hierarchical_sbm, HsbmConfig};
-use ppr_graph::{node_id, CsrGraph, EdgeUpdate, NodeId};
+use ppr_graph::{node_id, CsrGraph, EdgeUpdate, GraphDelta, NodeId, NodeUpdate};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -277,6 +277,9 @@ pub enum MixedEvent {
     Query(NodeId),
     /// A batch of edge updates to apply before serving further queries.
     Update(Vec<EdgeUpdate>),
+    /// A node-churn batch (node addition/removal plus any wiring edges)
+    /// to apply before serving further queries.
+    Churn(GraphDelta),
 }
 
 /// Knobs of the [`MixedStream`] generator.
@@ -291,6 +294,12 @@ pub struct MixedStreamConfig {
     pub insert_fraction: f64,
     /// Zipf exponent of the query side (see [`ZipfQueryStream`]).
     pub zipf_exponent: f64,
+    /// Probability that the next event is a node-churn batch
+    /// ([`MixedEvent::Churn`]): a node addition (wired to the live graph
+    /// with one out- and one in-edge) or a node removal (dropping its
+    /// incident edges). `0.0` (the default) emits no churn events and
+    /// leaves the stream byte-identical to a churn-free generator.
+    pub churn_rate: f64,
 }
 
 impl Default for MixedStreamConfig {
@@ -300,6 +309,7 @@ impl Default for MixedStreamConfig {
             updates_per_batch: 4,
             insert_fraction: 0.5,
             zipf_exponent: 1.1,
+            churn_rate: 0.0,
         }
     }
 }
@@ -311,17 +321,25 @@ impl Default for MixedStreamConfig {
 /// update is valid against the graph state produced by all earlier
 /// events: insertions never duplicate a live edge or create a self-loop,
 /// and removals never take a node's **last** out-edge (queryable nodes
-/// must stay queryable — PPR denominators are out-degrees). Queries rank
-/// popularity on the *initial* graph, matching how real traffic skew
-/// shifts far slower than the edge set churns. Fully deterministic for a
-/// given `(graph, config, seed)`.
+/// must stay queryable — PPR denominators are out-degrees). With a
+/// non-zero [`MixedStreamConfig::churn_rate`] the node set itself evolves
+/// too: added nodes extend the dense id space and are wired into the live
+/// graph, removed nodes become tombstones (their incident edges drop),
+/// and node removal always leaves at least one queryable node behind.
+/// Queries rank popularity on the *initial* graph, matching how real
+/// traffic skew shifts far slower than the edge set churns; draws that
+/// land on a node the churn killed (or orphaned) are redrawn. Fully
+/// deterministic for a given `(graph, config, seed)`.
 pub struct MixedStream {
     zipf: ZipfQueryStream,
     /// Live edge list (swap-remove order) + membership set + out-degrees,
-    /// kept in lockstep with the emitted updates.
+    /// kept in lockstep with the emitted updates. Indexed by the evolving
+    /// dense id space (grows under node churn).
     edges: Vec<(NodeId, NodeId)>,
     edge_set: std::collections::HashSet<(NodeId, NodeId)>,
     out_degree: Vec<u32>,
+    /// Liveness per id: `false` marks tombstones of removed nodes.
+    live: Vec<bool>,
     cfg: MixedStreamConfig,
     rng: StdRng,
 }
@@ -340,6 +358,11 @@ impl MixedStream {
             "insert_fraction must be a probability, got {}",
             cfg.insert_fraction
         );
+        assert!(
+            (0.0..=1.0).contains(&cfg.churn_rate),
+            "churn_rate must be a probability, got {}",
+            cfg.churn_rate
+        );
         let edges: Vec<(NodeId, NodeId)> = g.edges().collect();
         let edge_set = edges.iter().copied().collect();
         let out_degree = (0..g.node_count() as NodeId).map(|v| g.out_degree(v)).collect();
@@ -348,6 +371,7 @@ impl MixedStream {
             edges,
             edge_set,
             out_degree,
+            live: vec![true; g.node_count()],
             cfg,
             rng: StdRng::seed_from_u64(seed ^ 0x5EED_ED6E),
         }
@@ -358,12 +382,23 @@ impl MixedStream {
         self.edges.len()
     }
 
+    /// Number of ids in the tracked (dense, tombstone-inclusive) space.
+    pub fn node_ids(&self) -> usize {
+        self.live.len()
+    }
+
     /// Draw the next event.
     pub fn next_event(&mut self) -> MixedEvent {
+        // The churn draw is guarded so a zero churn rate consumes no
+        // randomness: churn-free streams are byte-identical to the
+        // pre-churn generator.
+        if self.cfg.churn_rate > 0.0 && self.rng.random_bool(self.cfg.churn_rate) {
+            return MixedEvent::Churn(self.next_churn_batch());
+        }
         if self.rng.random_bool(self.cfg.update_rate) {
             MixedEvent::Update(self.next_update_batch())
         } else {
-            MixedEvent::Query(self.zipf.next_query())
+            MixedEvent::Query(self.next_query())
         }
     }
 
@@ -392,12 +427,131 @@ impl MixedStream {
         batch
     }
 
+    /// Draw a query source; redraw (bounded, then scan) when the Zipf
+    /// stream — ranked on the initial graph — lands on a node that churn
+    /// has since removed or orphaned.
+    fn next_query(&mut self) -> NodeId {
+        let queryable =
+            |s: &Self, q: NodeId| s.live[q as usize] && s.out_degree[q as usize] > 0;
+        for _ in 0..64 {
+            let q = self.zipf.next_query();
+            if queryable(self, q) {
+                return q;
+            }
+        }
+        (0..node_id(self.live.len()))
+            .find(|&v| queryable(self, v))
+            .expect("stream invariant: a queryable node always survives")
+    }
+
+    /// One churn batch: a coin-flip between node addition and node
+    /// removal (removal falls back to addition when no node can be taken
+    /// without leaving the graph unqueryable).
+    fn next_churn_batch(&mut self) -> GraphDelta {
+        if self.rng.random_bool(0.5) {
+            self.gen_node_add()
+        } else {
+            self.gen_node_remove().unwrap_or_else(|| self.gen_node_add())
+        }
+    }
+
+    /// Add the next dense id and wire it into the live graph with one
+    /// out-edge and (best-effort) one in-edge, all in the same batch.
+    fn gen_node_add(&mut self) -> GraphDelta {
+        let v = node_id(self.live.len());
+        self.live.push(true);
+        self.out_degree.push(0);
+        let mut edges = Vec::new();
+        if let Some(t) = self.random_live_other(v) {
+            edges.push(EdgeUpdate::Insert(v, t));
+            self.edges.push((v, t));
+            self.edge_set.insert((v, t));
+            self.out_degree[v as usize] += 1;
+        }
+        if let Some(u) = self.random_live_other(v) {
+            if !self.edge_set.contains(&(u, v)) {
+                edges.push(EdgeUpdate::Insert(u, v));
+                self.edges.push((u, v));
+                self.edge_set.insert((u, v));
+                self.out_degree[u as usize] += 1;
+            }
+        }
+        GraphDelta {
+            nodes: vec![NodeUpdate::Add],
+            edges,
+        }
+    }
+
+    /// Remove a random live node — but only when some other live node
+    /// provably stays queryable (it has out-edges and none of them point
+    /// at the victim, so dropping the victim's incident edges cannot
+    /// orphan it).
+    fn gen_node_remove(&mut self) -> Option<GraphDelta> {
+        let n = node_id(self.live.len());
+        'attempt: for _ in 0..64 {
+            let v = self.rng.random_range(0..n);
+            if !self.live[v as usize] {
+                continue;
+            }
+            let mut survivor = false;
+            for _ in 0..16 {
+                let w = self.rng.random_range(0..n);
+                if w != v
+                    && self.live[w as usize]
+                    && self.out_degree[w as usize] > 0
+                    && !self.edge_set.contains(&(w, v))
+                {
+                    survivor = true;
+                    break;
+                }
+            }
+            if !survivor {
+                continue 'attempt;
+            }
+            // Tombstone v and drop its incident edges from the tracked
+            // state (the delta layer drops them from the graph).
+            self.live[v as usize] = false;
+            let mut i = 0;
+            while i < self.edges.len() {
+                let (a, b) = self.edges[i];
+                if a == v || b == v {
+                    self.edges.swap_remove(i);
+                    self.edge_set.remove(&(a, b));
+                    self.out_degree[a as usize] -= 1;
+                } else {
+                    i += 1;
+                }
+            }
+            return Some(GraphDelta {
+                nodes: vec![NodeUpdate::Remove(v)],
+                edges: Vec::new(),
+            });
+        }
+        None
+    }
+
+    /// A random live node different from `v`, if one turns up.
+    fn random_live_other(&mut self, v: NodeId) -> Option<NodeId> {
+        let n = node_id(self.live.len());
+        for _ in 0..64 {
+            let u = self.rng.random_range(0..n);
+            if u != v && self.live[u as usize] {
+                return Some(u);
+            }
+        }
+        None
+    }
+
     fn gen_insert(&mut self) -> Option<EdgeUpdate> {
         let n = node_id(self.out_degree.len());
         for _ in 0..64 {
             let u = self.rng.random_range(0..n);
             let v = self.rng.random_range(0..n);
-            if u != v && !self.edge_set.contains(&(u, v)) {
+            if u != v
+                && self.live[u as usize]
+                && self.live[v as usize]
+                && !self.edge_set.contains(&(u, v))
+            {
                 self.edges.push((u, v));
                 self.edge_set.insert((u, v));
                 self.out_degree[u as usize] += 1;
@@ -600,10 +754,109 @@ mod tests {
                         g = apply_edge_updates(&g, &[up]);
                     }
                 }
+                MixedEvent::Churn(_) => unreachable!("churn disabled in this config"),
             }
         }
         assert!(batches > 20, "only {batches} update batches at rate 0.5");
         assert_eq!(g.edge_count(), stream.live_edges());
+    }
+
+    #[test]
+    fn churn_stream_is_valid_against_evolving_graph() {
+        use ppr_graph::apply_delta;
+        let g0 = Dataset::Email.generate_with_nodes(250);
+        let mut stream = MixedStream::new(
+            &g0,
+            MixedStreamConfig {
+                update_rate: 0.3,
+                churn_rate: 0.25,
+                updates_per_batch: 2,
+                ..Default::default()
+            },
+            13,
+        );
+        let mut g = g0;
+        let mut live = vec![true; g.node_count()];
+        let (mut adds, mut removes) = (0usize, 0usize);
+        for event in stream.take(300) {
+            match event {
+                MixedEvent::Query(q) => {
+                    assert!(live[q as usize], "query {q} hit a tombstone");
+                    assert!(g.out_degree(q) > 0, "query {q} not queryable");
+                }
+                MixedEvent::Update(batch) => {
+                    for &up in &batch {
+                        assert!(up.is_effective(&g), "{up:?} is a no-op");
+                        let (u, v) = up.endpoints();
+                        assert!(live[u as usize] && live[v as usize]);
+                        g = ppr_graph::delta::apply_edge_updates(&g, &[up]);
+                    }
+                }
+                MixedEvent::Churn(delta) => {
+                    // Every churn batch must validate against the state
+                    // produced by all earlier events.
+                    let applied = apply_delta(&g, &delta).expect("valid churn batch");
+                    live.extend(std::iter::repeat_n(true, applied.added.len()));
+                    adds += applied.added.len();
+                    for &v in &applied.removed {
+                        live[v as usize] = false;
+                        removes += 1;
+                    }
+                    g = applied.graph;
+                }
+            }
+        }
+        assert!(adds > 5, "only {adds} node additions at churn rate 0.25");
+        assert!(removes > 5, "only {removes} node removals");
+        assert_eq!(g.node_count(), stream.node_ids());
+        assert_eq!(g.edge_count(), stream.live_edges());
+    }
+
+    #[test]
+    fn churn_stream_is_deterministic() {
+        let g = Dataset::Email.generate_with_nodes(250);
+        let cfg = MixedStreamConfig {
+            update_rate: 0.2,
+            churn_rate: 0.3,
+            ..Default::default()
+        };
+        let a = MixedStream::new(&g, cfg, 29).take(200);
+        let b = MixedStream::new(&g, cfg, 29).take(200);
+        assert_eq!(a, b);
+        assert!(a.iter().any(|e| matches!(e, MixedEvent::Churn(_))));
+    }
+
+    #[test]
+    fn zero_churn_rate_emits_no_churn_and_matches_default() {
+        // A zero churn rate must consume no extra randomness: the stream
+        // is byte-identical to one whose config never mentions churn.
+        let g = Dataset::Email.generate_with_nodes(300);
+        let base = MixedStreamConfig {
+            update_rate: 0.4,
+            ..Default::default()
+        };
+        let explicit = MixedStreamConfig {
+            churn_rate: 0.0,
+            ..base
+        };
+        let a = MixedStream::new(&g, base, 17).take(150);
+        let b = MixedStream::new(&g, explicit, 17).take(150);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|e| !matches!(e, MixedEvent::Churn(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "churn_rate")]
+    fn mixed_stream_rejects_bad_churn_rate() {
+        let g = Dataset::Email.generate_with_nodes(200);
+        MixedStream::new(
+            &g,
+            MixedStreamConfig {
+                churn_rate: -0.1,
+                ..Default::default()
+            },
+            0,
+        );
     }
 
     #[test]

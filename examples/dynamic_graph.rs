@@ -65,11 +65,14 @@ fn main() {
         }
         g = add_edge(&g, u, v);
         let t = std::time::Instant::now();
-        let stats = index.apply_edge_updates(&g, &[(u, v)]);
+        let stats = index
+            .apply_edge_updates(&g, &[(u, v)])
+            .expect("endpoints are live");
         println!(
-            "insert ({u}, {v}): {} subgraphs / {} vectors recomputed{} in {:.2?}",
+            "insert ({u}, {v}): {} subgraphs swept, {} vectors recomputed, {} provably clean (skipped){} in {:.2?}",
             stats.subgraphs_recomputed,
             stats.vectors_recomputed,
+            stats.vectors_skipped,
             if stats.promoted_hubs.is_empty() {
                 String::new()
             } else {

@@ -55,7 +55,7 @@ pub mod prelude {
     pub use ppr_core::{
         gpa::{GpaBuildOptions, GpaIndex},
         hgpa::{HgpaBuildOptions, HgpaIndex, QuerySession},
-        incremental::UpdateStats,
+        incremental::{MaintenanceEngine, UpdateError, UpdateStats},
         persist::{
             load_gpa_file, load_hgpa_file, load_index_file, save_gpa_file, save_hgpa_file,
             PersistedIndex,
@@ -66,7 +66,7 @@ pub mod prelude {
     };
     pub use ppr_graph::{
         generators::{gnp_directed, hierarchical_sbm, HsbmConfig},
-        Adjacency, CsrGraph, EdgeUpdate, GraphBuilder, NodeId,
+        Adjacency, CsrGraph, EdgeUpdate, GraphBuilder, GraphDelta, NodeId, NodeUpdate,
     };
     pub use ppr_metrics::{avg_l1, kendall_tau_top_k, l_inf, precision_at_k, rag_at_k};
     pub use ppr_serve::{

@@ -224,8 +224,12 @@ fn dynamic_differential(n: usize, seed: u64, events: usize, shards: usize) -> Re
             }
             MixedEvent::Update(batch) => {
                 updates_seen += 1;
-                let a = sequential.apply_updates(&batch);
-                let b = sharded.apply_updates(&batch);
+                let a = sequential
+                    .apply_updates(&batch)
+                    .map_err(|e| format!("seed {seed}: sequential rejected: {e}"))?;
+                let b = sharded
+                    .apply_updates(&batch)
+                    .map_err(|e| format!("seed {seed}: sharded rejected: {e}"))?;
                 if (a.applied, a.skipped, a.coalesced, a.epoch)
                     != (b.applied, b.skipped, b.coalesced, b.epoch)
                 {
@@ -234,6 +238,7 @@ fn dynamic_differential(n: usize, seed: u64, events: usize, shards: usize) -> Re
                     ));
                 }
             }
+            MixedEvent::Churn(_) => unreachable!("churn disabled in this config"),
         }
     }
     if !sequential.graph().edges().eq(sharded.graph().edges()) {
@@ -305,7 +310,9 @@ fn shard_caches_retain_unaffected_entries_across_updates() {
     // provably unaffected and must survive in whichever shard holds it.
     let (a, b) = (41u32, 55u32);
     assert!(!server.graph().has_edge(a, b));
-    let outcome = server.apply_updates(&[EdgeUpdate::Insert(a, b)]);
+    let outcome = server
+        .apply_updates(&[EdgeUpdate::Insert(a, b)])
+        .expect("valid insert");
     assert_eq!(outcome.applied, 1);
     assert_eq!(outcome.epoch, 1);
     assert_eq!(

@@ -119,7 +119,9 @@ fn differential_scenario(n: usize, seed: u64, events: usize) -> Result<(usize, u
             MixedEvent::Update(batch) => {
                 update_batches += 1;
                 g_shadow = delta::apply_edge_updates(&g_shadow, &batch);
-                let out = server.apply_updates(&batch);
+                let out = server
+                    .apply_updates(&batch)
+                    .map_err(|e| format!("seed {seed}: valid batch rejected: {e}"))?;
                 // The stream only emits sequentially effective updates,
                 // so nothing is skipped as a no-op — but pairs that
                 // reverse within a batch coalesce away before reaching
@@ -138,6 +140,7 @@ fn differential_scenario(n: usize, seed: u64, events: usize) -> Result<(usize, u
                     ));
                 }
             }
+            MixedEvent::Churn(_) => unreachable!("churn disabled in this config"),
         }
     }
 
@@ -204,7 +207,7 @@ fn maintained_server_matches_dense_oracle() {
     );
     for event in stream.take(8) {
         if let MixedEvent::Update(batch) = event {
-            server.apply_updates(&batch);
+            server.apply_updates(&batch).expect("valid update batch");
         }
     }
     for u in [0u32, 30, 60, 89] {
@@ -267,7 +270,9 @@ fn cache_retention_is_fine_grained_not_a_clear() {
             .next()
             .expect("an insertable in-leaf pair in the second half")
     };
-    let outcome = server.apply_updates(&[EdgeUpdate::Insert(a, b)]);
+    let outcome = server
+        .apply_updates(&[EdgeUpdate::Insert(a, b)])
+        .expect("valid insert");
     assert_eq!(outcome.applied, 1);
 
     // Fine-grained: first-half sources survive; the invalidation was not
@@ -306,7 +311,9 @@ fn eviction_predicate_matches_reachability() {
         server.query(u);
     }
     assert_eq!(server.cache_len(), 60);
-    let out = server.apply_updates(&[EdgeUpdate::Insert(2, 17)]);
+    let out = server
+        .apply_updates(&[EdgeUpdate::Insert(2, 17)])
+        .expect("valid insert");
     let stale = reverse_reachable(server.graph(), &out.stats.dirty_nodes);
     let expected_evicted = stale.iter().filter(|&&s| s).count();
     assert_eq!(out.evicted, expected_evicted);
@@ -341,6 +348,7 @@ fn open_loop_report_is_deterministic_and_consistent() {
         .map(|e| match e {
             MixedEvent::Query(u) => ServeEvent::Query(Request::Ppv(u)),
             MixedEvent::Update(batch) => ServeEvent::Update(batch),
+            MixedEvent::Churn(delta) => ServeEvent::Churn(delta),
         })
         .collect();
         (server, events)
@@ -360,8 +368,12 @@ fn open_loop_report_is_deterministic_and_consistent() {
 
     // Internally consistent: counts add up, percentiles are ordered, and
     // sojourn dominates service (sojourn = wait + service, wait ≥ 0).
-    assert_eq!(r1.queries + r1.update_batches, ev1.len());
+    assert_eq!(
+        r1.queries + r1.update_batches + r1.rejected_batches,
+        ev1.len()
+    );
     assert!(r1.update_batches > 0);
+    assert_eq!(r1.rejected_batches, 0, "this stream is churn-free");
     assert!(r1.p99_sojourn_ms >= r1.p50_sojourn_ms);
     assert!(r1.p99_service_ms >= r1.p50_service_ms);
     assert!(r1.p50_sojourn_ms >= r1.p50_service_ms);
