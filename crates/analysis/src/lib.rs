@@ -18,7 +18,10 @@
 //! * [`rules::RULE_FLOAT_SUM`] — no float reductions over hash-ordered
 //!   iteration (float addition is order-sensitive);
 //! * [`rules::RULE_LOSSY_CAST`] — no unchecked narrowing casts of
-//!   computed expressions to node-id width.
+//!   computed expressions to node-id width;
+//! * [`rules::RULE_UNBOUNDED_QUEUE`] — no uncapped queue growth in the
+//!   serving layer: under overload a request must be shed (or its
+//!   overflow counted) explicitly, never absorbed into unbounded memory.
 //!
 //! There is deliberately no `syn` here (the vendored deps are offline
 //! stand-ins): [`lexer`] is a small hand-rolled Rust lexer, and the
@@ -210,6 +213,21 @@ fn id_of(xs: &[u64]) -> u32 {
         assert!(!r.is_clean());
     }
 
+    #[test]
+    fn fixture_unbounded_queue_fires() {
+        let src = "\
+use std::collections::VecDeque;
+fn enqueue(q: &mut VecDeque<u32>, pending_writes: &mut Vec<u32>, x: u32) {
+    q.push_back(x);
+    pending_writes.push(x);
+}
+";
+        let r = audit_sources(&[("crates/serve/src/fix.rs", src)]);
+        // push_back on a deque + push on a `pending…` receiver.
+        assert!(violations_of(&r, RULE_UNBOUNDED_QUEUE) >= 2, "{}", r.render_text());
+        assert!(!r.is_clean());
+    }
+
     // ---- suppression, exemption, and scope behaviour ----
 
     #[test]
@@ -360,11 +378,53 @@ fn ids(n: usize, g: &Vec<u32>) -> Vec<u32> {
     }
 
     #[test]
+    fn unbounded_queue_scope_is_serve_only() {
+        let src = "\
+use std::collections::VecDeque;
+fn enqueue(q: &mut VecDeque<u32>, x: u32) {
+    q.push_back(x);
+}
+";
+        let in_scope = audit_sources(&[("crates/serve/src/fix.rs", src)]);
+        assert_eq!(violations_of(&in_scope, RULE_UNBOUNDED_QUEUE), 1);
+        let out_of_scope = audit_sources(&[("crates/cluster/src/fix.rs", src)]);
+        assert_eq!(violations_of(&out_of_scope, RULE_UNBOUNDED_QUEUE), 0);
+    }
+
+    #[test]
+    fn intrusive_self_push_is_not_queue_growth() {
+        // The LRU cache's own `self.push_front(slot)` relinks an
+        // intrusive list inside a bounded collection — not enqueueing.
+        let src = "\
+impl Lru {
+    fn touch(&mut self, slot: usize) {
+        self.detach(slot);
+        self.push_front(slot);
+    }
+}
+";
+        let r = audit_sources(&[("crates/serve/src/fix.rs", src)]);
+        assert_eq!(violations_of(&r, RULE_UNBOUNDED_QUEUE), 0, "{}", r.render_text());
+    }
+
+    #[test]
+    fn plain_vec_push_is_not_flagged_without_queueish_name() {
+        let src = "\
+fn collect(out: &mut Vec<u32>, x: u32) {
+    out.push(x);
+    out.extend([x]);
+}
+";
+        let r = audit_sources(&[("crates/serve/src/fix.rs", src)]);
+        assert_eq!(violations_of(&r, RULE_UNBOUNDED_QUEUE), 0, "{}", r.render_text());
+    }
+
+    #[test]
     fn exit_semantics_one_violation_per_rule_all_fire_together() {
-        // One source seeding all five rules at once: the audit must
+        // One source seeding all six rules at once: the audit must
         // report at least one violation of each.
         let src = "\
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
 fn bad(m: &HashMap<u32, f64>, xs: &[f64], i: u32) -> f64 {
     let t = Instant::now();
@@ -372,6 +432,8 @@ fn bad(m: &HashMap<u32, f64>, xs: &[f64], i: u32) -> f64 {
     for (_, v) in m.iter() {
         acc += v;
     }
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    queue.push_back(i);
     let s = m.values().sum::<f64>();
     let id = xs.len() as u32;
     let x = xs[i as usize] + xs.first().unwrap();

@@ -1,4 +1,4 @@
-//! The five audit rules and the engine that runs them over a file.
+//! The six audit rules and the engine that runs them over a file.
 //!
 //! All rules work on the lexed token stream of one file at a time
 //! ([`SourceFile`]), skip test regions, and honour
@@ -22,6 +22,8 @@ pub const RULE_SERVE_PANIC: &str = "serve-panic";
 pub const RULE_FLOAT_SUM: &str = "float-sum-order";
 /// Rule id for lossy node-id casts.
 pub const RULE_LOSSY_CAST: &str = "lossy-id-cast";
+/// Rule id for serving-side queue growth without a capacity bound.
+pub const RULE_UNBOUNDED_QUEUE: &str = "unbounded-queue";
 /// Rule id for malformed `audit:allow` annotations (meta-check).
 pub const RULE_MALFORMED_ALLOW: &str = "malformed-allow";
 
@@ -32,6 +34,7 @@ pub const ALL_RULES: &[&str] = &[
     RULE_SERVE_PANIC,
     RULE_FLOAT_SUM,
     RULE_LOSSY_CAST,
+    RULE_UNBOUNDED_QUEUE,
 ];
 
 /// The single file allowed to touch `std::time` directly: it defines the
@@ -40,6 +43,11 @@ const WALL_CLOCK_MODULES: &[&str] = &["crates/core/src/parallel.rs"];
 
 /// Crates whose request paths must not panic (R3 scope).
 const SERVE_PATH_PREFIXES: &[&str] = &["crates/serve/src/", "crates/cluster/src/"];
+
+/// Crates whose in-memory queues must be capacity-bounded (R6 scope):
+/// the serving layer, where overload must surface as explicit shedding,
+/// never as unbounded memory growth.
+const QUEUE_PATH_PREFIXES: &[&str] = &["crates/serve/src/"];
 
 /// Run every rule over `file`, appending findings (suppressed ones carry
 /// their annotation reason).
@@ -50,6 +58,7 @@ pub fn check_file(file: &SourceFile, out: &mut Vec<Finding>) {
     rule_serve_panic(file, out);
     rule_float_sum(file, &hash_names, out);
     rule_lossy_cast(file, out);
+    rule_unbounded_queue(file, out);
     rule_malformed_allows(file, out);
 }
 
@@ -577,6 +586,62 @@ fn operand_start(code: &[Token], end: usize) -> Option<usize> {
             return Some(i);
         } else {
             return Some(i + 1);
+        }
+    }
+}
+
+/// Receiver-name fragments that mark a binding as a request queue for
+/// R6, whatever its concrete collection type.
+const QUEUEISH_NAMES: &[&str] = &["queue", "backlog", "pending"];
+
+/// R6: growing a serving-side queue without an enforced capacity.
+/// Flags `push_back`/`push_front` on any non-`self` receiver (the
+/// `VecDeque` growth calls), plus `push`/`insert`/`extend` on receivers
+/// whose name says queue/backlog/pending. Every such site must sit
+/// behind a cap check — shed the request or count the overflow — or
+/// carry a written justification: under overload an uncapped queue turns
+/// a latency problem into an out-of-memory crash, and the resilience
+/// contract is that every admitted request resolves to Exact,
+/// Approximate, or an *explicit* Shed.
+fn rule_unbounded_queue(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !QUEUE_PATH_PREFIXES.iter().any(|p| file.path.starts_with(p)) {
+        return;
+    }
+    let code = &file.code;
+    for (k, t) in code.iter().enumerate() {
+        if file.is_test_line(t.line) {
+            continue;
+        }
+        // Method-call shape: `recv . name (` with an ident receiver.
+        if t.kind != TokenKind::Ident
+            || k < 2
+            || !code[k - 1].is_punct(".")
+            || code[k - 2].kind != TokenKind::Ident
+            || !code.get(k + 1).is_some_and(|n| n.is_punct("("))
+        {
+            continue;
+        }
+        let recv = &code[k - 2];
+        // `self.push_front(..)` is the intrusive-list idiom inside a
+        // collection's own impl (the LRU cache), not queue growth.
+        let deque_grow = matches!(t.text.as_str(), "push_back" | "push_front")
+            && !recv.is_ident("self");
+        let named_grow = matches!(t.text.as_str(), "push" | "insert" | "extend") && {
+            let r = recv.text.to_ascii_lowercase();
+            QUEUEISH_NAMES.iter().any(|n| r.contains(n))
+        };
+        if deque_grow || named_grow {
+            emit(
+                file,
+                RULE_UNBOUNDED_QUEUE,
+                t.line,
+                format!(
+                    "`{}.{}(..)` grows a serving-side queue; enforce a \
+                     capacity cap (shed or count overflow) or justify the bound",
+                    recv.text, t.text
+                ),
+                out,
+            );
         }
     }
 }

@@ -14,6 +14,12 @@ use ppr_graph::{Adjacency, CsrGraph, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// `ln(2/δ)` for the per-coordinate Hoeffding confidence behind
+/// [`MonteCarloPpr::precision_bound`]; `30.0` puts the per-coordinate
+/// failure probability at δ ≈ 1.9 × 10⁻¹³, so even union-bounded over a
+/// million coordinates a reported bound fails with probability < 2 × 10⁻⁷.
+const LN_TWO_OVER_DELTA: f64 = 30.0;
+
 /// Monte Carlo PPV estimator.
 pub struct MonteCarloPpr<'g> {
     graph: &'g CsrGraph,
@@ -30,6 +36,26 @@ impl<'g> MonteCarloPpr<'g> {
             alpha: cfg.alpha,
             seed,
         }
+    }
+
+    /// Per-coordinate precision bound for a `walks`-walk estimate: every
+    /// coordinate of the estimate is the mean of `walks` iid indicator
+    /// variables whose expectation is the exact (absorbing-semantics)
+    /// PPV coordinate, so by Hoeffding's inequality
+    /// `|estimate − exact| ≤ sqrt(ln(2/δ) / (2·walks))` per coordinate
+    /// with probability ≥ 1 − δ (δ ≈ 1.9 × 10⁻¹³ here). This is the
+    /// explicit error bound a degraded serving answer carries.
+    pub fn precision_bound(walks: u64) -> f64 {
+        assert!(walks > 0);
+        (LN_TWO_OVER_DELTA / (2.0 * walks as f64)).sqrt()
+    }
+
+    /// [`MonteCarloPpr::query`] paired with the per-coordinate
+    /// [`MonteCarloPpr::precision_bound`] the estimate is good for — the
+    /// serving shape: an approximate answer is only admissible with its
+    /// error bound attached.
+    pub fn query_with_bound(&self, source: NodeId, walks: u64) -> (SparseVector, f64) {
+        (self.query(source, walks), Self::precision_bound(walks))
     }
 
     /// Estimate the PPV of `source` from `walks` random walks.
@@ -113,6 +139,33 @@ mod tests {
         // Absorbing semantics: some walks die at the dangling node.
         assert!(total < 1.0);
         assert!((est.get(0) - 0.15).abs() < 0.01);
+    }
+
+    #[test]
+    fn precision_bound_shrinks_and_holds_against_exact() {
+        let g = hierarchical_sbm(
+            &HsbmConfig {
+                nodes: 120,
+                ..Default::default()
+            },
+            11,
+        );
+        let exact = dense_ppv(&g, 7, 0.15);
+        let mc = MonteCarloPpr::new(&g, &PprConfig::default(), 5);
+        assert!(
+            MonteCarloPpr::precision_bound(4096) < MonteCarloPpr::precision_bound(512)
+        );
+        for walks in [512u64, 4096] {
+            let (est, bound) = mc.query_with_bound(7, walks);
+            assert_eq!(bound, MonteCarloPpr::precision_bound(walks));
+            for v in 0..120u32 {
+                let err = (est.get(v) - exact[v as usize]).abs();
+                assert!(
+                    err <= bound,
+                    "walks {walks} v {v}: err {err} > bound {bound}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -100,8 +100,8 @@ pub struct Metric {
 /// `BENCH_serve.json`).
 #[derive(Clone, Debug)]
 pub struct BaselineReport {
-    /// `"offline"`, `"serve"`, or `"incremental"` — selects the file
-    /// name.
+    /// `"offline"`, `"serve"`, `"incremental"`, or `"faults"` — selects
+    /// the file name.
     pub kind: &'static str,
     /// Cores of the host that produced the numbers. Wall-gated
     /// comparisons across different hardware classes are only meaningful
@@ -212,6 +212,7 @@ impl BaselineReport {
             Some("offline") => "offline",
             Some("serve") => "serve",
             Some("incremental") => "incremental",
+            Some("faults") => "faults",
             other => return Err(format!("unknown baseline kind {other:?}")),
         };
         let threads = v
@@ -741,7 +742,7 @@ pub fn compare_dirs(baseline_dir: &Path, fresh_dir: &Path) {
         .unwrap_or(0.25);
     let mut failures = Vec::new();
     let mut checked = 0usize;
-    for kind in ["offline", "serve", "incremental"] {
+    for kind in ["offline", "serve", "incremental", "faults"] {
         let baseline = match BaselineReport::read_from(baseline_dir, kind) {
             Ok(r) => r,
             Err(e) => {

@@ -47,6 +47,13 @@ const EXPERIMENTS: &[(&str, &str)] = &[
          floor-gated localized-update speedups (PPR_BENCH_BASELINE selects the dir)",
     ),
     (
+        "bench-faults",
+        "Overload/failure resilience baseline: bursty open loop with and without the \
+         scripted fault scenario (straggler + crash window + transient drops); writes \
+         BENCH_faults.json with exact-gated shed/degraded counts (PPR_FAULT_SEED, \
+         PPR_SERVE_QUEUE_CAP, PPR_SERVE_SLO_MS)",
+    ),
+    (
         "bench-compare",
         "Regression gate: bench-compare <baseline-dir> <fresh-dir> fails on >25% \
          wall-clock regressions, drifted deterministic counts, or incremental \
@@ -145,6 +152,7 @@ fn main() {
             "index-load" => artifacts::run_load(&profile),
             "bench-baseline" => baseline::run_and_write(&profile),
             "bench-incremental" => incremental::run_and_write(&profile),
+            "bench-faults" => faults::run_and_write(&profile),
             other => {
                 eprintln!("unknown experiment {other:?}; try `repro list`");
                 std::process::exit(2);

@@ -1,0 +1,312 @@
+//! `repro bench-faults` — the overload/failure resilience baseline.
+//!
+//! Two open-loop phases over the same bursty mixed read/write stream and
+//! the same [`ppr_serve::DynamicPprServer`], differing only in the
+//! injected [`ppr_cluster::FaultPlan`]:
+//!
+//! 1. **clean**: an empty plan. Admission control and the SLO check are
+//!    armed, but healthy machines under the default load never trip
+//!    them — the phase pins, as exact-gated zeros, that the resilience
+//!    machinery is inert when nothing is wrong.
+//! 2. **faults**: the standard scripted scenario from
+//!    [`ppr_workload::fault_script`] — one straggler, one crash-recover
+//!    window, a low transient drop rate — assembled into an executable
+//!    plan by [`plan_from_script`]. The phase records shed rate,
+//!    degraded-answer rate, and tail latency under the faults.
+//!
+//! Every count is **exact-gated**: arrivals, the fault plan, and the
+//! modeled service clock are all deterministic, so shed/degraded/backfill
+//! counts must reproduce bit-for-bit on any host — a drift means the
+//! resilience semantics changed, not the hardware. Rates and latency
+//! percentiles are informational trend metrics. Results land in
+//! `BENCH_faults.json` (schema `ppr-bench-baseline/v1`) next to the other
+//! committed baselines, and `repro bench-compare` gates them in CI.
+//!
+//! Knobs (environment variables, all optional):
+//!
+//! * `PPR_FAULT_SEED` — seed of the scripted fault scenario (0xFA17)
+//! * `PPR_SERVE_QUEUE_CAP` — admission-control queue bound (64)
+//! * `PPR_SERVE_SLO_MS` — degrade-to-approximate latency SLO (250.0)
+//!
+//! plus the `PPR_SERVE_*` load knobs shared with `repro serve`.
+
+use crate::baseline::{BaselineKnobs, BaselineReport, Gate};
+use crate::report::Table;
+use crate::serve::{mixed_events, ServeKnobs};
+use crate::{dataset_graph, default_hgpa_opts, Profile};
+use ppr_cluster::FaultPlan;
+use ppr_core::hgpa::HgpaIndex;
+use ppr_core::PprConfig;
+use ppr_graph::CsrGraph;
+use ppr_serve::{
+    run_open_loop, ArrivalPattern, DynamicPprServer, OpenLoopConfig, OpenLoopReport, ServeConfig,
+    ServeEvent, ServiceModel,
+};
+use ppr_workload::{fault_script, Dataset, FaultScript, MixedStream, MixedStreamConfig};
+
+/// Resilience knobs (env-overridable; see module docs).
+#[derive(Clone, Copy, Debug)]
+pub struct FaultKnobs {
+    /// Seed of the scripted fault scenario (`PPR_FAULT_SEED`).
+    pub fault_seed: u64,
+    /// Admission-control queue bound (`PPR_SERVE_QUEUE_CAP`).
+    pub queue_cap: usize,
+    /// Latency SLO in milliseconds (`PPR_SERVE_SLO_MS`).
+    pub slo_ms: f64,
+}
+
+impl FaultKnobs {
+    /// Defaults, overridden by the `PPR_FAULT_SEED` /
+    /// `PPR_SERVE_QUEUE_CAP` / `PPR_SERVE_SLO_MS` env vars.
+    pub fn from_env() -> Self {
+        fn env<T: std::str::FromStr>(k: &str, d: T) -> T {
+            std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+        }
+        Self {
+            fault_seed: env("PPR_FAULT_SEED", 0xFA17),
+            queue_cap: env("PPR_SERVE_QUEUE_CAP", 64),
+            // Above one exact round's worst cold-cache modeled service at
+            // the quick profile: clean bursts queue but never breach.
+            slo_ms: env("PPR_SERVE_SLO_MS", 250.0),
+        }
+    }
+}
+
+/// Assemble the executable cluster fault plan from a cluster-agnostic
+/// workload script (the bench-side half of the contract documented on
+/// [`ppr_workload::FaultScript`]).
+pub fn plan_from_script(s: &FaultScript) -> FaultPlan {
+    let mut plan = FaultPlan::empty();
+    for &(machine, factor) in &s.slow {
+        plan = plan.slow(machine, factor);
+    }
+    for &(machine, from, until) in &s.fail {
+        plan = plan.fail(machine, from, until);
+    }
+    if s.drop_rate > 0.0 {
+        plan = plan.with_drops(s.drop_rate, s.drop_seed);
+    }
+    plan
+}
+
+/// The bursty arrival pattern both phases share: 4x-rate spikes for a
+/// quarter of each 32-arrival cycle, long-run mean unchanged.
+const PATTERN: ArrivalPattern = ArrivalPattern::Bursty {
+    period_events: 32,
+    on_events: 8,
+    peak: 4.0,
+};
+
+/// Run one open-loop phase under `plan` and return its report. The
+/// service model is fully modeled, so the report is a deterministic
+/// function of the knobs and the plan.
+fn run_phase(
+    g: &CsrGraph,
+    index: &HgpaIndex,
+    events: &[ServeEvent],
+    knobs: &ServeKnobs,
+    fk: &FaultKnobs,
+    plan: FaultPlan,
+) -> OpenLoopReport {
+    let mut server = DynamicPprServer::from_index(
+        g.clone(),
+        index.clone(),
+        ServeConfig {
+            cache_capacity_bytes: knobs.cache_bytes,
+            max_batch: knobs.batch,
+            ..Default::default()
+        },
+    );
+    server.set_fault_plan(plan);
+    run_open_loop(
+        &mut server,
+        events,
+        &OpenLoopConfig {
+            arrival_rate: knobs.arrival_qps,
+            seed: 0xBEA7,
+            service: ServiceModel::modeled_default(),
+            pattern: PATTERN,
+            queue_cap: Some(fk.queue_cap),
+            slo_ms: Some(fk.slo_ms),
+            ..Default::default()
+        },
+    )
+}
+
+/// Record one phase's metrics under `prefix` — deterministic counts
+/// exact-gated, rates and percentiles informational.
+fn record_phase(report: &mut BaselineReport, prefix: &str, r: &OpenLoopReport, events: usize) {
+    assert_eq!(
+        r.queries + r.shed + r.update_batches + r.rejected_batches,
+        events,
+        "{prefix}: an open-loop event vanished without resolving"
+    );
+    let counts: [(&str, f64); 6] = [
+        ("queries", r.queries as f64),
+        ("shed", r.shed as f64),
+        ("degraded_answers", r.degraded_answers as f64),
+        ("backfilled_sources", r.backfilled_sources as f64),
+        ("max_queue_depth", r.max_queue_depth as f64),
+        ("update_batches", r.update_batches as f64),
+    ];
+    for (name, value) in counts {
+        report.push(format!("{prefix}_{name}"), value, "entries", Gate::Exact);
+    }
+    let served = (r.queries + r.shed).max(1) as f64;
+    report.push(format!("{prefix}_shed_rate"), r.shed as f64 / served, "", Gate::Info);
+    report.push(
+        format!("{prefix}_degraded_rate"),
+        r.degraded_answers as f64 / r.queries.max(1) as f64,
+        "",
+        Gate::Info,
+    );
+    report.push(format!("{prefix}_p99_sojourn_ms"), r.p99_sojourn_ms, "ms", Gate::Info);
+    report.push(format!("{prefix}_p99_exact_ms"), r.p99_exact_ms, "ms", Gate::Info);
+    report.push(format!("{prefix}_p99_approx_ms"), r.p99_approx_ms, "ms", Gate::Info);
+    report.push(format!("{prefix}_achieved_qps"), r.achieved_qps, "qps", Gate::Info);
+}
+
+/// Run both phases at the profile's scale and return the baseline
+/// report plus the per-phase open-loop reports (for the printed table).
+pub fn run_phases(profile: &Profile) -> (BaselineReport, OpenLoopReport, OpenLoopReport) {
+    let mut knobs = ServeKnobs::from_env(profile);
+    if std::env::var("PPR_SERVE_ARRIVAL_QPS").is_err() {
+        // The resilience phases run nearer saturation than `repro serve`
+        // does: at 150 ev/s the bursts queue deeply but the clean phase
+        // stays exact-only, so every degraded answer in the faults phase
+        // is attributable to the injected faults.
+        knobs.arrival_qps = 150.0;
+    }
+    let fk = FaultKnobs::from_env();
+    let g = dataset_graph(Dataset::Web, profile);
+    let cfg = PprConfig::default();
+    let machines = 6; // paper default (§6.1), matching `repro serve`
+    let index = HgpaIndex::build(&g, &cfg, &default_hgpa_opts(machines));
+
+    let mut stream = MixedStream::new(
+        &g,
+        MixedStreamConfig {
+            update_rate: knobs.update_rate,
+            zipf_exponent: knobs.zipf,
+            ..Default::default()
+        },
+        0xD1CE,
+    );
+    let events = mixed_events(&mut stream, knobs.queries);
+
+    let mut report = BaselineReport::new("faults", &[1]);
+    let clean = run_phase(&g, &index, &events, &knobs, &fk, FaultPlan::empty());
+    record_phase(&mut report, "clean", &clean, events.len());
+
+    let script = fault_script(machines, fk.fault_seed);
+    let faults = run_phase(&g, &index, &events, &knobs, &fk, plan_from_script(&script));
+    record_phase(&mut report, "faults", &faults, events.len());
+    (report, clean, faults)
+}
+
+/// The `repro bench-faults` entry point: run both phases, print the
+/// comparison table, and write `BENCH_faults.json` to
+/// [`BaselineKnobs::out_dir`].
+pub fn run_and_write(profile: &Profile) {
+    let knobs = BaselineKnobs::from_env();
+    let fk = FaultKnobs::from_env();
+    let (report, clean, faults) = run_phases(profile);
+
+    let mut t = Table::new(
+        format!(
+            "Resilience (bursty open loop): fault seed {:#x}, queue cap {}, SLO {} ms",
+            fk.fault_seed, fk.queue_cap, fk.slo_ms
+        ),
+        &[
+            "phase",
+            "queries",
+            "shed",
+            "degraded",
+            "backfilled",
+            "max queue",
+            "p99 sojourn",
+            "p99 exact",
+            "p99 approx",
+        ],
+    );
+    for (name, r) in [("clean", &clean), ("faults", &faults)] {
+        t.row(vec![
+            name.to_string(),
+            r.queries.to_string(),
+            r.shed.to_string(),
+            r.degraded_answers.to_string(),
+            r.backfilled_sources.to_string(),
+            r.max_queue_depth.to_string(),
+            format!("{:.2} ms", r.p99_sojourn_ms),
+            format!("{:.2} ms", r.p99_exact_ms),
+            format!("{:.2} ms", r.p99_approx_ms),
+        ]);
+    }
+    t.print();
+    println!(
+        "faults vs clean: shed {} -> {}, degraded {} -> {}, p99 {:.2} ms -> {:.2} ms",
+        clean.shed, faults.shed, clean.degraded_answers, faults.degraded_answers,
+        clean.p99_sojourn_ms, faults.p99_sojourn_ms,
+    );
+
+    match report.write_to(&knobs.out_dir) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("cannot write {}: {e}", report.file_name());
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_from_script_maps_every_fault() {
+        let s = fault_script(6, 7);
+        let plan = plan_from_script(&s);
+        let (slow_m, factor) = s.slow[0];
+        assert_eq!(plan.slow_factor(slow_m), factor);
+        let (fail_m, from, _until) = s.fail[0];
+        assert!(plan.is_down(fail_m, from));
+        assert!(!plan.is_empty());
+        assert!(plan_from_script(&FaultScript {
+            slow: vec![],
+            fail: vec![],
+            drop_rate: 0.0,
+            drop_seed: 0,
+        })
+        .is_empty());
+    }
+
+    #[test]
+    fn phases_emit_exact_counts_and_replay_identically() {
+        let profile = Profile {
+            node_cap: Some(700),
+            queries: 3,
+            ..Profile::quick()
+        };
+        let (report, clean, faults) = run_phases(&profile);
+        for prefix in ["clean", "faults"] {
+            for name in ["queries", "shed", "degraded_answers", "max_queue_depth"] {
+                assert!(
+                    report.value(&format!("{prefix}_{name}")).is_some(),
+                    "missing {prefix}_{name}"
+                );
+            }
+        }
+        assert!(report.value("clean_queries").unwrap() > 0.0);
+        // The scripted faults can only add pressure, never remove it.
+        assert!(faults.degraded_answers + faults.shed >= clean.degraded_answers + clean.shed);
+        // Deterministic end to end: a second run gates clean at zero
+        // tolerance against the first.
+        let (again, _, _) = run_phases(&profile);
+        assert!(
+            crate::baseline::compare(&report, &again, 0.0).is_empty(),
+            "bench-faults must replay bit-identically"
+        );
+        let parsed = BaselineReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed.kind, "faults");
+    }
+}

@@ -31,6 +31,7 @@ pub mod exp_fig21_22;
 pub mod exp_fig23_26;
 pub mod exp_fig28;
 pub mod exp_tables;
+pub mod faults;
 pub mod incremental;
 pub mod json;
 pub mod profile;

@@ -209,6 +209,7 @@ pub fn measure_open_loop(
             arrival_rate: knobs.arrival_qps,
             seed: 0xBEA7,
             service,
+            ..Default::default()
         },
     )
 }

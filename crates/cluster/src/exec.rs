@@ -38,12 +38,14 @@
 //! way: machines share nothing but the read-only index and the
 //! coordinator always sums in machine order.
 
+use crate::fault::{simulate_attempts, FanoutOutcome, FaultPlan, MachineOutcome, ResilienceConfig};
 use crate::{ClusterConfig, NetworkModel, ParallelismMode};
 use ppr_core::gpa::GpaIndex;
 use ppr_core::hgpa::HgpaIndex;
 use ppr_core::{Scratch, SparseVector};
 use ppr_graph::NodeId;
 use ppr_core::parallel::Stopwatch;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Anything the cluster can serve queries from: an index whose per-machine
 /// reply vectors sum to the exact PPV.
@@ -338,6 +340,13 @@ where
 pub struct Cluster {
     network: NetworkModel,
     parallelism: ParallelismMode,
+    plan: FaultPlan,
+    resilience: ResilienceConfig,
+    /// Monotone resilient fan-out round counter — the epoch axis
+    /// [`Fault::Fail`](crate::fault::Fault::Fail) windows are scripted
+    /// in. Only [`Cluster::try_query_many`] advances it; the plain query
+    /// paths ignore it entirely.
+    round: AtomicU64,
 }
 
 impl Cluster {
@@ -345,9 +354,23 @@ impl Cluster {
     /// taken from the index at query time (indexes are built for a fixed
     /// machine count); `config.machines` is validated against it.
     pub fn new(config: ClusterConfig) -> Self {
+        Self::with_faults(config, FaultPlan::empty(), ResilienceConfig::default())
+    }
+
+    /// A cluster with a scripted [`FaultPlan`] and the resilience policy
+    /// that responds to it. With an empty plan this is exactly
+    /// [`Cluster::new`].
+    pub fn with_faults(
+        config: ClusterConfig,
+        plan: FaultPlan,
+        resilience: ResilienceConfig,
+    ) -> Self {
         Self {
             network: config.network,
             parallelism: config.parallelism,
+            plan,
+            resilience,
+            round: AtomicU64::new(0),
         }
     }
 
@@ -359,6 +382,32 @@ impl Cluster {
     /// How this cluster executes machine fan-outs.
     pub fn parallelism(&self) -> ParallelismMode {
         self.parallelism
+    }
+
+    /// Replace the fault plan (the round counter keeps advancing — fail
+    /// windows are absolute on this cluster's round axis).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.plan = plan;
+    }
+
+    /// The active fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Replace the resilience policy.
+    pub fn set_resilience(&mut self, resilience: ResilienceConfig) {
+        self.resilience = resilience;
+    }
+
+    /// The active resilience policy.
+    pub fn resilience(&self) -> ResilienceConfig {
+        self.resilience
+    }
+
+    /// Resilient fan-out rounds started so far.
+    pub fn rounds_started(&self) -> u64 {
+        self.round.load(Ordering::Relaxed)
     }
 
     /// Execute one query: fan out to machine threads, gather, sum.
@@ -484,6 +533,126 @@ impl Cluster {
             wall_seconds: t_round.elapsed_seconds(),
         }
     }
+
+    /// [`Cluster::query_many`] under the active [`FaultPlan`]: the same
+    /// single fan-out round, but each machine's reply is pushed through
+    /// the modeled delivery timeline (deadlines, retries, hedging — see
+    /// [`crate::fault`]) and may fail to arrive. The coordinator sums
+    /// whatever arrived, **in machine order**, so with an empty plan the
+    /// results are bit-identical to [`Cluster::query_many`] — same
+    /// machines, same order, same arithmetic.
+    ///
+    /// When [`FanoutOutcome::complete`] is false the partial sums in
+    /// `results` are *not* exact PPVs; the serving layer decides whether
+    /// to degrade to an approximate answer or retry the round later.
+    /// Fault decisions run entirely on modeled time derived from reply
+    /// entry counts — measured wall seconds are reported but never
+    /// consulted, so a run replays bit-identically on any host.
+    pub fn try_query_many<I: DistributedQueryable>(
+        &self,
+        index: &I,
+        sources: &[NodeId],
+    ) -> ResilientBatchReport {
+        let t_round = Stopwatch::start();
+        let machines = index.machines();
+        let round = self.round.fetch_add(1, Ordering::Relaxed);
+        let replies: Vec<(Vec<SparseVector>, f64)> =
+            fan_out(machines, self.parallelism, |m, scratch| {
+                index.machine_vectors_into(sources, m, scratch)
+            });
+
+        let stats: Vec<MachineStats> = replies
+            .iter()
+            .map(|(vs, secs)| MachineStats {
+                compute_seconds: *secs,
+                bytes_sent: vs.iter().map(SparseVector::wire_bytes).sum(),
+                entries: vs.iter().map(SparseVector::nnz).sum(),
+            })
+            .collect();
+
+        // Per-machine modeled delivery timelines. The empty-plan branch
+        // skips deadlines entirely (a fault-free cluster has no reason to
+        // time out its own machines), which pins it to `query_many`.
+        let outcomes: Vec<MachineOutcome> = if self.plan.is_empty() {
+            stats
+                .iter()
+                .map(|s| MachineOutcome {
+                    answered: true,
+                    attempts: 1,
+                    hedged: false,
+                    reply_seconds: self.resilience.modeled_service_seconds(s.entries)
+                        + self.network.one_way_seconds(s.bytes_sent),
+                })
+                .collect()
+        } else {
+            stats
+                .iter()
+                .enumerate()
+                .map(|(m, s)| {
+                    simulate_attempts(
+                        &self.plan,
+                        &self.resilience,
+                        m,
+                        round,
+                        self.resilience.modeled_service_seconds(s.entries),
+                        self.network.one_way_seconds(s.bytes_sent),
+                    )
+                })
+                .collect()
+        };
+
+        let delivered_bytes: u64 = stats
+            .iter()
+            .zip(&outcomes)
+            .filter(|(_, o)| o.answered)
+            .map(|(s, _)| s.bytes_sent)
+            .sum();
+        let answered = outcomes.iter().filter(|o| o.answered).count();
+
+        // Coordinator: sum the *delivered* replies per source, in machine
+        // order (identical arithmetic to `query_many` when all answered).
+        let t = Stopwatch::start();
+        let mut scratch = Scratch::with_len(index.node_count());
+        let mut results = Vec::with_capacity(sources.len());
+        for qi in 0..sources.len() {
+            for ((vs, _), o) in replies.iter().zip(&outcomes) {
+                if o.answered {
+                    scratch.scatter(&vs[qi], 1.0);
+                }
+            }
+            results.push(scratch.harvest());
+        }
+        let coordinator_seconds = t.elapsed_seconds();
+
+        // Extra modeled delay attributable to the plan: the faulty round
+        // timeline vs what the same replies would have taken fault-free.
+        let healthy_round: f64 = stats
+            .iter()
+            .map(|s| {
+                self.resilience.modeled_service_seconds(s.entries)
+                    + self.network.one_way_seconds(s.bytes_sent)
+            })
+            .fold(0.0, f64::max);
+        let outcome = FanoutOutcome {
+            round,
+            machines: outcomes,
+        };
+        let modeled_fault_seconds = if self.plan.is_empty() {
+            0.0
+        } else {
+            (outcome.modeled_round_seconds() - healthy_round).max(0.0)
+        };
+
+        ResilientBatchReport {
+            results,
+            outcome,
+            machines: stats,
+            coordinator_seconds,
+            modeled_network_seconds: self.network.receive_seconds(delivered_bytes, answered),
+            modeled_fault_seconds,
+            wall_seconds: t_round.elapsed_seconds(),
+        }
+    }
 }
 
 /// Everything measured for one batched fan-out round
@@ -519,6 +688,50 @@ impl ClusterBatchReport {
     /// Total bytes the coordinator received for the batch.
     pub fn total_bytes(&self) -> u64 {
         self.machines.iter().map(|m| m.bytes_sent).sum()
+    }
+}
+
+/// Everything measured for one *resilient* batched fan-out round
+/// ([`Cluster::try_query_many`]): a [`ClusterBatchReport`] plus the
+/// [`FanoutOutcome`] saying which machines answered and how much modeled
+/// delay the fault plan added.
+#[derive(Clone, Debug)]
+pub struct ResilientBatchReport {
+    /// Per-source sums over the machines that answered, in machine
+    /// order. Exact PPVs iff [`FanoutOutcome::complete`]; partial sums
+    /// otherwise (the serving layer must not treat them as answers).
+    pub results: Vec<SparseVector>,
+    /// Which machines answered, with their modeled delivery timelines.
+    pub outcome: FanoutOutcome,
+    /// Per-machine compute/traffic records for the whole batch (every
+    /// machine computed, whether or not its reply was delivered).
+    pub machines: Vec<MachineStats>,
+    /// Seconds the coordinator spent summing delivered replies (real).
+    pub coordinator_seconds: f64,
+    /// Modeled wire time for the *delivered* bytes of the round.
+    pub modeled_network_seconds: f64,
+    /// Extra modeled delay attributable to the fault plan (deadline
+    /// waits, backoff, straggling) beyond a fault-free round. Exactly
+    /// `0.0` when the plan is empty.
+    pub modeled_fault_seconds: f64,
+    /// Real elapsed seconds of the whole round in this process.
+    pub wall_seconds: f64,
+}
+
+impl ResilientBatchReport {
+    /// Did every machine answer (making `results` exact PPVs)?
+    pub fn complete(&self) -> bool {
+        self.outcome.complete()
+    }
+
+    /// Bytes that actually reached the coordinator.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.machines
+            .iter()
+            .zip(&self.outcome.machines)
+            .filter(|(_, o)| o.answered)
+            .map(|(s, _)| s.bytes_sent)
+            .sum()
     }
 }
 
@@ -775,5 +988,133 @@ mod tests {
         for r in reports {
             assert!(!r.result.is_empty());
         }
+    }
+
+    fn hgpa_idx(machines: usize) -> HgpaIndex {
+        HgpaIndex::build(
+            &sample(),
+            &cfg(),
+            &HgpaBuildOptions {
+                machines,
+                hierarchy: HierarchyConfig {
+                    max_leaf_size: 16,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn resilient_fanout_with_empty_plan_is_bit_identical() {
+        let idx = hgpa_idx(4);
+        let cluster = Cluster::with_default_network();
+        let sources = [0u32, 42, 100, 249];
+        let plain = cluster.query_many(&idx, &sources);
+        let resilient = cluster.try_query_many(&idx, &sources);
+        assert!(resilient.complete());
+        assert_eq!(plain.results, resilient.results);
+        assert_eq!(plain.total_bytes(), resilient.delivered_bytes());
+        assert_eq!(
+            plain.modeled_network_seconds,
+            resilient.modeled_network_seconds
+        );
+        assert_eq!(resilient.modeled_fault_seconds, 0.0);
+        for o in &resilient.outcome.machines {
+            assert!(o.answered);
+            assert_eq!(o.attempts, 1);
+            assert!(!o.hedged);
+        }
+        // Rounds advance per resilient call only.
+        assert_eq!(cluster.rounds_started(), 1);
+        cluster.query_many(&idx, &sources);
+        assert_eq!(cluster.rounds_started(), 1);
+    }
+
+    #[test]
+    fn failed_machine_is_reported_missing_and_excluded_from_sums() {
+        let idx = hgpa_idx(4);
+        let exact = Cluster::with_default_network().query_many(&idx, &[42u32]);
+        let cluster = Cluster::with_faults(
+            ClusterConfig::default(),
+            FaultPlan::empty().fail(2, 0, 100),
+            ResilienceConfig::default(),
+        );
+        let r = cluster.try_query_many(&idx, &[42u32]);
+        assert!(!r.complete());
+        assert_eq!(r.outcome.missing(), vec![2]);
+        assert!(r.modeled_fault_seconds > 0.0);
+        assert!(r.delivered_bytes() < exact.total_bytes());
+        // The partial sum is machine 2's share short of the exact PPV.
+        let partial_mass: f64 = (0..250u32).map(|v| r.results[0].get(v)).sum();
+        let exact_mass: f64 = (0..250u32).map(|v| exact.results[0].get(v)).sum();
+        assert!(partial_mass < exact_mass);
+    }
+
+    #[test]
+    fn transient_drops_are_rescued_by_retries() {
+        let idx = hgpa_idx(4);
+        let exact = Cluster::with_default_network().query_many(&idx, &[7u32, 200]);
+        let cluster = Cluster::with_faults(
+            ClusterConfig::default(),
+            FaultPlan::empty().with_drops(0.2, 1234),
+            ResilienceConfig {
+                max_attempts: 6,
+                ..ResilienceConfig::default()
+            },
+        );
+        // At 20% per-attempt drops, 6 attempts exhaust with P = 0.2^6 per
+        // delivery — across 80 deliveries nearly every round completes,
+        // and any complete round must reproduce the exact sums bit for
+        // bit. First-attempt drops (P = 0.2 each) make retries all but
+        // certain somewhere in the run.
+        let mut complete_rounds = 0usize;
+        let mut retried = false;
+        for _ in 0..20 {
+            let r = cluster.try_query_many(&idx, &[7u32, 200]);
+            if r.complete() {
+                complete_rounds += 1;
+                assert_eq!(r.results, exact.results);
+                assert_eq!(r.delivered_bytes(), exact.total_bytes());
+            }
+            retried |= r.outcome.machines.iter().any(|o| o.attempts > 1);
+        }
+        assert!(complete_rounds >= 15, "only {complete_rounds}/20 complete");
+        assert!(retried, "20% drops over 80 deliveries must retry at least once");
+    }
+
+    #[test]
+    fn straggler_is_hedged_and_cheaper_than_unhedged() {
+        let idx = hgpa_idx(4);
+        let plan = || FaultPlan::empty().slow(1, 64.0);
+        let hedged = Cluster::with_faults(
+            ClusterConfig::default(),
+            plan(),
+            ResilienceConfig::default(),
+        );
+        let r = hedged.try_query_many(&idx, &[42u32]);
+        assert!(r.complete());
+        assert!(r.outcome.machines[1].hedged);
+        let unhedged = Cluster::with_faults(
+            ClusterConfig::default(),
+            plan(),
+            ResilienceConfig {
+                hedge_after_factor: None,
+                ..ResilienceConfig::default()
+            },
+        );
+        let u = unhedged.try_query_many(&idx, &[42u32]);
+        assert!(
+            r.modeled_fault_seconds < u.modeled_fault_seconds,
+            "hedging must cut the straggler's modeled delay ({} vs {})",
+            r.modeled_fault_seconds,
+            u.modeled_fault_seconds
+        );
+        // Both still deliver the exact sums: hedged replies are the same
+        // bits, and a straggler past every deadline is simply excluded.
+        assert_eq!(
+            r.results,
+            Cluster::with_default_network().query_many(&idx, &[42u32]).results
+        );
     }
 }

@@ -1,0 +1,464 @@
+//! Deterministic fault injection for the simulated cluster.
+//!
+//! A [`FaultPlan`] scripts what goes wrong — per-machine slowdowns,
+//! fail windows over fan-out rounds, and seeded transient message drops
+//! — and a [`ResilienceConfig`] scripts how the coordinator responds:
+//! per-machine deadlines derived from the *modeled* service time,
+//! bounded retries with deterministic doubling backoff, and optional
+//! request hedging. Everything runs on the modeled virtual clock, so an
+//! experiment with the same plan, seed, and workload replays
+//! bit-identically on any host; measured wall time never feeds a fault
+//! decision.
+//!
+//! The plan is consulted only by
+//! [`Cluster::try_query_many`](crate::Cluster::try_query_many). An
+//! **empty** plan short-circuits the whole machinery (no deadlines, no
+//! draws), which is what pins the fault-free resilient path bit-identical
+//! to [`Cluster::query_many`](crate::Cluster::query_many).
+
+/// One scripted fault.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Fault {
+    /// Machine `machine` computes at `factor`× its modeled service time
+    /// (a straggler). `factor >= 1.0`.
+    Slow {
+        /// Machine index the slowdown applies to.
+        machine: usize,
+        /// Service-time multiplier (`1.0` = healthy).
+        factor: f64,
+    },
+    /// Machine `machine` answers nothing during fan-out rounds
+    /// `from_round..until_round` (a crash-recover window counted in
+    /// resilient fan-out rounds, the cluster's failure epochs).
+    Fail {
+        /// Machine index that goes dark.
+        machine: usize,
+        /// First affected round (inclusive).
+        from_round: u64,
+        /// First recovered round (exclusive).
+        until_round: u64,
+    },
+}
+
+/// A seeded, replayable script of cluster faults.
+///
+/// The default/empty plan injects nothing and disables the resilience
+/// machinery entirely (see the module docs).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+    drop_rate: f64,
+    seed: u64,
+}
+
+impl FaultPlan {
+    /// The plan that injects nothing.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// True when the plan injects nothing — the fast path that keeps the
+    /// resilient fan-out bit-identical to the plain one.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty() && self.drop_rate == 0.0
+    }
+
+    /// Add a straggler: `machine` runs at `factor`× modeled service time.
+    pub fn slow(mut self, machine: usize, factor: f64) -> Self {
+        assert!(factor >= 1.0, "slow factor must be >= 1.0, got {factor}");
+        self.faults.push(Fault::Slow { machine, factor });
+        self
+    }
+
+    /// Add a fail window: `machine` is down for rounds
+    /// `from_round..until_round`.
+    pub fn fail(mut self, machine: usize, from_round: u64, until_round: u64) -> Self {
+        assert!(from_round <= until_round, "empty-or-forward round window");
+        self.faults.push(Fault::Fail {
+            machine,
+            from_round,
+            until_round,
+        });
+        self
+    }
+
+    /// Enable seeded transient drops: each delivery attempt is lost with
+    /// probability `rate`, decided by a counter-based hash of
+    /// `(seed, machine, round, attempt)` — no RNG state, so concurrent
+    /// rounds and replays agree bit for bit.
+    pub fn with_drops(mut self, rate: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "drop rate must be in [0,1)");
+        self.drop_rate = rate;
+        self.seed = seed;
+        self
+    }
+
+    /// The scripted faults, in insertion order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Per-attempt transient drop probability.
+    pub fn drop_rate(&self) -> f64 {
+        self.drop_rate
+    }
+
+    /// Combined slowdown factor for `machine` (product of matching
+    /// [`Fault::Slow`] entries; `1.0` when healthy).
+    pub fn slow_factor(&self, machine: usize) -> f64 {
+        self.faults
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::Slow { machine: m, factor } if m == machine => Some(factor),
+                _ => None,
+            })
+            .product()
+    }
+
+    /// Is `machine` inside a fail window at `round`?
+    pub fn is_down(&self, machine: usize, round: u64) -> bool {
+        self.faults.iter().any(|f| match *f {
+            Fault::Fail {
+                machine: m,
+                from_round,
+                until_round,
+            } => m == machine && (from_round..until_round).contains(&round),
+            _ => false,
+        })
+    }
+
+    /// Does delivery attempt `attempt` from `machine` in `round` get
+    /// dropped? Deterministic in `(seed, machine, round, attempt)`.
+    pub fn drops(&self, machine: usize, round: u64, attempt: u32) -> bool {
+        if self.drop_rate == 0.0 {
+            return false;
+        }
+        let mut h = splitmix64(self.seed ^ 0xD20B_5EED_0F0E_7A11);
+        h = splitmix64(h ^ machine as u64);
+        h = splitmix64(h ^ round);
+        h = splitmix64(h ^ u64::from(attempt));
+        // 53 uniform bits -> [0,1).
+        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < self.drop_rate
+    }
+}
+
+/// SplitMix64 finalizer — the counter-based hash behind
+/// [`FaultPlan::drops`]. Stateless, so draws are independent of call
+/// order (unlike a streamed RNG) and replay bit-identically.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// How the coordinator responds to faults: deadlines, retries, hedging,
+/// and the deterministic service-time proxy the deadlines derive from.
+///
+/// All times are *modeled* (virtual-clock) seconds. Measured wall time
+/// never feeds a timeout decision — that would make experiments
+/// host-dependent.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ResilienceConfig {
+    /// Deadline floor: no per-attempt deadline is shorter than this.
+    pub timeout_floor_seconds: f64,
+    /// Per-machine deadline = `max(floor, factor × modeled healthy
+    /// reply time)` — the "deadline derived from the modeled service
+    /// time" knob. A healthy machine can never miss it.
+    pub timeout_factor: f64,
+    /// Delivery attempts per machine per round (>= 1; first try
+    /// included).
+    pub max_attempts: u32,
+    /// Base backoff after a lost attempt; doubles per retry.
+    pub backoff_seconds: f64,
+    /// When `Some(f)`, a hedge request is launched on a healthy replica
+    /// after `f × modeled healthy reply time`; the reply used is
+    /// whichever finishes first. Rescues stragglers without waiting out
+    /// the deadline.
+    pub hedge_after_factor: Option<f64>,
+    /// Modeled compute seconds per reply entry (the deterministic
+    /// service-time proxy; the measured per-machine seconds stay
+    /// reported but never drive fault logic).
+    pub seconds_per_entry: f64,
+    /// Fixed per-round modeled overhead of one machine's service.
+    pub floor_seconds: f64,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        Self {
+            timeout_floor_seconds: 5e-3,
+            timeout_factor: 4.0,
+            max_attempts: 3,
+            backoff_seconds: 1e-3,
+            hedge_after_factor: Some(2.0),
+            seconds_per_entry: 50e-9,
+            floor_seconds: 200e-6,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// Modeled compute seconds for a reply carrying `entries` entries.
+    pub fn modeled_service_seconds(&self, entries: usize) -> f64 {
+        self.floor_seconds + entries as f64 * self.seconds_per_entry
+    }
+}
+
+/// What happened to one machine during one resilient fan-out round.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MachineOutcome {
+    /// Did a reply make it to the coordinator before attempts ran out?
+    pub answered: bool,
+    /// Delivery attempts consumed (1 = first try landed).
+    pub attempts: u32,
+    /// Was the accepted reply the hedge request's?
+    pub hedged: bool,
+    /// Modeled seconds from round start until the reply was accepted
+    /// (or until the coordinator gave up).
+    pub reply_seconds: f64,
+}
+
+/// Which machines answered one resilient fan-out round — the record
+/// `Cluster::try_query_many` hands the serving layer so it can decide
+/// between an exact answer and graceful degradation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FanoutOutcome {
+    /// The round's index on this cluster's monotone round counter (the
+    /// epoch [`Fault::Fail`] windows are expressed in).
+    pub round: u64,
+    /// Per-machine outcomes, in machine order.
+    pub machines: Vec<MachineOutcome>,
+}
+
+impl FanoutOutcome {
+    /// True when every machine answered — the partial sums are then the
+    /// exact PPVs.
+    pub fn complete(&self) -> bool {
+        self.machines.iter().all(|m| m.answered)
+    }
+
+    /// Indices of the machines that never answered.
+    pub fn missing(&self) -> Vec<usize> {
+        self.machines
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| !m.answered)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// How many machines answered.
+    pub fn answered(&self) -> usize {
+        self.machines.iter().filter(|m| m.answered).count()
+    }
+
+    /// Modeled duration of the round: the slowest machine timeline
+    /// (replies arrive in parallel; give-ups hold the round open too).
+    pub fn modeled_round_seconds(&self) -> f64 {
+        self.machines
+            .iter()
+            .map(|m| m.reply_seconds)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Play out one machine's delivery timeline on the modeled clock:
+/// attempts, deadline waits, backoff, and hedging. Pure — same inputs,
+/// same outcome, on every host.
+pub fn simulate_attempts(
+    plan: &FaultPlan,
+    res: &ResilienceConfig,
+    machine: usize,
+    round: u64,
+    service_seconds: f64,
+    wire_seconds: f64,
+) -> MachineOutcome {
+    let healthy = service_seconds + wire_seconds;
+    let deadline = res
+        .timeout_floor_seconds
+        .max(res.timeout_factor * healthy);
+    let slowed = service_seconds * plan.slow_factor(machine) + wire_seconds;
+    let max_attempts = res.max_attempts.max(1);
+    let mut clock = 0.0;
+    let mut hedged = false;
+    for attempt in 1..=max_attempts {
+        let lost = plan.is_down(machine, round) || plan.drops(machine, round, attempt);
+        if !lost {
+            let mut completion = slowed;
+            if let Some(f) = res.hedge_after_factor {
+                // The hedge goes to a healthy replica of the shard at
+                // f×healthy and finishes a healthy service later.
+                let hedge_completion = (f + 1.0) * healthy;
+                if hedge_completion < completion {
+                    completion = hedge_completion;
+                    hedged = true;
+                }
+            }
+            if completion <= deadline {
+                return MachineOutcome {
+                    answered: true,
+                    attempts: attempt,
+                    hedged,
+                    reply_seconds: clock + completion,
+                };
+            }
+        }
+        // Lost or past-deadline: the coordinator waits the deadline out,
+        // then backs off (doubling) before retrying.
+        clock += deadline;
+        if attempt < max_attempts {
+            clock += res.backoff_seconds * f64::from(1u32 << (attempt - 1).min(20));
+        }
+    }
+    MachineOutcome {
+        answered: false,
+        attempts: max_attempts,
+        hedged,
+        reply_seconds: clock,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty_and_injects_nothing() {
+        let plan = FaultPlan::empty();
+        assert!(plan.is_empty());
+        assert_eq!(plan.slow_factor(3), 1.0);
+        assert!(!plan.is_down(0, 0));
+        assert!(!plan.drops(0, 0, 1));
+    }
+
+    #[test]
+    fn fail_window_is_half_open_over_rounds() {
+        let plan = FaultPlan::empty().fail(2, 5, 8);
+        assert!(!plan.is_empty());
+        assert!(!plan.is_down(2, 4));
+        assert!(plan.is_down(2, 5));
+        assert!(plan.is_down(2, 7));
+        assert!(!plan.is_down(2, 8));
+        assert!(!plan.is_down(1, 6));
+    }
+
+    #[test]
+    fn slow_factors_multiply_per_machine() {
+        let plan = FaultPlan::empty().slow(1, 2.0).slow(1, 3.0).slow(2, 4.0);
+        assert_eq!(plan.slow_factor(1), 6.0);
+        assert_eq!(plan.slow_factor(2), 4.0);
+        assert_eq!(plan.slow_factor(0), 1.0);
+    }
+
+    #[test]
+    fn drops_are_deterministic_and_near_rate() {
+        let plan = FaultPlan::empty().with_drops(0.25, 42);
+        let mut dropped = 0usize;
+        let total = 4000usize;
+        for round in 0..1000u64 {
+            for machine in 0..4usize {
+                let a = plan.drops(machine, round, 1);
+                assert_eq!(a, plan.drops(machine, round, 1), "replay must agree");
+                dropped += usize::from(a);
+            }
+        }
+        let rate = dropped as f64 / total as f64;
+        assert!((rate - 0.25).abs() < 0.05, "empirical drop rate {rate}");
+        // A different seed decides differently somewhere.
+        let other = FaultPlan::empty().with_drops(0.25, 43);
+        assert!((0..200u64).any(|r| plan.drops(0, r, 1) != other.drops(0, r, 1)));
+    }
+
+    #[test]
+    fn healthy_machine_always_answers_first_try() {
+        let plan = FaultPlan::empty().slow(9, 8.0); // someone else
+        let res = ResilienceConfig::default();
+        let o = simulate_attempts(&plan, &res, 0, 0, 400e-6, 120e-6);
+        assert!(o.answered);
+        assert_eq!(o.attempts, 1);
+        assert!(!o.hedged);
+        assert!((o.reply_seconds - 520e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn straggler_is_rescued_by_hedging() {
+        let plan = FaultPlan::empty().slow(0, 8.0);
+        let res = ResilienceConfig::default();
+        let o = simulate_attempts(&plan, &res, 0, 0, 400e-6, 20e-6);
+        assert!(o.answered);
+        assert!(o.hedged);
+        // Hedge completes at 3x healthy, under the 4x-healthy deadline.
+        assert!(o.reply_seconds < 8.0 * 400e-6);
+    }
+
+    #[test]
+    fn straggler_without_hedging_misses_every_deadline() {
+        let plan = FaultPlan::empty().slow(0, 8.0);
+        let res = ResilienceConfig {
+            hedge_after_factor: None,
+            timeout_floor_seconds: 0.0,
+            ..ResilienceConfig::default()
+        };
+        let o = simulate_attempts(&plan, &res, 0, 0, 400e-6, 20e-6);
+        assert!(!o.answered);
+        assert_eq!(o.attempts, res.max_attempts);
+    }
+
+    #[test]
+    fn transient_drop_is_rescued_by_retry() {
+        // Find a (round, attempt-1 dropped, attempt-2 kept) instance.
+        let plan = FaultPlan::empty().with_drops(0.5, 7);
+        let res = ResilienceConfig::default();
+        let round = (0..500u64)
+            .find(|&r| plan.drops(0, r, 1) && !plan.drops(0, r, 2))
+            .expect("a rescued round exists at 50% drops");
+        let o = simulate_attempts(&plan, &res, 0, round, 300e-6, 50e-6);
+        assert!(o.answered);
+        assert_eq!(o.attempts, 2);
+        // Timeline: one waited-out deadline + backoff + the good attempt.
+        let deadline = res.timeout_factor * 350e-6;
+        let deadline = res.timeout_floor_seconds.max(deadline);
+        let expect = deadline + res.backoff_seconds + 350e-6;
+        assert!((o.reply_seconds - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_machine_exhausts_attempts() {
+        let plan = FaultPlan::empty().fail(1, 0, 10);
+        let res = ResilienceConfig::default();
+        let o = simulate_attempts(&plan, &res, 1, 3, 300e-6, 50e-6);
+        assert!(!o.answered);
+        assert_eq!(o.attempts, 3);
+        assert!(o.reply_seconds > 0.0);
+        // Outside the window the same machine answers immediately.
+        let o = simulate_attempts(&plan, &res, 1, 10, 300e-6, 50e-6);
+        assert!(o.answered);
+    }
+
+    #[test]
+    fn fanout_outcome_reports_missing_machines() {
+        let outcome = FanoutOutcome {
+            round: 0,
+            machines: vec![
+                MachineOutcome {
+                    answered: true,
+                    attempts: 1,
+                    hedged: false,
+                    reply_seconds: 1e-3,
+                },
+                MachineOutcome {
+                    answered: false,
+                    attempts: 3,
+                    hedged: false,
+                    reply_seconds: 2e-2,
+                },
+            ],
+        };
+        assert!(!outcome.complete());
+        assert_eq!(outcome.missing(), vec![1]);
+        assert_eq!(outcome.answered(), 1);
+        assert!((outcome.modeled_round_seconds() - 2e-2).abs() < 1e-15);
+    }
+}

@@ -23,11 +23,14 @@
 //!   process); the default model matches the paper's switch.
 
 pub mod exec;
+pub mod fault;
 pub mod network;
 
 pub use exec::{
     Cluster, ClusterBatchReport, ClusterQueryReport, DistributedQueryable, MachineStats,
+    ResilientBatchReport,
 };
+pub use fault::{Fault, FanoutOutcome, FaultPlan, MachineOutcome, ResilienceConfig};
 pub use network::NetworkModel;
 // `ParallelismMode` moved to `ppr-core::parallel` so the offline build
 // paths can share the same switch (this crate depends on core, not the

@@ -40,6 +40,14 @@ impl NetworkModel {
         }
         self.latency_seconds + total_bytes as f64 / self.bandwidth_bytes_per_second
     }
+
+    /// Modeled seconds for one machine's reply of `bytes` to cross the
+    /// wire on its own — the per-machine term the fault layer prices
+    /// delivery attempts with (a retry resends the same reply, a hedge
+    /// pays it again on the healthy replica's path).
+    pub fn one_way_seconds(&self, bytes: u64) -> f64 {
+        self.latency_seconds + bytes as f64 / self.bandwidth_bytes_per_second
+    }
 }
 
 #[cfg(test)]

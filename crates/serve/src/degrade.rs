@@ -1,0 +1,245 @@
+//! Graceful degradation: bounded-precision answers when exactness is
+//! unavailable.
+//!
+//! When a fan-out round comes back with machines missing, or the
+//! open-loop SLO is already blown, the server answers from the Monte
+//! Carlo baseline (promoted here from a figure-only comparison method to
+//! a serving asset) instead of silently dropping the request or serving
+//! a wrong "exact" partial sum. Every degraded answer is an
+//! [`Answer::Approximate`] carrying an explicit per-coordinate
+//! [Hoeffding bound](ppr_baselines::MonteCarloPpr::precision_bound) —
+//! the degradation contract is *answer + error bar, never a lie* — and
+//! approximate PPVs are **never** admitted to the exact PPV cache, so
+//! recovery backfill restores bit-identical exact serving.
+
+use crate::server::{Request, Response};
+use ppr_baselines::MonteCarloPpr;
+use ppr_core::{PprConfig, Scratch, SparseVector};
+use ppr_graph::{CsrGraph, NodeId};
+
+/// How a request resolved under the resilience policy. The no-silent-drop
+/// invariant: every admitted request becomes exactly one of these.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Answer {
+    /// The exact answer — bit-identical to the fault-free serving path.
+    Exact(Response),
+    /// A degraded answer with its explicit error bar: every coordinate of
+    /// the response's PPV content is within `precision_bound` of the
+    /// exact value (per-source Hoeffding bound; for preference sets the
+    /// bound is scaled by the total absolute weight estimated
+    /// approximately).
+    Approximate {
+        /// The approximate response (same shape as the exact one).
+        response: Response,
+        /// Per-coordinate error bound on the PPV content.
+        precision_bound: f64,
+    },
+    /// Rejected by admission control before any work was done.
+    Shed,
+}
+
+impl Answer {
+    /// Is this the exact answer?
+    pub fn is_exact(&self) -> bool {
+        matches!(self, Answer::Exact(_))
+    }
+
+    /// Is this a degraded (approximate, bounded-error) answer?
+    pub fn is_approximate(&self) -> bool {
+        matches!(self, Answer::Approximate { .. })
+    }
+
+    /// Was the request shed at admission?
+    pub fn is_shed(&self) -> bool {
+        matches!(self, Answer::Shed)
+    }
+
+    /// The response payload, if the request was answered at all.
+    pub fn response(&self) -> Option<&Response> {
+        match self {
+            Answer::Exact(r) | Answer::Approximate { response: r, .. } => Some(r),
+            Answer::Shed => None,
+        }
+    }
+
+    /// The error bound (`Some(0.0)`-free: exact answers report `None`).
+    pub fn precision_bound(&self) -> Option<f64> {
+        match self {
+            Answer::Approximate {
+                precision_bound, ..
+            } => Some(*precision_bound),
+            _ => None,
+        }
+    }
+}
+
+/// Default walk budget for a degraded answer — cheap next to an exact
+/// fresh-source fan-out, with a per-coordinate bound of
+/// `sqrt(30 / 8192) ≈ 0.06`.
+pub const DEGRADED_WALKS: u64 = 4_096;
+
+/// The degraded-answer engine: a seeded Monte Carlo estimator over the
+/// server's current graph plus the fixed walk budget.
+///
+/// Deterministic end to end: the estimator derives every walk from
+/// `(seed, source)`, so a degraded answer replays bit-identically.
+pub struct Degrader<'g> {
+    mc: MonteCarloPpr<'g>,
+    node_count: usize,
+    walks: u64,
+}
+
+impl<'g> Degrader<'g> {
+    /// An estimator on `graph` with the index's PPR configuration.
+    pub fn new(graph: &'g CsrGraph, cfg: &PprConfig, seed: u64, walks: u64) -> Self {
+        assert!(walks > 0, "a degraded answer needs at least one walk");
+        Self {
+            mc: MonteCarloPpr::new(graph, cfg, seed),
+            node_count: graph.node_count(),
+            walks,
+        }
+    }
+
+    /// The per-source precision bound every answer from this degrader
+    /// carries.
+    pub fn bound(&self) -> f64 {
+        MonteCarloPpr::precision_bound(self.walks)
+    }
+
+    /// The walk budget per estimated source.
+    pub fn walks(&self) -> u64 {
+        self.walks
+    }
+
+    /// Approximate PPV of one source.
+    pub fn ppv(&self, u: NodeId) -> SparseVector {
+        self.mc.query(u, self.walks)
+    }
+
+    /// Answer `request`, resolving as much as possible exactly through
+    /// `resolve` (the caller's exact PPV cache) and estimating only the
+    /// sources it cannot supply. Returns [`Answer::Exact`] when every
+    /// source resolved — the cache-only fast path stays exact even while
+    /// the cluster is degraded — and [`Answer::Approximate`] otherwise,
+    /// with the bound covering exactly the estimated mass (per-source
+    /// Hoeffding bound, scaled by the total absolute weight of the
+    /// estimated preference members).
+    pub fn answer<'c>(
+        &self,
+        request: &Request,
+        resolve: impl Fn(NodeId) -> Option<&'c SparseVector>,
+    ) -> Answer {
+        let per_source = self.bound();
+        match request {
+            Request::Ppv(u) => match resolve(*u) {
+                Some(v) => Answer::Exact(Response::Ppv(v.clone())),
+                None => Answer::Approximate {
+                    response: Response::Ppv(self.ppv(*u)),
+                    precision_bound: per_source,
+                },
+            },
+            Request::TopK { source, k } => match resolve(*source) {
+                Some(v) => Answer::Exact(Response::TopK(v.top_k_early_cut(*k))),
+                None => Answer::Approximate {
+                    // Top-k over the estimate: each listed score is within
+                    // the bound of its exact score (ranks may differ where
+                    // exact scores are closer than twice the bound).
+                    response: Response::TopK(self.ppv(*source).top_k_early_cut(*k)),
+                    precision_bound: per_source,
+                },
+            },
+            Request::Preference(members) => {
+                let mut scratch = Scratch::with_len(self.node_count);
+                let mut estimated_weight = 0.0f64;
+                for &(u, w) in members {
+                    match resolve(u) {
+                        Some(v) => scratch.scatter(v, w),
+                        None => {
+                            scratch.scatter(&self.ppv(u), w);
+                            estimated_weight += w.abs();
+                        }
+                    }
+                }
+                let combined = Response::Ppv(scratch.harvest());
+                if estimated_weight == 0.0 {
+                    Answer::Exact(combined)
+                } else {
+                    Answer::Approximate {
+                        response: combined,
+                        precision_bound: per_source * estimated_weight,
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppr_graph::generators::{hierarchical_sbm, HsbmConfig};
+
+    fn sample() -> CsrGraph {
+        hierarchical_sbm(
+            &HsbmConfig {
+                nodes: 120,
+                ..Default::default()
+            },
+            5,
+        )
+    }
+
+    #[test]
+    fn fully_resolved_requests_stay_exact() {
+        let g = sample();
+        let exact = ppr_graph::dense::dense_ppv(&g, 3, 0.15);
+        let exact: SparseVector = SparseVector::from_entries(
+            exact
+                .iter()
+                .enumerate()
+                .filter(|&(_, &x)| x > 0.0)
+                .map(|(v, &x)| (v as NodeId, x))
+                .collect(),
+        );
+        let d = Degrader::new(&g, &PprConfig::default(), 1, 64);
+        let a = d.answer(&Request::Ppv(3), |u| (u == 3).then_some(&exact));
+        assert_eq!(a, Answer::Exact(Response::Ppv(exact.clone())));
+        let a = d.answer(&Request::TopK { source: 3, k: 5 }, |u| {
+            (u == 3).then_some(&exact)
+        });
+        assert!(a.is_exact());
+        assert_eq!(
+            a.response().unwrap().as_top_k().unwrap(),
+            exact.top_k_early_cut(5)
+        );
+        let a = d.answer(&Request::Preference(vec![(3, 1.0)]), |u| {
+            (u == 3).then_some(&exact)
+        });
+        assert!(a.is_exact());
+    }
+
+    #[test]
+    fn unresolved_requests_degrade_with_the_bound() {
+        let g = sample();
+        let d = Degrader::new(&g, &PprConfig::default(), 1, DEGRADED_WALKS);
+        let a = d.answer(&Request::Ppv(3), |_| None);
+        assert!(a.is_approximate());
+        assert_eq!(a.precision_bound(), Some(d.bound()));
+        // Replays bit-identically.
+        assert_eq!(a, d.answer(&Request::Ppv(3), |_| None));
+        // Preference bound scales with the estimated absolute weight.
+        let a = d.answer(&Request::Preference(vec![(3, 0.5), (7, 0.25)]), |_| None);
+        assert_eq!(a.precision_bound(), Some(d.bound() * 0.75));
+    }
+
+    #[test]
+    fn mixed_preference_bounds_only_the_estimated_part() {
+        let g = sample();
+        let exact = SparseVector::from_entries(vec![(0, 1.0)]);
+        let d = Degrader::new(&g, &PprConfig::default(), 2, 256);
+        let a = d.answer(&Request::Preference(vec![(3, 0.5), (7, 0.5)]), |u| {
+            (u == 3).then_some(&exact)
+        });
+        assert_eq!(a.precision_bound(), Some(d.bound() * 0.5));
+    }
+}

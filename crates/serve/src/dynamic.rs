@@ -51,15 +51,19 @@
 //! comparisons well-defined under real concurrency.
 
 use crate::cache::CacheStats;
-use crate::server::{execute_batch, BatchOutcome, Request, Response, ServeConfig, ServeStats};
+use crate::degrade::{Answer, Degrader, DEGRADED_WALKS};
+use crate::server::{
+    assemble, execute_batch, BatchOutcome, Request, Response, ServeConfig, ServeStats,
+};
 use crate::shard::ShardSet;
-use ppr_cluster::{Cluster, ClusterConfig};
+use ppr_cluster::{Cluster, ClusterConfig, FanoutOutcome, FaultPlan, ResilienceConfig};
 use ppr_core::hgpa::{HgpaBuildOptions, HgpaIndex};
 use ppr_core::incremental::{MaintenanceEngine, UpdateError, UpdateStats};
 use ppr_core::{PprConfig, SparseVector};
 use ppr_graph::reach::reverse_reachable;
 use ppr_graph::{delta, AppliedGraphDelta, CsrGraph, EdgeUpdate, GraphDelta, NodeId};
 use ppr_core::parallel::Stopwatch;
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// What one [`DynamicPprServer::apply_delta`] call did.
 #[derive(Clone, Debug)]
@@ -117,6 +121,86 @@ pub struct DynamicStats {
     pub update_seconds: f64,
 }
 
+/// Most sources a degraded round may park for exact backfill. The backlog
+/// is the one place the resilience path accumulates state across batches,
+/// so it is capped: overflow is *counted*
+/// ([`ResilienceStats::backlog_overflow`]), never silently grown — an
+/// extended outage must not turn the coordinator into the failure.
+pub const BACKLOG_CAP: usize = 1024;
+
+/// Default seed for the degraded-answer Monte Carlo estimator.
+const DEFAULT_DEGRADE_SEED: u64 = 0xDE64_4ADE;
+
+/// Cumulative resilience counters of a [`DynamicPprServer`]. Kept apart
+/// from [`ServeStats`], which continues to describe only the exact
+/// serving path.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ResilienceStats {
+    /// Batches routed through [`DynamicPprServer::run_batch_resilient`].
+    pub resilient_batches: u64,
+    /// Fan-out rounds that came back with machines missing (including
+    /// failed backfill attempts).
+    pub incomplete_rounds: u64,
+    /// Requests answered exactly by the resilient path (complete rounds
+    /// plus cache-resident requests during an outage).
+    pub exact_answers: u64,
+    /// Requests answered approximately, each with its explicit bound.
+    pub degraded_answers: u64,
+    /// Sources recovered to the exact cache by
+    /// [`DynamicPprServer::backfill`].
+    pub backfilled_sources: u64,
+    /// Sources an incomplete round could not park because the backlog was
+    /// at [`BACKLOG_CAP`] (they degrade again on their next request).
+    pub backlog_overflow: u64,
+}
+
+/// What one [`DynamicPprServer::run_batch_resilient`] call did.
+#[derive(Clone, Debug)]
+pub struct ResilientBatchOutcome {
+    /// Answers, parallel to the submitted requests. Every request resolves
+    /// to exactly one [`Answer`] — the no-silent-drop invariant.
+    pub answers: Vec<Answer>,
+    /// Distinct sources served from cache.
+    pub cached_sources: usize,
+    /// Distinct sources computed fresh (exactly) this batch.
+    pub fresh_sources: usize,
+    /// Distinct sources answered approximately because the round came back
+    /// incomplete (0 on the exact path).
+    pub degraded_sources: usize,
+    /// Did every machine of the batch's fan-out round answer? (`true` when
+    /// no fan-out was needed.)
+    pub round_complete: bool,
+    /// The fan-out round's per-machine outcome, when one ran.
+    pub outcome: Option<FanoutOutcome>,
+    /// Modeled wire time of the round (delivered replies only).
+    pub modeled_network_seconds: f64,
+    /// Modeled seconds the round lost to timeouts, retries, and backoff.
+    pub modeled_fault_seconds: f64,
+    /// Real wall-clock seconds spent serving the batch.
+    pub seconds: f64,
+}
+
+/// What one [`DynamicPprServer::backfill`] call did.
+#[derive(Clone, Copy, Debug)]
+pub struct BackfillOutcome {
+    /// Sources the backfill round asked the cluster for.
+    pub attempted: usize,
+    /// Sources recovered into the exact PPV cache this call.
+    pub recovered: usize,
+    /// Sources still parked in the backlog afterwards.
+    pub remaining: usize,
+    /// Whether the backfill fan-out round was complete (`true` when the
+    /// backlog was already empty and no round ran). An incomplete round
+    /// recovers nothing — partial sums are never admitted.
+    pub round_complete: bool,
+    /// Modeled wire time of the round (delivered replies only).
+    pub modeled_network_seconds: f64,
+    /// Modeled seconds the round lost to timeouts, retries, and backoff.
+    pub modeled_fault_seconds: f64,
+    /// Real wall-clock seconds spent in the call.
+    pub seconds: f64,
+}
+
 /// An owning serving front-end over one mutable HGPA index: interleaves
 /// exact query serving with exact incremental index maintenance.
 ///
@@ -160,6 +244,10 @@ pub struct DynamicPprServer {
     config: ServeConfig,
     stats: ServeStats,
     dynamic_stats: DynamicStats,
+    resilience_stats: ResilienceStats,
+    backlog: BTreeSet<NodeId>,
+    degrade_seed: u64,
+    degrade_walks: u64,
     epoch: u64,
 }
 
@@ -200,6 +288,10 @@ impl DynamicPprServer {
             config,
             stats: ServeStats::default(),
             dynamic_stats: DynamicStats::default(),
+            resilience_stats: ResilienceStats::default(),
+            backlog: BTreeSet::new(),
+            degrade_seed: DEFAULT_DEGRADE_SEED,
+            degrade_walks: DEGRADED_WALKS,
             epoch: 0,
         }
     }
@@ -346,6 +438,316 @@ impl DynamicPprServer {
             requests,
             assembly,
         )
+    }
+
+    /// Install a deterministic fault plan (and keep the current retry /
+    /// timeout policy). With [`FaultPlan::empty`] — the default — the
+    /// resilient path is bit-identical to [`DynamicPprServer::run_batch`].
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.cluster.set_fault_plan(plan);
+    }
+
+    /// The active fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        self.cluster.fault_plan()
+    }
+
+    /// Replace the retry / timeout / hedging policy.
+    pub fn set_resilience(&mut self, resilience: ResilienceConfig) {
+        self.cluster.set_resilience(resilience);
+    }
+
+    /// Reconfigure the degraded-answer estimator: `seed` fixes the walk
+    /// stream (degraded answers replay bit-identically), `walks` trades
+    /// cost for precision ([`Degrader::bound`] shrinks as `1/√walks`).
+    ///
+    /// # Panics
+    /// Panics if `walks` is zero.
+    pub fn set_degradation(&mut self, seed: u64, walks: u64) {
+        assert!(walks > 0, "a degraded answer needs at least one walk");
+        self.degrade_seed = seed;
+        self.degrade_walks = walks;
+    }
+
+    /// The per-source precision bound degraded answers currently carry.
+    pub fn degraded_bound(&self) -> f64 {
+        Degrader::new(&self.graph, self.index.config(), self.degrade_seed, self.degrade_walks)
+            .bound()
+    }
+
+    /// Cumulative resilience counters.
+    pub fn resilience_stats(&self) -> &ResilienceStats {
+        &self.resilience_stats
+    }
+
+    /// Sources parked for exact backfill after degraded rounds.
+    pub fn backlog_len(&self) -> usize {
+        self.backlog.len()
+    }
+
+    /// Execute one batch under the resilience policy: at most one fan-out
+    /// round with per-machine deadlines, retries, and hedging
+    /// ([`ppr_cluster::Cluster::try_query_many`]).
+    ///
+    /// * **Complete round** (or no round needed): every answer is
+    ///   [`Answer::Exact`], produced by the same probe → fan-out →
+    ///   assemble → admit engine as [`DynamicPprServer::run_batch`] — bit
+    ///   identical, including cache admission and [`ServeStats`]
+    ///   accounting.
+    /// * **Incomplete round**: the partial coordinator sums are
+    ///   *discarded* — a partial Eq. 5 sum is silently wrong, which is
+    ///   worse than visibly approximate — and each request is answered by
+    ///   the seeded Monte Carlo [`Degrader`] with its explicit Hoeffding
+    ///   bound. Cache-resident sources still resolve exactly (a request
+    ///   whose every source is cached comes back [`Answer::Exact`] even
+    ///   mid-outage), nothing approximate is admitted to the exact PPV
+    ///   cache, and the batch's missing sources are parked (up to
+    ///   [`BACKLOG_CAP`]) for [`DynamicPprServer::backfill`].
+    ///
+    /// Every request resolves to exactly one [`Answer`]; this method never
+    /// sheds (admission control lives in the open-loop driver and
+    /// [`ShardedPprServer::serve_bounded`](crate::ShardedPprServer::serve_bounded)).
+    pub fn run_batch_resilient(&mut self, requests: &[Request]) -> ResilientBatchOutcome {
+        let t0 = Stopwatch::start();
+        let assembly = self.cache.assembly_mode(self.config.parallelism);
+
+        // Probe phase — identical to the exact batch engine.
+        let mut missing: Vec<NodeId> = Vec::new();
+        let mut probed: HashSet<NodeId> = HashSet::new();
+        for req in requests {
+            for u in req.sources() {
+                if probed.insert(u) && self.cache.get(u).is_none() {
+                    missing.push(u);
+                }
+            }
+        }
+        let cached_sources = probed.len() - missing.len();
+
+        let mut fresh: HashMap<NodeId, SparseVector> = HashMap::new();
+        let mut modeled_network_seconds = 0.0;
+        let mut modeled_fault_seconds = 0.0;
+        let mut round_bytes = 0u64;
+        let mut outcome = None;
+        let mut round_complete = true;
+        if !missing.is_empty() {
+            let round = self.cluster.try_query_many(&self.index, &missing);
+            modeled_network_seconds = round.modeled_network_seconds;
+            modeled_fault_seconds = round.modeled_fault_seconds;
+            round_bytes = round.delivered_bytes();
+            round_complete = round.complete();
+            if round_complete {
+                self.stats.rounds += 1;
+                for (u, ppv) in missing.iter().copied().zip(round.results) {
+                    fresh.insert(u, ppv);
+                }
+            }
+            outcome = Some(round.outcome);
+        }
+
+        if round_complete {
+            let responses = assemble(&self.index, &fresh, &self.cache, requests, assembly);
+            // Admit the round's PPVs in batch order (deterministic
+            // recency) — exactly as `execute_batch` does.
+            if self.config.cache_capacity_bytes > 0 {
+                for &u in &missing {
+                    if let Some(ppv) = fresh.remove(&u) {
+                        self.cache.insert(u, ppv);
+                    }
+                }
+            }
+            let seconds = t0.elapsed_seconds();
+            self.stats.requests += requests.len() as u64;
+            self.stats.batches += 1;
+            self.stats.fresh_sources += missing.len() as u64;
+            self.stats.cached_sources += cached_sources as u64;
+            self.stats.busy_seconds += seconds;
+            self.stats.modeled_network_seconds += modeled_network_seconds;
+            self.stats.round_bytes += round_bytes;
+            self.resilience_stats.resilient_batches += 1;
+            self.resilience_stats.exact_answers += requests.len() as u64;
+            return ResilientBatchOutcome {
+                answers: responses.into_iter().map(Answer::Exact).collect(),
+                cached_sources,
+                fresh_sources: missing.len(),
+                degraded_sources: 0,
+                round_complete: true,
+                outcome,
+                modeled_network_seconds,
+                modeled_fault_seconds,
+                seconds,
+            };
+        }
+
+        // Degraded path: answer + error bar, never a lie.
+        let degrader = Degrader::new(
+            &self.graph,
+            self.index.config(),
+            self.degrade_seed,
+            self.degrade_walks,
+        );
+        let cache = &self.cache;
+        let answers: Vec<Answer> = requests
+            .iter()
+            .map(|req| degrader.answer(req, |u| cache.peek(u)))
+            .collect();
+        for &u in &missing {
+            if self.backlog.contains(&u) {
+                continue;
+            }
+            if self.backlog.len() < BACKLOG_CAP {
+                // audit:allow(unbounded-queue): guarded by the
+                // BACKLOG_CAP check one line up; overflow is counted,
+                // never silently absorbed.
+                self.backlog.insert(u);
+            } else {
+                self.resilience_stats.backlog_overflow += 1;
+            }
+        }
+        let seconds = t0.elapsed_seconds();
+        self.resilience_stats.resilient_batches += 1;
+        self.resilience_stats.incomplete_rounds += 1;
+        for a in &answers {
+            if a.is_exact() {
+                self.resilience_stats.exact_answers += 1;
+            } else {
+                self.resilience_stats.degraded_answers += 1;
+            }
+        }
+        ResilientBatchOutcome {
+            answers,
+            cached_sources,
+            fresh_sources: 0,
+            degraded_sources: missing.len(),
+            round_complete: false,
+            outcome,
+            modeled_network_seconds,
+            modeled_fault_seconds,
+            seconds,
+        }
+    }
+
+    /// Execute one batch **without any fan-out round**: the
+    /// load-shedding flavor of [`DynamicPprServer::run_batch_resilient`]
+    /// the open-loop driver takes when the queue has already blown its
+    /// SLO. Cache-resident sources answer [`Answer::Exact`]; everything
+    /// else is answered by the Monte Carlo [`Degrader`] with its explicit
+    /// bound — far cheaper than a fresh exact fan-out — and parked (up to
+    /// [`BACKLOG_CAP`]) for [`DynamicPprServer::backfill`]. Every request
+    /// resolves to exactly one [`Answer`]; nothing approximate enters the
+    /// exact PPV cache.
+    pub fn run_batch_degraded(&mut self, requests: &[Request]) -> ResilientBatchOutcome {
+        let t0 = Stopwatch::start();
+        let mut missing: Vec<NodeId> = Vec::new();
+        let mut probed: HashSet<NodeId> = HashSet::new();
+        for req in requests {
+            for u in req.sources() {
+                if probed.insert(u) && self.cache.get(u).is_none() {
+                    missing.push(u);
+                }
+            }
+        }
+        let cached_sources = probed.len() - missing.len();
+
+        let degrader = Degrader::new(
+            &self.graph,
+            self.index.config(),
+            self.degrade_seed,
+            self.degrade_walks,
+        );
+        let cache = &self.cache;
+        let answers: Vec<Answer> = requests
+            .iter()
+            .map(|req| degrader.answer(req, |u| cache.peek(u)))
+            .collect();
+        for &u in &missing {
+            if self.backlog.contains(&u) {
+                continue;
+            }
+            if self.backlog.len() < BACKLOG_CAP {
+                // audit:allow(unbounded-queue): guarded by the
+                // BACKLOG_CAP check one line up; overflow is counted,
+                // never silently absorbed.
+                self.backlog.insert(u);
+            } else {
+                self.resilience_stats.backlog_overflow += 1;
+            }
+        }
+        let seconds = t0.elapsed_seconds();
+        self.resilience_stats.resilient_batches += 1;
+        for a in &answers {
+            if a.is_exact() {
+                self.resilience_stats.exact_answers += 1;
+            } else {
+                self.resilience_stats.degraded_answers += 1;
+            }
+        }
+        ResilientBatchOutcome {
+            answers,
+            cached_sources,
+            fresh_sources: 0,
+            degraded_sources: missing.len(),
+            round_complete: false,
+            outcome: None,
+            modeled_network_seconds: 0.0,
+            modeled_fault_seconds: 0.0,
+            seconds,
+        }
+    }
+
+    /// Recover up to `limit` parked sources to the exact PPV cache in one
+    /// fan-out round (under the active fault plan and resilience policy).
+    /// On a complete round the recovered sources leave the backlog and —
+    /// when the cache is enabled — their *exact* PPVs are admitted, so
+    /// subsequent answers for them are bit-identical to fault-free
+    /// serving. An incomplete round admits nothing and leaves the backlog
+    /// as it was: backfill only ever writes exact results.
+    pub fn backfill(&mut self, limit: usize) -> BackfillOutcome {
+        let t0 = Stopwatch::start();
+        let take: Vec<NodeId> = self.backlog.iter().copied().take(limit).collect();
+        if take.is_empty() {
+            return BackfillOutcome {
+                attempted: 0,
+                recovered: 0,
+                remaining: self.backlog.len(),
+                round_complete: true,
+                modeled_network_seconds: 0.0,
+                modeled_fault_seconds: 0.0,
+                seconds: t0.elapsed_seconds(),
+            };
+        }
+        let round = self.cluster.try_query_many(&self.index, &take);
+        if !round.complete() {
+            self.resilience_stats.incomplete_rounds += 1;
+            return BackfillOutcome {
+                attempted: take.len(),
+                recovered: 0,
+                remaining: self.backlog.len(),
+                round_complete: false,
+                modeled_network_seconds: round.modeled_network_seconds,
+                modeled_fault_seconds: round.modeled_fault_seconds,
+                seconds: t0.elapsed_seconds(),
+            };
+        }
+        self.stats.rounds += 1;
+        self.stats.fresh_sources += take.len() as u64;
+        self.stats.modeled_network_seconds += round.modeled_network_seconds;
+        self.stats.round_bytes += round.delivered_bytes();
+        for (u, ppv) in take.iter().copied().zip(round.results) {
+            if self.config.cache_capacity_bytes > 0 {
+                self.cache.insert(u, ppv);
+            }
+            self.backlog.remove(&u);
+        }
+        self.resilience_stats.backfilled_sources += take.len() as u64;
+        BackfillOutcome {
+            attempted: take.len(),
+            recovered: take.len(),
+            remaining: self.backlog.len(),
+            round_complete: true,
+            modeled_network_seconds: round.modeled_network_seconds,
+            modeled_fault_seconds: round.modeled_fault_seconds,
+            seconds: t0.elapsed_seconds(),
+        }
     }
 
     /// Single-request convenience: exact PPV of `u` on the current graph.
@@ -615,6 +1017,99 @@ mod tests {
         assert_eq!(s.epoch(), epoch, "rejected batches release no epoch");
         assert_eq!(s.dynamic_stats().update_batches, batches);
         assert_eq!(s.query(3), warm, "serving continues on the old version");
+    }
+
+    #[test]
+    fn resilient_batch_with_empty_plan_matches_run_batch() {
+        let reqs = vec![
+            Request::Ppv(3),
+            Request::TopK { source: 9, k: 4 },
+            Request::Preference(vec![(3, 0.5), (11, 0.5)]),
+            Request::Ppv(3),
+        ];
+        let mut exact = server(150, 17);
+        let mut resilient = server(150, 17);
+        for round in 0..2 {
+            let want = exact.run_batch(&reqs);
+            let got = resilient.run_batch_resilient(&reqs);
+            assert!(got.round_complete);
+            assert_eq!(got.degraded_sources, 0);
+            assert_eq!(got.answers.len(), want.responses.len());
+            for (a, r) in got.answers.iter().zip(&want.responses) {
+                assert_eq!(a, &Answer::Exact(r.clone()), "round {round}");
+            }
+            assert_eq!(got.cached_sources, want.cached_sources);
+            assert_eq!(got.fresh_sources, want.fresh_sources);
+        }
+        // Identical cache state and exact-path accounting afterwards.
+        assert_eq!(resilient.cache_len(), exact.cache_len());
+        assert_eq!(resilient.stats().fresh_sources, exact.stats().fresh_sources);
+        assert_eq!(resilient.stats().cached_sources, exact.stats().cached_sources);
+        assert_eq!(resilient.stats().rounds, exact.stats().rounds);
+        assert_eq!(resilient.resilience_stats().degraded_answers, 0);
+        assert_eq!(resilient.resilience_stats().exact_answers, 8);
+        assert_eq!(resilient.backlog_len(), 0);
+    }
+
+    #[test]
+    fn outage_degrades_with_a_bound_that_holds_then_backfills_exactly() {
+        let mut clean = server(150, 19);
+        let mut s = server(150, 19);
+        // Machine 0 down for the next hundred rounds.
+        s.set_fault_plan(FaultPlan::empty().fail(0, 0, 100));
+        let out = s.run_batch_resilient(&[Request::Ppv(5)]);
+        assert!(!out.round_complete);
+        assert_eq!(out.degraded_sources, 1);
+        let a = &out.answers[0];
+        assert!(a.is_approximate());
+        let bound = a.precision_bound().unwrap();
+        assert_eq!(bound, s.degraded_bound());
+        // The advertised bound holds coordinate-wise against the exact PPV.
+        let exact = clean.query(5);
+        let approx = a.response().unwrap().as_ppv().unwrap();
+        for v in 0..150u32 {
+            let err = (approx.get(v) - exact.get(v)).abs();
+            assert!(err <= bound, "v {v}: err {err} > bound {bound}");
+        }
+        // Nothing approximate entered the cache; the source is parked.
+        assert_eq!(s.cache_len(), 0);
+        assert_eq!(s.backlog_len(), 1);
+        assert_eq!(s.resilience_stats().degraded_answers, 1);
+        // Backfill under the outage recovers nothing...
+        let b = s.backfill(8);
+        assert!(!b.round_complete);
+        assert_eq!((b.recovered, b.remaining), (0, 1));
+        // ...and after recovery it restores bit-identical exact serving.
+        s.set_fault_plan(FaultPlan::empty());
+        let b = s.backfill(8);
+        assert!(b.round_complete);
+        assert_eq!((b.recovered, b.remaining), (1, 0));
+        assert_eq!(s.resilience_stats().backfilled_sources, 1);
+        let after = s.run_batch_resilient(&[Request::Ppv(5)]);
+        assert_eq!(after.answers[0], Answer::Exact(Response::Ppv(exact)));
+    }
+
+    #[test]
+    fn cached_sources_answer_exactly_even_mid_outage() {
+        let mut s = server(150, 23);
+        let warm = s.query(4); // cached before the fault
+        s.set_fault_plan(FaultPlan::empty().fail(1, 0, u64::MAX));
+        // Fully cached request: exact despite the outage, no degradation.
+        let out = s.run_batch_resilient(&[Request::Ppv(4)]);
+        assert!(out.round_complete && out.outcome.is_none());
+        assert_eq!(out.answers[0], Answer::Exact(Response::Ppv(warm.clone())));
+        // Mixed preference: the cached member stays exact, only the
+        // missing member's weight is covered by the bound.
+        let out = s.run_batch_resilient(&[Request::Preference(vec![(4, 0.75), (90, 0.25)])]);
+        assert!(out.answers[0].is_approximate());
+        assert_eq!(
+            out.answers[0].precision_bound().unwrap(),
+            s.degraded_bound() * 0.25
+        );
+        assert_eq!(s.backlog_len(), 1, "only the missing source is parked");
+        // The fully-cached batch answered exactly; the mixed one degraded.
+        assert_eq!(s.resilience_stats().exact_answers, 1);
+        assert_eq!(s.resilience_stats().degraded_answers, 1);
     }
 
     #[test]

@@ -61,6 +61,7 @@
 
 pub mod boot;
 pub mod cache;
+pub mod degrade;
 pub mod dynamic;
 pub mod openloop;
 pub mod server;
@@ -68,8 +69,13 @@ pub mod shard;
 
 pub use boot::ColdStart;
 pub use cache::{CacheStats, PpvCache};
-pub use dynamic::{DynamicPprServer, DynamicStats, UpdateOutcome};
+pub use degrade::{Answer, Degrader, DEGRADED_WALKS};
+pub use dynamic::{
+    BackfillOutcome, DynamicPprServer, DynamicStats, ResilienceStats, ResilientBatchOutcome,
+    UpdateOutcome, BACKLOG_CAP,
+};
 pub use ppr_core::incremental::{MaintenanceEngine, UpdateError, UpdateStats};
 pub use openloop::{run_open_loop, OpenLoopConfig, OpenLoopReport, ServeEvent, ServiceModel};
+pub use ppr_workload::ArrivalPattern;
 pub use server::{BatchOutcome, PprServer, Request, Response, ServeConfig, ServeStats};
 pub use shard::ShardedPprServer;

@@ -12,8 +12,10 @@
 //! waiting in queue.
 //!
 //! Everything runs on a virtual clock. Arrivals are drawn from a seeded
-//! RNG; service times come from a [`ServiceModel`] — either the measured
-//! wall-clock cost of each batch (realistic, but run-to-run noisy) or a
+//! RNG via [`ppr_workload::arrival_times`] — Poisson by default, or the
+//! bursty/diurnal [`ArrivalPattern`]s that model traffic spikes; service
+//! times come from a [`ServiceModel`] — either the measured wall-clock
+//! cost of each batch (realistic, but run-to-run noisy) or a
 //! deterministic model priced from the batch's *deterministic* outputs
 //! (fresh sources, modeled wire time, recomputed vectors), which makes
 //! the whole simulation — batch composition, queue depths, every
@@ -21,13 +23,40 @@
 //! coalesces up to `max_batch` waiting queries into one fan-out round;
 //! an update batch is a barrier served alone, exactly like the real
 //! server's write path.
+//!
+//! ## Overload and failure resilience
+//!
+//! Three optional knobs (all off by default, in which case the run is
+//! bit-identical to the original driver) turn the driver into the
+//! workspace's overload harness:
+//!
+//! * **Admission control** (`queue_cap`, env `PPR_SERVE_QUEUE_CAP`): a
+//!   query arriving at a full queue is shed *at arrival* — an explicit
+//!   [`Answer::Shed`](crate::Answer)-class rejection, never a silent drop
+//!   or an unbounded queue. Write barriers are never shed.
+//! * **SLO-aware degradation** (`slo_ms`, env `PPR_SERVE_SLO_MS`): a
+//!   batch whose head-of-line wait already exceeds the SLO is served by
+//!   [`DynamicPprServer::run_batch_degraded`] — bounded-precision Monte
+//!   Carlo answers (cache-resident sources stay exact) priced far below
+//!   an exact fan-out, so the queue drains instead of collapsing.
+//! * **Idle backfill** (`backfill_per_idle`): gaps in the arrival process
+//!   are spent recovering parked sources to the exact cache
+//!   ([`DynamicPprServer::backfill`]), restoring bit-identical exact
+//!   serving after faults clear.
+//!
+//! Query batches run through the resilient fan-out
+//! ([`DynamicPprServer::run_batch_resilient`]), so a fault plan installed
+//! on the server degrades answers (with bounds) instead of dropping them,
+//! and the modeled fault time (timeouts, retries, backoff) is billed to
+//! the virtual clock — which is exactly how injected faults surface in
+//! the reported p99.
 
-use crate::dynamic::{DynamicPprServer, UpdateOutcome};
-use crate::server::{BatchOutcome, Request};
+use crate::dynamic::{BackfillOutcome, DynamicPprServer, ResilientBatchOutcome, UpdateOutcome};
+use crate::server::Request;
 use ppr_core::incremental::UpdateError;
 use ppr_graph::{EdgeUpdate, GraphDelta};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ppr_workload::{arrival_times, ArrivalPattern};
+use std::collections::VecDeque;
 
 /// One event of the open-loop stream.
 #[derive(Clone, Debug)]
@@ -60,6 +89,10 @@ pub enum ServiceModel {
         seconds_per_fresh_source: f64,
         /// Per vector recomputed by the incremental updater.
         seconds_per_recomputed_vector: f64,
+        /// Per source answered approximately by the Monte Carlo degrader
+        /// (no fan-out round): the whole point of degradation is that
+        /// this is much cheaper than `seconds_per_fresh_source`.
+        seconds_per_degraded_source: f64,
     },
 }
 
@@ -70,21 +103,31 @@ impl ServiceModel {
             seconds_per_request: 20e-6,
             seconds_per_fresh_source: 300e-6,
             seconds_per_recomputed_vector: 150e-6,
+            seconds_per_degraded_source: 60e-6,
         }
     }
 
-    /// Virtual service seconds of one query batch.
-    fn batch_seconds(&self, out: &BatchOutcome) -> f64 {
+    /// Virtual service seconds of one query batch (exact or degraded).
+    /// The batch's modeled fault time — timeouts, retries, backoff — is
+    /// billed here, which is how injected faults reach the percentiles;
+    /// it is 0 with an empty fault plan, keeping the fault-free run
+    /// bit-identical to the original pricing.
+    fn resilient_seconds(&self, out: &ResilientBatchOutcome) -> f64 {
         match *self {
-            ServiceModel::Measured => out.seconds + out.modeled_network_seconds,
+            ServiceModel::Measured => {
+                out.seconds + out.modeled_network_seconds + out.modeled_fault_seconds
+            }
             ServiceModel::Modeled {
                 seconds_per_request,
                 seconds_per_fresh_source,
+                seconds_per_degraded_source,
                 ..
             } => {
                 out.modeled_network_seconds
-                    + out.responses.len() as f64 * seconds_per_request
+                    + out.modeled_fault_seconds
+                    + out.answers.len() as f64 * seconds_per_request
                     + out.fresh_sources as f64 * seconds_per_fresh_source
+                    + out.degraded_sources as f64 * seconds_per_degraded_source
             }
         }
     }
@@ -99,6 +142,27 @@ impl ServiceModel {
             } => out.stats.vectors_recomputed as f64 * seconds_per_recomputed_vector,
         }
     }
+
+    /// Virtual service seconds of one idle-gap backfill round. Attempted
+    /// sources are billed like fresh fan-out work whether or not the
+    /// round completed (the machines that answered did the work), plus
+    /// the round's wire and fault time — so a backfill attempt under an
+    /// active outage still advances the clock.
+    fn backfill_seconds(&self, out: &BackfillOutcome) -> f64 {
+        match *self {
+            ServiceModel::Measured => {
+                out.seconds + out.modeled_network_seconds + out.modeled_fault_seconds
+            }
+            ServiceModel::Modeled {
+                seconds_per_fresh_source,
+                ..
+            } => {
+                out.modeled_network_seconds
+                    + out.modeled_fault_seconds
+                    + out.attempted as f64 * seconds_per_fresh_source
+            }
+        }
+    }
 }
 
 /// Open-loop driver knobs.
@@ -111,6 +175,23 @@ pub struct OpenLoopConfig {
     pub seed: u64,
     /// Service-time pricing.
     pub service: ServiceModel,
+    /// Shape of the arrival process. [`ArrivalPattern::Poisson`] (the
+    /// default) reproduces the original driver's arrivals bit for bit;
+    /// the bursty/diurnal patterns keep the same long-run rate while
+    /// concentrating arrivals into spikes.
+    pub pattern: ArrivalPattern,
+    /// Admission-control queue bound: a query arriving while the queue
+    /// holds this many events is shed immediately. `None` (default)
+    /// disables shedding. Env knob: `PPR_SERVE_QUEUE_CAP`.
+    pub queue_cap: Option<usize>,
+    /// Latency SLO in milliseconds: a query batch whose head-of-line
+    /// wait already exceeds it is answered approximately (with explicit
+    /// bounds) instead of running an exact fan-out. `None` (default)
+    /// disables degradation. Env knob: `PPR_SERVE_SLO_MS`.
+    pub slo_ms: Option<f64>,
+    /// How many parked sources to backfill exactly per idle gap in the
+    /// arrival process (0 disables idle backfill).
+    pub backfill_per_idle: usize,
 }
 
 impl Default for OpenLoopConfig {
@@ -119,6 +200,10 @@ impl Default for OpenLoopConfig {
             arrival_rate: 500.0,
             seed: 0x0_BEA7,
             service: ServiceModel::modeled_default(),
+            pattern: ArrivalPattern::Poisson,
+            queue_cap: None,
+            slo_ms: None,
+            backfill_per_idle: 2,
         }
     }
 }
@@ -160,7 +245,8 @@ pub struct OpenLoopReport {
     pub p99_service_ms: f64,
     /// Mean queueing delay (sojourn − service), milliseconds.
     pub mean_wait_ms: f64,
-    /// Largest number of arrived-but-unserved events observed.
+    /// Largest number of admitted-but-unserved events observed — the
+    /// queue-depth high-water mark.
     pub max_queue_depth: usize,
     /// Fraction of distinct per-batch source lookups served from cache.
     pub hit_rate: f64,
@@ -168,6 +254,29 @@ pub struct OpenLoopReport {
     pub entries_evicted: u64,
     /// Cache entries retained across updates during the run.
     pub entries_retained: u64,
+    /// Queries shed at admission (queue at `queue_cap`). Shed queries are
+    /// excluded from `queries` and from the sojourn percentiles; every
+    /// driven event still resolves:
+    /// `queries + shed + update_batches + rejected_batches == events`.
+    pub shed: usize,
+    /// Queries answered approximately — with explicit precision bounds —
+    /// after an SLO breach or an incomplete fan-out round.
+    pub degraded_answers: usize,
+    /// Sources recovered exactly to the PPV cache during idle gaps.
+    pub backfilled_sources: usize,
+    /// Median sojourn of exactly-answered queries, milliseconds.
+    pub p50_exact_ms: f64,
+    /// 99th-percentile sojourn of exactly-answered queries, milliseconds.
+    pub p99_exact_ms: f64,
+    /// Median sojourn of degraded (approximate) answers, milliseconds.
+    pub p50_approx_ms: f64,
+    /// 99th-percentile sojourn of degraded answers, milliseconds.
+    pub p99_approx_ms: f64,
+    /// Median time-to-rejection of shed queries, milliseconds (0 under
+    /// fail-fast admission: the client learns at arrival).
+    pub p50_shed_ms: f64,
+    /// 99th-percentile time-to-rejection of shed queries, milliseconds.
+    pub p99_shed_ms: f64,
 }
 
 /// Value at quantile `q ∈ [0, 1]` of an ascending-sorted sample (nearest
@@ -209,7 +318,9 @@ fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
 /// `max_batch`, and an update event is processed alone. With
 /// [`ServiceModel::Modeled`] the run — including batch composition and
 /// every reported number — is a pure function of `(server state, events,
-/// config)`.
+/// config)`. With the resilience knobs at their defaults and an empty
+/// fault plan on the server, the run is bit-identical to the original
+/// (pre-resilience) driver.
 pub fn run_open_loop(
     server: &mut DynamicPprServer,
     events: &[ServeEvent],
@@ -224,73 +335,127 @@ pub fn run_open_loop(
     let dyn_before = *server.dynamic_stats();
     let max_batch = server.config().max_batch.max(1);
 
-    // Poisson arrivals: exponential inter-arrival times by inverse CDF.
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut arrivals = Vec::with_capacity(events.len());
-    let mut t = 0.0f64;
-    for _ in 0..events.len() {
-        let u: f64 = rng.random_range(0.0..1.0);
-        t += -(1.0 - u).ln() / cfg.arrival_rate;
-        arrivals.push(t);
-    }
+    let arrivals = arrival_times(cfg.pattern, cfg.arrival_rate, cfg.seed, events.len());
 
     let mut clock = 0.0f64;
-    let mut i = 0usize;
+    let mut next = 0usize; // next arrival not yet admitted or shed
+    // The driver's FIFO queue of admitted-but-unserved event indices.
+    let mut queue: VecDeque<usize> = VecDeque::new();
     let mut sojourns: Vec<f64> = Vec::new();
     let mut services: Vec<f64> = Vec::new();
+    let mut exact_sojourns: Vec<f64> = Vec::new();
+    let mut approx_sojourns: Vec<f64> = Vec::new();
+    let mut shed_sojourns: Vec<f64> = Vec::new();
     let mut total_wait = 0.0f64;
     let mut update_batches = 0usize;
     let mut rejected_batches = 0usize;
     let mut batches = 0usize;
     let mut max_queue_depth = 0usize;
+    let mut backfilled_sources = 0usize;
     let mut requests: Vec<Request> = Vec::new();
+    let mut members: Vec<usize> = Vec::new();
 
-    while i < events.len() {
-        if clock < arrivals[i] {
-            clock = arrivals[i]; // server idles until the next arrival
+    loop {
+        // Admit every arrival at or before `clock`; under admission
+        // control a query finding the queue at capacity is shed at its
+        // arrival instant (between service completions the queue only
+        // grows, so batch-admitting here is exactly per-arrival
+        // admission). Write barriers are never shed.
+        while next < events.len() && arrivals[next] <= clock {
+            let full = cfg.queue_cap.is_some_and(|cap| queue.len() >= cap);
+            if full && matches!(events[next], ServeEvent::Query(_)) {
+                shed_sojourns.push(0.0); // fail-fast: rejected at arrival
+            } else {
+                // audit:allow(unbounded-queue): growth is bounded by the
+                // `queue_cap` check above when set; `queue_cap: None` is
+                // the caller's explicit opt-in to unbounded queueing
+                // (measuring collapse is the point of an open-loop
+                // driver), and residency never exceeds `events.len()`.
+                queue.push_back(next);
+            }
+            next += 1;
         }
-        let arrived = arrivals.partition_point(|&a| a <= clock);
-        max_queue_depth = max_queue_depth.max(arrived - i);
 
-        match &events[i] {
+        if queue.is_empty() {
+            if next >= events.len() {
+                break;
+            }
+            // Idle gap: recover parked sources exactly, billing the
+            // backfill round to the clock; otherwise sleep to the next
+            // arrival.
+            if cfg.backfill_per_idle > 0 && server.backlog_len() > 0 {
+                let b = server.backfill(cfg.backfill_per_idle);
+                backfilled_sources += b.recovered;
+                clock += cfg.service.backfill_seconds(&b);
+            } else {
+                clock = arrivals[next];
+            }
+            continue;
+        }
+        max_queue_depth = max_queue_depth.max(queue.len());
+
+        let head = queue[0];
+        match &events[head] {
             ServeEvent::Update(batch) => {
+                queue.pop_front();
                 clock += settle_write(
                     server.apply_updates(batch),
                     &cfg.service,
                     &mut update_batches,
                     &mut rejected_batches,
                 );
-                i += 1;
             }
             ServeEvent::Churn(delta) => {
+                queue.pop_front();
                 clock += settle_write(
                     server.apply_delta(delta),
                     &cfg.service,
                     &mut update_batches,
                     &mut rejected_batches,
                 );
-                i += 1;
             }
             ServeEvent::Query(_) => {
-                // Coalesce the run of arrived queries at the queue head.
+                // Is the head's wait already past the SLO when service
+                // starts? Then the whole batch degrades: bounded-precision
+                // answers now beat exact answers far too late.
+                let degrade = cfg
+                    .slo_ms
+                    .is_some_and(|slo| (clock - arrivals[head]) * 1e3 > slo);
+                // Coalesce the run of waiting queries at the queue head.
                 requests.clear();
-                let start = i;
-                while i < events.len() && requests.len() < max_batch && arrivals[i] <= clock {
-                    match &events[i] {
-                        ServeEvent::Query(req) => requests.push(req.clone()),
-                        // Write barriers end the batch.
-                        ServeEvent::Update(_) | ServeEvent::Churn(_) => break,
+                members.clear();
+                while members.len() < max_batch {
+                    match queue.front() {
+                        Some(&j) => match &events[j] {
+                            ServeEvent::Query(req) => {
+                                requests.push(req.clone());
+                                members.push(j);
+                                queue.pop_front();
+                            }
+                            // Write barriers end the batch.
+                            ServeEvent::Update(_) | ServeEvent::Churn(_) => break,
+                        },
+                        None => break,
                     }
-                    i += 1;
                 }
-                let out = server.run_batch(&requests);
+                let out = if degrade {
+                    server.run_batch_degraded(&requests)
+                } else {
+                    server.run_batch_resilient(&requests)
+                };
                 batches += 1;
-                let service = cfg.service.batch_seconds(&out);
+                let service = cfg.service.resilient_seconds(&out);
                 let completion = clock + service;
-                for &arrival in &arrivals[start..i] {
-                    sojourns.push(completion - arrival);
+                for (&j, answer) in members.iter().zip(&out.answers) {
+                    let sojourn = completion - arrivals[j];
+                    sojourns.push(sojourn);
                     services.push(service);
-                    total_wait += clock - arrival;
+                    total_wait += clock - arrivals[j];
+                    if answer.is_approximate() {
+                        approx_sojourns.push(sojourn);
+                    } else {
+                        exact_sojourns.push(sojourn);
+                    }
                 }
                 clock = completion;
             }
@@ -305,6 +470,9 @@ pub fn run_open_loop(
     let queries = sojourns.len();
     sojourns.sort_unstable_by(f64::total_cmp);
     services.sort_unstable_by(f64::total_cmp);
+    exact_sojourns.sort_unstable_by(f64::total_cmp);
+    approx_sojourns.sort_unstable_by(f64::total_cmp);
+    shed_sojourns.sort_unstable_by(f64::total_cmp);
     OpenLoopReport {
         offered_rate: cfg.arrival_rate,
         queries,
@@ -327,6 +495,15 @@ pub fn run_open_loop(
         },
         entries_evicted: dyn_stats.entries_evicted - dyn_before.entries_evicted,
         entries_retained: dyn_stats.entries_retained - dyn_before.entries_retained,
+        shed: shed_sojourns.len(),
+        degraded_answers: approx_sojourns.len(),
+        backfilled_sources,
+        p50_exact_ms: percentile_sorted(&exact_sojourns, 0.50) * 1e3,
+        p99_exact_ms: percentile_sorted(&exact_sojourns, 0.99) * 1e3,
+        p50_approx_ms: percentile_sorted(&approx_sojourns, 0.50) * 1e3,
+        p99_approx_ms: percentile_sorted(&approx_sojourns, 0.99) * 1e3,
+        p50_shed_ms: percentile_sorted(&shed_sojourns, 0.50) * 1e3,
+        p99_shed_ms: percentile_sorted(&shed_sojourns, 0.99) * 1e3,
     }
 }
 
@@ -400,7 +577,7 @@ mod tests {
         let cfg = OpenLoopConfig {
             arrival_rate: 400.0,
             seed: 21,
-            service: ServiceModel::modeled_default(),
+            ..Default::default()
         };
         let a = run_open_loop(&mut make_server(5), &events(), &cfg);
         let b = run_open_loop(&mut make_server(5), &events(), &cfg);
@@ -416,10 +593,11 @@ mod tests {
             &OpenLoopConfig {
                 arrival_rate: 800.0, // overload-ish: force queueing
                 seed: 3,
-                service: ServiceModel::modeled_default(),
+                ..Default::default()
             },
         );
         assert_eq!(r.queries + r.update_batches + r.rejected_batches, evs.len());
+        assert_eq!((r.shed, r.degraded_answers), (0, 0), "resilience off");
         assert!(r.update_batches > 0 && r.batches > 0);
         assert_eq!(r.rejected_batches, 1, "the invalid churn batch");
         assert!(r.p99_sojourn_ms >= r.p50_sojourn_ms);
@@ -442,7 +620,7 @@ mod tests {
             &OpenLoopConfig {
                 arrival_rate: 0.1,
                 seed: 9,
-                service: ServiceModel::modeled_default(),
+                ..Default::default()
             },
         );
         assert!(r.mean_wait_ms.abs() < 1e-9, "wait {}", r.mean_wait_ms);
@@ -461,5 +639,100 @@ mod tests {
                 ..Default::default()
             },
         );
+    }
+
+    #[test]
+    fn bursty_arrivals_deepen_the_queue_at_the_same_rate() {
+        let evs = events();
+        let base = OpenLoopConfig {
+            arrival_rate: 700.0,
+            seed: 13,
+            ..Default::default()
+        };
+        let poisson = run_open_loop(&mut make_server(5), &evs, &base);
+        let bursty = run_open_loop(
+            &mut make_server(5),
+            &evs,
+            &OpenLoopConfig {
+                pattern: ArrivalPattern::Bursty {
+                    period_events: 10,
+                    on_events: 2,
+                    peak: 8.0,
+                },
+                ..base
+            },
+        );
+        // Same offered work, spikier arrivals: the high-water mark and
+        // tail latency can only get worse.
+        assert_eq!(bursty.queries, poisson.queries);
+        assert!(
+            bursty.max_queue_depth >= poisson.max_queue_depth,
+            "bursty {} vs poisson {}",
+            bursty.max_queue_depth,
+            poisson.max_queue_depth
+        );
+        assert_eq!((bursty.shed, bursty.degraded_answers), (0, 0));
+    }
+
+    #[test]
+    fn queue_cap_sheds_explicitly_and_no_request_vanishes() {
+        let evs: Vec<ServeEvent> =
+            (0..60).map(|i| ServeEvent::Query(Request::Ppv((i * 3) % 120))).collect();
+        let cfg = OpenLoopConfig {
+            arrival_rate: 50_000.0, // everything arrives nearly at once
+            seed: 17,
+            queue_cap: Some(8),
+            ..Default::default()
+        };
+        let r = run_open_loop(&mut make_server(5), &evs, &cfg);
+        assert!(r.shed > 0, "overload at cap 8 must shed");
+        assert_eq!(r.queries + r.shed, evs.len(), "no silent drops");
+        assert!(r.max_queue_depth <= 9, "depth {}", r.max_queue_depth);
+        assert_eq!(r.p99_shed_ms, 0.0, "fail-fast rejection");
+        // Determinism holds with the resilience knobs on.
+        assert_eq!(r, run_open_loop(&mut make_server(5), &evs, &cfg));
+    }
+
+    #[test]
+    fn slo_breach_degrades_with_bounds_and_idle_gaps_backfill() {
+        use ppr_cluster::FaultPlan;
+        let evs: Vec<ServeEvent> = (0..48)
+            .map(|i| ServeEvent::Query(Request::Ppv((i * 5) % 120)))
+            .collect();
+        let mut server = make_server(9);
+        // A straggler machine makes exact rounds slow enough to blow the
+        // SLO under a burst; degraded batches answer from the estimator.
+        server.set_fault_plan(FaultPlan::empty().slow(0, 64.0));
+        let cfg = OpenLoopConfig {
+            arrival_rate: 1_500.0,
+            seed: 29,
+            slo_ms: Some(2.0),
+            pattern: ArrivalPattern::Bursty {
+                period_events: 24,
+                on_events: 16,
+                peak: 20.0,
+            },
+            ..Default::default()
+        };
+        let r = run_open_loop(&mut server, &evs, &cfg);
+        assert_eq!(r.queries, evs.len(), "nothing shed without a cap");
+        assert!(r.degraded_answers > 0, "SLO 2ms must force degradation");
+        assert!(r.degraded_answers < evs.len(), "some exact answers too");
+        assert!(
+            r.backfilled_sources > 0,
+            "idle gaps between bursts must recover parked sources"
+        );
+        assert_eq!(
+            server.resilience_stats().degraded_answers,
+            r.degraded_answers as u64
+        );
+        // Degraded service is priced below exact fresh service, so the
+        // degraded class must not have a *worse* median than the overall
+        // worst case.
+        assert!(r.p50_approx_ms <= r.max_sojourn_ms);
+        // Replays bit-identically under faults too.
+        let mut twin = make_server(9);
+        twin.set_fault_plan(FaultPlan::empty().slow(0, 64.0));
+        assert_eq!(r, run_open_loop(&mut twin, &evs, &cfg));
     }
 }

@@ -85,7 +85,7 @@ pub enum Request {
 
 impl Request {
     /// Source nodes this request needs PPVs for.
-    fn sources(&self) -> impl Iterator<Item = NodeId> + '_ {
+    pub(crate) fn sources(&self) -> impl Iterator<Item = NodeId> + '_ {
         let slice: Vec<NodeId> = match self {
             Request::Ppv(u) | Request::TopK { source: u, .. } => vec![*u],
             Request::Preference(p) => p.iter().map(|&(u, _)| u).collect(),
@@ -407,7 +407,7 @@ pub(crate) fn execute_batch<I: DistributedQueryable>(
 /// during this phase the shards are shared read-only across workers, and
 /// each response depends only on its own request plus the resolved PPVs,
 /// so chunking cannot change any response's bits.
-fn assemble<I: DistributedQueryable>(
+pub(crate) fn assemble<I: DistributedQueryable>(
     index: &I,
     fresh: &HashMap<NodeId, SparseVector>,
     cache: &ShardSet,

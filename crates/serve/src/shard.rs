@@ -22,6 +22,7 @@
 //! [`DynamicPprServer`](crate::DynamicPprServer)'s epoch discipline.
 
 use crate::cache::{CacheStats, PpvCache};
+use crate::degrade::Answer;
 use crate::server::{execute_batch, BatchOutcome, Request, Response, ServeConfig, ServeStats};
 use ppr_cluster::{Cluster, ClusterConfig, DistributedQueryable, ParallelismMode};
 use ppr_core::SparseVector;
@@ -255,6 +256,23 @@ impl<'i, I: DistributedQueryable> ShardedPprServer<'i, I> {
             requests,
             assembly,
         )
+    }
+
+    /// Answer a request stream under **admission control**: the first
+    /// `cap` requests are admitted and served exactly (same coalescing as
+    /// [`ShardedPprServer::serve`]), the remainder are shed up front as
+    /// [`Answer::Shed`] without touching the cluster or the cache. Answers
+    /// come back in request order — every request resolves to exactly one
+    /// [`Answer`], so overload degrades to explicit rejections, never to
+    /// silent drops or unbounded queueing.
+    pub fn serve_bounded(&mut self, requests: &[Request], cap: usize) -> Vec<Answer> {
+        let admitted = cap.min(requests.len());
+        let mut out: Vec<Answer> = self.serve(&requests[..admitted])
+            .into_iter()
+            .map(Answer::Exact)
+            .collect();
+        out.resize(requests.len(), Answer::Shed);
+        out
     }
 
     /// Single-request convenience: exact PPV of `u`.

@@ -598,6 +598,153 @@ pub fn query_nodes(g: &CsrGraph, count: usize, seed: u64) -> Vec<NodeId> {
     out
 }
 
+/// Shape of the open-loop arrival process.
+///
+/// Every variant draws the same exponential variates from the same
+/// seeded stream — the pattern only modulates the *instantaneous rate*
+/// each variate is divided by — so [`ArrivalPattern::Poisson`]
+/// reproduces the historical open-loop arrival schedule byte for byte,
+/// and switching patterns never perturbs the RNG stream shared with
+/// anything else.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum ArrivalPattern {
+    /// Homogeneous Poisson arrivals at the configured mean rate (the
+    /// standard heavy-traffic model; the historical default).
+    #[default]
+    Poisson,
+    /// On/off bursts: the first `on_events` arrivals of every
+    /// `period_events`-arrival cycle come at `peak × rate`, the rest at
+    /// the complementary trough rate that keeps the long-run mean at
+    /// `rate`. Models flash crowds hitting an admission-controlled edge.
+    Bursty {
+        /// Arrivals per on/off cycle (>= 2).
+        period_events: usize,
+        /// Arrivals of each cycle served at the peak rate (1..period).
+        on_events: usize,
+        /// Peak rate multiplier (> 1.0).
+        peak: f64,
+    },
+    /// Sinusoidal rate modulation: instantaneous rate
+    /// `rate × (1 + amplitude · sin(2πt / period_seconds))` — a smooth
+    /// diurnal load curve compressed onto the virtual clock.
+    Diurnal {
+        /// Seconds per full cycle of the virtual day.
+        period_seconds: f64,
+        /// Relative swing around the mean rate, in `[0, 1)`.
+        amplitude: f64,
+    },
+}
+
+/// Generate `count` arrival timestamps (virtual seconds, ascending) for
+/// mean rate `rate` under `pattern`, from the seeded exponential stream.
+///
+/// `ArrivalPattern::Poisson` is pinned to the historical inline
+/// generator of the open-loop simulator: `StdRng::seed_from_u64(seed)`,
+/// one `random_range(0.0..1.0)` draw per event, inverse-CDF exponential.
+pub fn arrival_times(pattern: ArrivalPattern, rate: f64, seed: u64, count: usize) -> Vec<f64> {
+    assert!(
+        rate.is_finite() && rate > 0.0,
+        "arrival rate must be positive and finite, got {rate}"
+    );
+    if let ArrivalPattern::Bursty {
+        period_events,
+        on_events,
+        peak,
+    } = pattern
+    {
+        assert!(period_events >= 2, "bursty period needs >= 2 events");
+        assert!(
+            (1..period_events).contains(&on_events),
+            "on_events must be in 1..period_events"
+        );
+        assert!(peak > 1.0, "bursty peak multiplier must exceed 1.0");
+    }
+    if let ArrivalPattern::Diurnal {
+        period_seconds,
+        amplitude,
+    } = pattern
+    {
+        assert!(period_seconds > 0.0, "diurnal period must be positive");
+        assert!(
+            (0.0..1.0).contains(&amplitude),
+            "diurnal amplitude must be in [0,1)"
+        );
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0f64;
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let u: f64 = rng.random_range(0.0..1.0);
+        let e = -(1.0 - u).ln();
+        let instantaneous = match pattern {
+            ArrivalPattern::Poisson => rate,
+            ArrivalPattern::Bursty {
+                period_events,
+                on_events,
+                peak,
+            } => {
+                if i % period_events < on_events {
+                    rate * peak
+                } else {
+                    // Trough rate chosen so one cycle's expected duration
+                    // stays `period/rate` (time per event is 1/rate, so
+                    // rates average harmonically): on/peak + off/trough =
+                    // period. Positive because period > on >= on/peak.
+                    let off = (period_events - on_events) as f64;
+                    let trough = off / (period_events as f64 - on_events as f64 / peak);
+                    rate * trough
+                }
+            }
+            ArrivalPattern::Diurnal {
+                period_seconds,
+                amplitude,
+            } => rate * (1.0 + amplitude * (std::f64::consts::TAU * t / period_seconds).sin()),
+        };
+        t += e / instantaneous;
+        out.push(t);
+    }
+    out
+}
+
+/// A seeded scenario of cluster faults, as plain data.
+///
+/// Workload generation stays cluster-agnostic: the script names *what*
+/// misbehaves (machine indices, slow factors, fail windows in fan-out
+/// rounds, a transient drop rate); `ppr-cluster`'s `FaultPlan` is the
+/// executable form the bench harness assembles from it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultScript {
+    /// `(machine, factor)` stragglers.
+    pub slow: Vec<(usize, f64)>,
+    /// `(machine, from_round, until_round)` fail windows.
+    pub fail: Vec<(usize, u64, u64)>,
+    /// Per-delivery-attempt transient drop probability.
+    pub drop_rate: f64,
+    /// Seed for the drop draws (forwarded to the fault plan).
+    pub drop_seed: u64,
+}
+
+/// Generate the standard fault scenario for a `machines`-machine
+/// cluster: one straggler, one crash-recover window, and a low transient
+/// drop rate — all derived deterministically from `seed`.
+pub fn fault_script(machines: usize, seed: u64) -> FaultScript {
+    assert!(machines >= 2, "a fault script needs at least 2 machines");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFA_0175_C21F);
+    let slow_machine = rng.random_range(0..machines);
+    let slow_factor = 2.0 + rng.random_range(0..6) as f64; // 2x..7x
+    // Fail a different machine so the two faults compose.
+    let fail_machine = (slow_machine + 1 + rng.random_range(0..machines - 1)) % machines;
+    let from = 2 + rng.random_range(0..6) as u64;
+    let len = 4 + rng.random_range(0..8) as u64;
+    let drop_rate = 0.01 + rng.random_range(0..4) as f64 * 0.01; // 1%..4%
+    FaultScript {
+        slow: vec![(slow_machine, slow_factor)],
+        fail: vec![(fail_machine, from, from + len)],
+        drop_rate,
+        drop_seed: seed,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -875,5 +1022,96 @@ mod tests {
     fn mixed_stream_rejects_bad_rate() {
         let g = Dataset::Email.generate_with_nodes(200);
         MixedStream::new(&g, MixedStreamConfig { update_rate: 1.5, ..Default::default() }, 0);
+    }
+
+    #[test]
+    fn arrival_times_are_ascending_and_seeded() {
+        for pattern in [
+            ArrivalPattern::Poisson,
+            ArrivalPattern::Bursty {
+                period_events: 100,
+                on_events: 20,
+                peak: 4.0,
+            },
+            ArrivalPattern::Diurnal {
+                period_seconds: 2.0,
+                amplitude: 0.8,
+            },
+        ] {
+            let a = arrival_times(pattern, 500.0, 9, 400);
+            let b = arrival_times(pattern, 500.0, 9, 400);
+            assert_eq!(a, b, "{pattern:?} must replay identically");
+            assert_eq!(a.len(), 400);
+            assert!(a.windows(2).all(|w| w[1] > w[0]), "{pattern:?} ascending");
+            assert!(a[0] > 0.0);
+            let c = arrival_times(pattern, 500.0, 10, 400);
+            assert_ne!(a, c, "{pattern:?} must respond to the seed");
+        }
+    }
+
+    #[test]
+    fn bursty_keeps_the_long_run_mean_rate() {
+        let n = 40_000;
+        let rate = 800.0;
+        let poisson = arrival_times(ArrivalPattern::Poisson, rate, 4, n);
+        let bursty = arrival_times(
+            ArrivalPattern::Bursty {
+                period_events: 200,
+                on_events: 50,
+                peak: 3.0,
+            },
+            rate,
+            4,
+            n,
+        );
+        let mean_p = n as f64 / poisson[n - 1];
+        let mean_b = n as f64 / bursty[n - 1];
+        assert!(
+            (mean_b - mean_p).abs() / mean_p < 0.05,
+            "bursty long-run rate {mean_b} vs poisson {mean_p}"
+        );
+        // But the bursts are real: the fastest 50-event window under the
+        // bursty pattern is much tighter than the mean spacing.
+        let tightest = bursty
+            .windows(51)
+            .map(|w| w[50] - w[0])
+            .fold(f64::INFINITY, f64::min);
+        assert!(tightest < 50.0 / (rate * 2.0));
+    }
+
+    #[test]
+    fn diurnal_rate_actually_oscillates() {
+        let times = arrival_times(
+            ArrivalPattern::Diurnal {
+                period_seconds: 1.0,
+                amplitude: 0.9,
+            },
+            1000.0,
+            5,
+            4000,
+        );
+        // Count arrivals in the first and second half of the first full
+        // cycle: the sin() modulation front-loads the first half.
+        let first = times.iter().filter(|&&t| t < 0.5).count();
+        let second = times.iter().filter(|&&t| (0.5..1.0).contains(&t)).count();
+        assert!(
+            first > second + second / 2,
+            "first half {first}, second half {second}"
+        );
+    }
+
+    #[test]
+    fn fault_script_is_seeded_and_well_formed() {
+        let a = fault_script(6, 42);
+        let b = fault_script(6, 42);
+        assert_eq!(a, b);
+        assert_ne!(a, fault_script(6, 43));
+        let (slow_m, factor) = a.slow[0];
+        let (fail_m, from, until) = a.fail[0];
+        assert!(slow_m < 6 && fail_m < 6 && slow_m != fail_m);
+        assert!(factor >= 2.0);
+        assert!(from < until);
+        assert!((0.0..0.1).contains(&a.drop_rate));
+        assert_eq!(a.drop_seed, 42);
     }
 }

@@ -14,9 +14,12 @@
 //!   columns), the Jeh–Widom decomposition, and the paper's GPA and HGPA
 //!   indexes.
 //! * [`cluster`] — a simulated coordinator-based share-nothing cluster with
-//!   byte-accurate communication accounting.
+//!   byte-accurate communication accounting, deterministic fault injection,
+//!   and retry/hedging at the fan-out boundary.
 //! * [`serve`] — the query-serving layer: request batching, a
-//!   byte-accounted LRU PPV cache, and exact top-k over either index.
+//!   byte-accounted LRU PPV cache, exact top-k over either index, and
+//!   admission control with graceful degradation to bounded-precision
+//!   answers under overload or machine failure.
 //! * [`baselines`] — Pregel-like and Blogel-like BSP engines, a
 //!   FastPPV-style approximate method, and a Monte Carlo estimator.
 //! * [`metrics`] — L1/L∞ norms, Precision@k, RAG@k, Kendall's τ.
@@ -51,7 +54,10 @@ pub mod prelude {
     pub use ppr_baselines::{
         blogel::BlogelPpr, fastppv::FastPpv, monte_carlo::MonteCarloPpr, pregel::PregelPpr,
     };
-    pub use ppr_cluster::{Cluster, ClusterConfig, NetworkModel, ParallelismMode};
+    pub use ppr_cluster::{
+        Cluster, ClusterConfig, FanoutOutcome, FaultPlan, NetworkModel, ParallelismMode,
+        ResilienceConfig,
+    };
     pub use ppr_core::{
         gpa::{GpaBuildOptions, GpaIndex},
         hgpa::{HgpaBuildOptions, HgpaIndex, QuerySession},
@@ -70,10 +76,12 @@ pub mod prelude {
     };
     pub use ppr_metrics::{avg_l1, kendall_tau_top_k, l_inf, precision_at_k, rag_at_k};
     pub use ppr_serve::{
-        ColdStart, DynamicPprServer, OpenLoopConfig, OpenLoopReport, PprServer, Request,
-        Response, ServeConfig, ServeEvent, ServiceModel, ShardedPprServer,
+        Answer, ArrivalPattern, ColdStart, Degrader, DynamicPprServer, OpenLoopConfig,
+        OpenLoopReport, PprServer, Request, Response, ServeConfig, ServeEvent, ServiceModel,
+        ShardedPprServer,
     };
     pub use ppr_workload::{
-        Dataset, DatasetSpec, MixedEvent, MixedStream, MixedStreamConfig, ZipfQueryStream,
+        fault_script, Dataset, DatasetSpec, FaultScript, MixedEvent, MixedStream,
+        MixedStreamConfig, ZipfQueryStream,
     };
 }

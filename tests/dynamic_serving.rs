@@ -32,7 +32,7 @@ use exact_ppr::graph::reach::reverse_reachable;
 use exact_ppr::graph::{delta, CsrGraph, EdgeUpdate, GraphBuilder, NodeId};
 use exact_ppr::partition::HierarchyConfig;
 use exact_ppr::prelude::{Cluster, DynamicPprServer, Request, ServeConfig};
-use exact_ppr::serve::{run_open_loop, OpenLoopConfig, ServeEvent, ServiceModel};
+use exact_ppr::serve::{run_open_loop, OpenLoopConfig, ServeEvent};
 use exact_ppr::workload::{MixedEvent, MixedStream, MixedStreamConfig};
 use proptest::prelude::*;
 
@@ -356,7 +356,7 @@ fn open_loop_report_is_deterministic_and_consistent() {
     let cfg = OpenLoopConfig {
         arrival_rate: 900.0, // past saturation: queueing must show up
         seed: 31,
-        service: ServiceModel::modeled_default(),
+        ..Default::default()
     };
 
     let (mut s1, ev1) = make();
