@@ -21,7 +21,11 @@
 //!   computed expressions to node-id width;
 //! * [`rules::RULE_UNBOUNDED_QUEUE`] — no uncapped queue growth in the
 //!   serving layer: under overload a request must be shed (or its
-//!   overflow counted) explicitly, never absorbed into unbounded memory.
+//!   overflow counted) explicitly, never absorbed into unbounded memory;
+//! * [`rules::RULE_BLOCKING_IO`] — no socket reads/writes without the
+//!   matching `set_read_timeout`/`set_write_timeout` visible in the same
+//!   function: a dead peer must surface as a timeout the supervisor can
+//!   act on, never as a hung coordinator.
 //!
 //! There is deliberately no `syn` here (the vendored deps are offline
 //! stand-ins): [`lexer`] is a small hand-rolled Rust lexer, and the
@@ -420,13 +424,122 @@ fn collect(out: &mut Vec<u32>, x: u32) {
     }
 
     #[test]
+    fn fixture_blocking_io_fires() {
+        let src = "\
+use std::io::Read;
+use std::net::TcpStream;
+fn drain(s: &mut TcpStream) -> Vec<u8> {
+    let mut buf = vec![0u8; 64];
+    let _ = s.read(&mut buf);
+    buf
+}
+";
+        let r = audit_sources(&[("crates/wire/src/fix.rs", src)]);
+        assert!(violations_of(&r, RULE_BLOCKING_IO) >= 1, "{}", r.render_text());
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn blocking_io_with_matching_timeout_in_same_fn_is_clean() {
+        let src = "\
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+fn exchange(s: &mut TcpStream, out: &[u8]) -> std::io::Result<Vec<u8>> {
+    s.set_write_timeout(Some(Duration::from_secs(1)))?;
+    s.write_all(out)?;
+    s.set_read_timeout(Some(Duration::from_secs(1)))?;
+    let mut buf = vec![0u8; 64];
+    s.read_exact(&mut buf)?;
+    Ok(buf)
+}
+";
+        let r = audit_sources(&[("crates/wire/src/fix.rs", src)]);
+        assert_eq!(violations_of(&r, RULE_BLOCKING_IO), 0, "{}", r.render_text());
+    }
+
+    #[test]
+    fn blocking_io_requires_the_matching_setter() {
+        // A read deadline does not excuse an unbounded write.
+        let src = "\
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+fn push(s: &mut TcpStream, out: &[u8]) -> std::io::Result<()> {
+    s.set_read_timeout(Some(Duration::from_secs(1)))?;
+    s.write_all(out)
+}
+";
+        let r = audit_sources(&[("crates/wire/src/fix.rs", src)]);
+        assert_eq!(violations_of(&r, RULE_BLOCKING_IO), 1, "{}", r.render_text());
+    }
+
+    #[test]
+    fn blocking_io_timeout_in_another_fn_does_not_cover() {
+        let src = "\
+use std::io::Read;
+use std::net::TcpStream;
+use std::time::Duration;
+fn arm(s: &mut TcpStream) -> std::io::Result<()> {
+    s.set_read_timeout(Some(Duration::from_secs(1)))
+}
+fn drain(s: &mut TcpStream) -> std::io::Result<usize> {
+    let mut buf = vec![0u8; 64];
+    s.read(&mut buf)
+}
+";
+        let r = audit_sources(&[("crates/wire/src/fix.rs", src)]);
+        assert_eq!(violations_of(&r, RULE_BLOCKING_IO), 1, "{}", r.render_text());
+    }
+
+    #[test]
+    fn blocking_io_ignores_files_without_socket_types() {
+        // File/buffer IO is out of scope: no socket type in the file.
+        let src = "\
+use std::io::Read;
+fn slurp(f: &mut std::fs::File) -> std::io::Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    f.read_to_end(&mut buf)?;
+    Ok(buf)
+}
+";
+        let r = audit_sources(&[("crates/core/src/fix.rs", src)]);
+        assert_eq!(violations_of(&r, RULE_BLOCKING_IO), 0, "{}", r.render_text());
+    }
+
+    #[test]
+    fn blocking_io_allow_annotation_suppresses() {
+        let src = "\
+use std::io::Read;
+use std::net::TcpStream;
+fn drain(s: &mut TcpStream) -> std::io::Result<usize> {
+    let mut buf = vec![0u8; 64];
+    // audit:allow(blocking-io): connection is nonblocking-mode already
+    s.read(&mut buf)
+}
+";
+        let r = audit_sources(&[("crates/wire/src/fix.rs", src)]);
+        assert_eq!(violations_of(&r, RULE_BLOCKING_IO), 0, "{}", r.render_text());
+        assert_eq!(r.allowed().count(), 1);
+    }
+
+    #[test]
+    fn serve_panic_covers_the_wire_crate() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let r = audit_sources(&[("crates/wire/src/fix.rs", src)]);
+        assert_eq!(violations_of(&r, RULE_SERVE_PANIC), 1);
+    }
+
+    #[test]
     fn exit_semantics_one_violation_per_rule_all_fire_together() {
-        // One source seeding all six rules at once: the audit must
+        // One source seeding all seven rules at once: the audit must
         // report at least one violation of each.
         let src = "\
 use std::collections::{HashMap, VecDeque};
+use std::io::Read;
+use std::net::TcpStream;
 use std::time::Instant;
-fn bad(m: &HashMap<u32, f64>, xs: &[f64], i: u32) -> f64 {
+fn bad(m: &HashMap<u32, f64>, xs: &[f64], i: u32, sock: &mut TcpStream) -> f64 {
     let t = Instant::now();
     let mut acc = 0.0;
     for (_, v) in m.iter() {
@@ -434,6 +547,8 @@ fn bad(m: &HashMap<u32, f64>, xs: &[f64], i: u32) -> f64 {
     }
     let mut queue: VecDeque<u32> = VecDeque::new();
     queue.push_back(i);
+    let mut buf = vec![0u8; 8];
+    let _ = sock.read(&mut buf);
     let s = m.values().sum::<f64>();
     let id = xs.len() as u32;
     let x = xs[i as usize] + xs.first().unwrap();

@@ -24,6 +24,8 @@ pub const RULE_FLOAT_SUM: &str = "float-sum-order";
 pub const RULE_LOSSY_CAST: &str = "lossy-id-cast";
 /// Rule id for serving-side queue growth without a capacity bound.
 pub const RULE_UNBOUNDED_QUEUE: &str = "unbounded-queue";
+/// Rule id for socket IO without a visible deadline.
+pub const RULE_BLOCKING_IO: &str = "blocking-io";
 /// Rule id for malformed `audit:allow` annotations (meta-check).
 pub const RULE_MALFORMED_ALLOW: &str = "malformed-allow";
 
@@ -35,14 +37,21 @@ pub const ALL_RULES: &[&str] = &[
     RULE_FLOAT_SUM,
     RULE_LOSSY_CAST,
     RULE_UNBOUNDED_QUEUE,
+    RULE_BLOCKING_IO,
 ];
 
 /// The single file allowed to touch `std::time` directly: it defines the
 /// `Stopwatch` gateway everything else must measure wall time through.
 const WALL_CLOCK_MODULES: &[&str] = &["crates/core/src/parallel.rs"];
 
-/// Crates whose request paths must not panic (R3 scope).
-const SERVE_PATH_PREFIXES: &[&str] = &["crates/serve/src/", "crates/cluster/src/"];
+/// Crates whose request paths must not panic (R3 scope). The wire crate
+/// is in scope: a malformed frame that panics the coordinator is the
+/// exact failure mode the corruption suite forbids.
+const SERVE_PATH_PREFIXES: &[&str] = &[
+    "crates/serve/src/",
+    "crates/cluster/src/",
+    "crates/wire/src/",
+];
 
 /// Crates whose in-memory queues must be capacity-bounded (R6 scope):
 /// the serving layer, where overload must surface as explicit shedding,
@@ -59,6 +68,7 @@ pub fn check_file(file: &SourceFile, out: &mut Vec<Finding>) {
     rule_float_sum(file, &hash_names, out);
     rule_lossy_cast(file, out);
     rule_unbounded_queue(file, out);
+    rule_blocking_io(file, out);
     rule_malformed_allows(file, out);
 }
 
@@ -644,6 +654,130 @@ fn rule_unbounded_queue(file: &SourceFile, out: &mut Vec<Finding>) {
             );
         }
     }
+}
+
+/// Socket types whose presence anywhere in a file puts its IO calls in
+/// R7's scope. Files that never touch a socket keep using `Read`/`Write`
+/// on files and buffers unbothered.
+const SOCKET_TYPES: &[&str] = &[
+    "TcpStream",
+    "TcpListener",
+    "UnixStream",
+    "UnixListener",
+    "UdpSocket",
+];
+
+/// Read-side calls R7 guards, each requiring `set_read_timeout`.
+const BLOCKING_READS: &[&str] = &["read", "read_exact", "read_to_end", "read_to_string"];
+
+/// Write-side calls R7 guards, each requiring `set_write_timeout`.
+const BLOCKING_WRITES: &[&str] = &["write", "write_all"];
+
+/// R7: socket reads/writes without a visible deadline. A blocking
+/// `read`/`write` on a `std::net` stream with no timeout turns one dead
+/// peer into a hung coordinator — the supervision loop can only treat a
+/// worker as crashed if every IO on its connection is bounded. Every
+/// such call must have the matching `set_read_timeout` /
+/// `set_write_timeout` visible in the *same function* (the only scope a
+/// token-level audit can vouch for), or carry a written justification.
+fn rule_blocking_io(file: &SourceFile, out: &mut Vec<Finding>) {
+    let code = &file.code;
+    if !code
+        .iter()
+        .any(|t| t.kind == TokenKind::Ident && SOCKET_TYPES.contains(&t.text.as_str()))
+    {
+        return;
+    }
+    let spans = function_spans(code);
+    for (k, t) in code.iter().enumerate() {
+        if file.is_test_line(t.line) {
+            continue;
+        }
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let needed = if BLOCKING_READS.contains(&t.text.as_str()) {
+            "set_read_timeout"
+        } else if BLOCKING_WRITES.contains(&t.text.as_str()) {
+            "set_write_timeout"
+        } else {
+            continue;
+        };
+        // Method-call shape only: `recv.read_exact(..)`.
+        if !(k >= 1 && code[k - 1].is_punct(".") && code.get(k + 1).is_some_and(|n| n.is_punct("(")))
+        {
+            continue;
+        }
+        // The innermost enclosing fn must set the matching timeout.
+        let span = spans
+            .iter()
+            .filter(|&&(s, e)| s <= k && k <= e)
+            .max_by_key(|&&(s, _)| s);
+        let covered =
+            span.is_some_and(|&(s, e)| code[s..=e].iter().any(|u| u.is_ident(needed)));
+        if !covered {
+            emit(
+                file,
+                RULE_BLOCKING_IO,
+                t.line,
+                format!(
+                    "`.{}(..)` in a socket-handling file without `{}` visible in \
+                     the same function; set a deadline or justify the blocking call",
+                    t.text, needed
+                ),
+                out,
+            );
+        }
+    }
+}
+
+/// Token spans `(fn_token, closing_brace)` of every function with a body
+/// in the file, innermost discoverable by maximal start index.
+fn function_spans(code: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for k in 0..code.len() {
+        if !code[k].is_ident("fn") {
+            continue;
+        }
+        // Find the body `{` at bracket depth 0; `;` first means a
+        // bodyless trait/extern fn, depth underflow means this `fn` was
+        // a fn-pointer type inside someone else's signature.
+        let mut depth = 0i32;
+        let mut open = None;
+        let mut j = k + 1;
+        while j < code.len() {
+            let t = &code[j];
+            if t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                depth -= 1;
+                if depth < 0 {
+                    break;
+                }
+            } else if depth == 0 && t.is_punct("{") {
+                open = Some(j);
+                break;
+            } else if depth == 0 && t.is_punct(";") {
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = open else { continue };
+        // Match the body's braces to the function's end.
+        let mut depth = 0i32;
+        for (j, t) in code.iter().enumerate().skip(open) {
+            if t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct("}") {
+                depth -= 1;
+                if depth == 0 {
+                    spans.push((k, j));
+                    break;
+                }
+            }
+        }
+    }
+    spans
 }
 
 /// Meta-check: `audit:allow` annotations must name a known rule and give

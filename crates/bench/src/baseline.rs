@@ -12,7 +12,9 @@
 //! 2. **query fan-out**: batched `Cluster::query_many` rounds at the
 //!    same sweep;
 //! 3. **serving**: the Zipf request stream through `ShardedPprServer`
-//!    at the same sweep —
+//!    at the same sweep, closed (when running as the `repro` binary)
+//!    by a socket-transport phase whose modeled and measured reply-byte
+//!    totals are both exact-gated —
 //!
 //! and emits `BENCH_offline.json` + `BENCH_serve.json` (schema
 //! `ppr-bench-baseline/v1`); the [`crate::incremental`] phase adds
@@ -500,11 +502,20 @@ pub fn run_offline(g: &CsrGraph, cfg: &PprConfig, threads: &[usize]) -> Baseline
 
 /// Phase 2 + 3: batched query fan-out rounds and the sharded serving
 /// stream, across the worker sweep.
+///
+/// With `worker_command` set, a **socket phase** closes the report: the
+/// same request stream over real worker processes, exact-gated on the
+/// unified byte accounting — the modeled and the measured reply-byte
+/// totals are recorded as two `exact` metrics that must stay equal to
+/// each other *and* stable across runs, and the response-mismatch count
+/// is pinned at zero. `None` (unit tests, whose harness binary has no
+/// `worker` subcommand) skips the phase.
 pub fn run_serve(
     g: &CsrGraph,
     cfg: &PprConfig,
     threads: &[usize],
     profile: &Profile,
+    worker_command: Option<Vec<String>>,
 ) -> BaselineReport {
     let mut report = BaselineReport::new("serve", threads);
     let hgpa = HgpaIndex::build(g, cfg, &default_hgpa_opts(6));
@@ -583,6 +594,59 @@ pub fn run_serve(
             s.fresh_sources as f64,
             "entries",
             Gate::Exact,
+        );
+    }
+
+    // Socket phase: the reply-byte totals are deterministic (same
+    // stream, same cache policy, same frame formula), so both columns
+    // gate exactly; wall time and supervisor traffic are trend records
+    // (a run with a worker restart still passes the gates as long as
+    // every answer stayed bit-identical — which run_socket_phase itself
+    // asserts).
+    if let Some(cmd) = worker_command {
+        let s = crate::serve::run_socket_phase(g, &hgpa, &knobs, &requests, cmd);
+        report.push(
+            "serve_socket_round_bytes_modeled".into(),
+            s.modeled.round_bytes as f64,
+            "bytes",
+            Gate::Exact,
+        );
+        report.push(
+            "serve_socket_round_bytes_measured".into(),
+            s.socketed.round_bytes as f64,
+            "bytes",
+            Gate::Exact,
+        );
+        report.push(
+            "serve_socket_mismatches".into(),
+            s.mismatches as f64,
+            "entries",
+            Gate::Exact,
+        );
+        report.push(
+            "serve_socket_fresh_sources".into(),
+            s.socketed.fresh_sources as f64,
+            "entries",
+            Gate::Exact,
+        );
+        report.push("serve_socket_wall_seconds".into(), s.wall_seconds, "s", Gate::Info);
+        report.push(
+            "serve_socket_restarts".into(),
+            s.supervisor.restarts as f64,
+            "entries",
+            Gate::Info,
+        );
+        report.push(
+            "serve_socket_rx_bytes".into(),
+            s.wire.bytes_received as f64,
+            "bytes",
+            Gate::Info,
+        );
+        report.push(
+            "serve_socket_throughput_qps".into(),
+            s.socketed.throughput_qps,
+            "qps",
+            Gate::Info,
         );
     }
     report
@@ -677,7 +741,13 @@ pub fn run_and_write(profile: &Profile) {
     );
 
     let offline = run_offline(&g, &cfg, &knobs.threads);
-    let serve = run_serve(&g, &cfg, &knobs.threads, profile);
+    // bench-baseline runs as the `repro` binary, which carries the
+    // hidden `worker` subcommand — so the socket phase can spawn its
+    // worker fleet by re-invoking this very executable.
+    let worker = std::env::current_exe()
+        .ok()
+        .map(|exe| vec![exe.display().to_string(), "worker".to_string()]);
+    let serve = run_serve(&g, &cfg, &knobs.threads, profile, worker);
 
     let mut t = Table::new(
         "Offline build sweep (wall = this host; modeled = dedicated machines)",
@@ -927,7 +997,7 @@ mod tests {
     fn serve_phase_emits_sweep_metrics() {
         let profile = tiny_profile();
         let g = dataset_graph(Dataset::Web, &profile);
-        let r = run_serve(&g, &PprConfig::default(), &[1, 2], &profile);
+        let r = run_serve(&g, &PprConfig::default(), &[1, 2], &profile, None);
         assert!(r.value("fanout_wall_seconds_t1").unwrap() > 0.0);
         assert!(r.value("fanout_reply_entries").unwrap() > 0.0);
         assert!(r.value("serve_wall_seconds_t2").unwrap() > 0.0);

@@ -87,6 +87,20 @@ fn main() {
         return;
     }
 
+    // Hidden subcommand: run as one socket-cluster worker process. The
+    // supervisor spawns `current_exe() worker` so the serve experiment's
+    // socket phase needs no second binary on disk; identity arrives via
+    // the `PPR_WORKER_*` environment.
+    if args.first().map(String::as_str) == Some("worker") {
+        match ppr_serve::worker::run_from_env() {
+            Ok(()) => return,
+            Err(e) => {
+                eprintln!("worker: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     // `audit` takes value flags (`--json x`, `--baseline y`), which the
     // generic `--`-prefix filter above would mangle — parse them here.
     if args.first().map(String::as_str) == Some("audit") {

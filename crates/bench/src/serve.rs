@@ -30,6 +30,13 @@
 //!   indexes from persisted `gpa.pprx` / `hgpa.pprx` files when they
 //!   match the graph/config, building and saving them back otherwise
 //!   (see `repro index-save` / `repro index-load`)
+//! * `PPR_TRANSPORT` — `socket` adds the multi-process phase: the same
+//!   closed-loop stream served over real worker processes (this binary
+//!   re-invoked as `repro worker`), bit-identity and the shared byte
+//!   formula asserted against the modeled transport, measured wire
+//!   traffic reported next to the modeled network column
+//! * `PPR_HEARTBEAT_MS` — socket phase: heartbeat sweep interval of the
+//!   worker supervisor (default 500)
 //!
 //! A **thread-scaling phase** closes the report: the same request stream
 //! through [`ppr_serve::ShardedPprServer`] at each `PPR_SERVE_SHARDS`
@@ -40,16 +47,21 @@
 
 use crate::report::{fmt_bytes, Table};
 use crate::{dataset_graph, Profile};
-use ppr_cluster::{DistributedQueryable, ParallelismMode};
+use ppr_cluster::{
+    DistributedQueryable, ParallelismMode, SocketCluster, SocketConfig, SupervisorStats,
+    WireMetrics,
+};
 use ppr_core::gpa::GpaBuildOptions;
 use ppr_core::hgpa::HgpaIndex;
 use ppr_core::PprConfig;
 use ppr_graph::CsrGraph;
 use ppr_serve::{
     run_open_loop, BatchOutcome, DynamicPprServer, OpenLoopConfig, OpenLoopReport, PprServer,
-    Request, ServeConfig, ServeEvent, ServiceModel, ShardedPprServer,
+    Request, Response, ServeConfig, ServeEvent, ServiceModel, ShardedPprServer,
 };
 use ppr_workload::{Dataset, MixedEvent, MixedStream, MixedStreamConfig, ZipfQueryStream};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Load-generator parameters (env-overridable; see module docs).
 #[derive(Clone, Debug)]
@@ -70,6 +82,11 @@ pub struct ServeKnobs {
     /// Thread-scaling phase: worker/shard counts to sweep; empty
     /// disables the phase.
     pub shards: Vec<usize>,
+    /// Run the multi-process socket phase (`PPR_TRANSPORT=socket`).
+    pub socket: bool,
+    /// Socket phase: supervisor heartbeat interval override
+    /// (`PPR_HEARTBEAT_MS`); `None` keeps [`SocketConfig`]'s default.
+    pub heartbeat_ms: Option<u64>,
 }
 
 impl ServeKnobs {
@@ -98,6 +115,12 @@ impl ServeKnobs {
             update_rate: env_f64("PPR_SERVE_UPDATE_RATE", 0.02),
             arrival_qps: env_f64("PPR_SERVE_ARRIVAL_QPS", 600.0),
             shards,
+            socket: std::env::var("PPR_TRANSPORT")
+                .map(|v| v.eq_ignore_ascii_case("socket"))
+                .unwrap_or(false),
+            heartbeat_ms: std::env::var("PPR_HEARTBEAT_MS")
+                .ok()
+                .and_then(|v| v.parse().ok()),
         }
     }
 }
@@ -300,6 +323,147 @@ pub fn measure_sharded<I: DistributedQueryable>(
     summarize(requests.len(), &latencies, seconds, &stats, server.cache_bytes())
 }
 
+/// Outcome of the socket-transport phase: the same stream served once on
+/// the modeled in-process transport and once over real worker processes.
+#[derive(Clone, Debug)]
+pub struct SocketPhaseReport {
+    /// Modeled-transport run; its `round_bytes` come from the shared
+    /// frame formula (`ppr_wire::reply_frame_bytes`).
+    pub modeled: ServeSummary,
+    /// Socket-transport run; its `round_bytes` are the *measured* sizes
+    /// of the reply frames that crossed the coordinator's sockets.
+    pub socketed: ServeSummary,
+    /// Real wall-clock seconds of the socketed run, network included.
+    pub wall_seconds: f64,
+    /// Responses whose bits differed between the transports. Asserted
+    /// zero inside [`run_socket_phase`]; carried for the baseline gate.
+    pub mismatches: usize,
+    /// Coordinator-side wire totals — handshake, heartbeat, and epoch
+    /// traffic included, so these exceed the reply-only byte columns.
+    pub wire: WireMetrics,
+    /// Supervisor counters; `restarts > 0` means a worker died mid-run.
+    pub supervisor: SupervisorStats,
+}
+
+/// Feed `requests` batch by batch, keeping the responses for the
+/// bit-identity comparison alongside the usual latency samples.
+fn drive_collect(
+    server: &mut DynamicPprServer,
+    requests: &[Request],
+    batch: usize,
+) -> (Vec<Response>, Vec<f64>, f64) {
+    let mut responses = Vec::with_capacity(requests.len());
+    let mut latencies = Vec::with_capacity(requests.len());
+    let mut seconds = 0.0;
+    for chunk in requests.chunks(batch.max(1)) {
+        let out = server.run_batch(chunk);
+        let latency = out.seconds + out.modeled_network_seconds;
+        seconds += latency;
+        latencies.extend(std::iter::repeat_n(latency, chunk.len()));
+        responses.extend(out.responses);
+    }
+    (responses, latencies, seconds)
+}
+
+/// Bit-level response equality: `f64` compared through `to_bits`, so
+/// `0.0 == -0.0` shortcuts and NaN blind spots cannot mask a divergence.
+fn responses_bits_equal(a: &Response, b: &Response) -> bool {
+    match (a, b) {
+        (Response::Ppv(x), Response::Ppv(y)) => {
+            x.nnz() == y.nnz()
+                && x.iter()
+                    .zip(y.iter())
+                    .all(|((ia, va), (ib, vb))| ia == ib && va.to_bits() == vb.to_bits())
+        }
+        (Response::TopK(x), Response::TopK(y)) => {
+            x.len() == y.len()
+                && x.iter()
+                    .zip(y)
+                    .all(|((ia, va), (ib, vb))| ia == ib && va.to_bits() == vb.to_bits())
+        }
+        _ => false,
+    }
+}
+
+/// Serve `requests` twice through a [`DynamicPprServer`] — once on the
+/// modeled transport, once over a real worker-process cluster spawned
+/// with `worker_command` — and compare every response bit for bit.
+///
+/// Two gates run inline on every invocation: zero response mismatches
+/// (the transports are the same cluster), and modeled `round_bytes` ==
+/// measured `round_bytes` (one frame formula, two accountings). Both
+/// panic on violation; a bench run that survives this function shed and
+/// degraded nothing.
+pub fn run_socket_phase(
+    graph: &CsrGraph,
+    index: &HgpaIndex,
+    knobs: &ServeKnobs,
+    requests: &[Request],
+    worker_command: Vec<String>,
+) -> SocketPhaseReport {
+    let config = ServeConfig {
+        cache_capacity_bytes: knobs.cache_bytes,
+        max_batch: knobs.batch,
+        ..Default::default()
+    };
+    let mut modeled = DynamicPprServer::from_index(graph.clone(), index.clone(), config);
+    let mut socketed = DynamicPprServer::from_index(graph.clone(), index.clone(), config);
+
+    let snapshot = std::env::temp_dir().join(format!(
+        "ppr-serve-socket-{}.pprx",
+        std::process::id()
+    ));
+    let mut sc = SocketConfig::new(index.machines(), worker_command, snapshot.clone());
+    if let Some(ms) = knobs.heartbeat_ms {
+        sc.heartbeat = Duration::from_millis(ms);
+    }
+    let sock = Arc::new(
+        SocketCluster::launch(sc, index, graph, 0).expect("launch socket worker fleet"),
+    );
+    socketed.attach_socket(sock.clone());
+
+    let (resp_m, lat_m, sec_m) = drive_collect(&mut modeled, requests, knobs.batch);
+    let stats_m = *modeled.stats();
+    let summary_m = summarize(requests.len(), &lat_m, sec_m, &stats_m, modeled.cache_bytes());
+
+    let sw = ppr_core::parallel::Stopwatch::start();
+    let (resp_s, lat_s, sec_s) = drive_collect(&mut socketed, requests, knobs.batch);
+    let wall_seconds = sw.elapsed_seconds();
+    let stats_s = *socketed.stats();
+    let summary_s = summarize(requests.len(), &lat_s, sec_s, &stats_s, socketed.cache_bytes());
+
+    let mismatches = resp_m
+        .iter()
+        .zip(&resp_s)
+        .filter(|(a, b)| !responses_bits_equal(a, b))
+        .count()
+        + resp_m.len().abs_diff(resp_s.len());
+    assert_eq!(mismatches, 0, "socket transport diverged from modeled");
+    assert_eq!(
+        stats_m.round_bytes, stats_s.round_bytes,
+        "measured reply bytes drifted from the shared frame formula"
+    );
+    assert_eq!(
+        stats_m.fresh_sources, stats_s.fresh_sources,
+        "cache behavior must not depend on the transport"
+    );
+
+    let wire = sock.metrics();
+    let supervisor = sock.supervisor_stats();
+    socketed.detach_socket();
+    sock.shutdown();
+    let _ = std::fs::remove_file(&snapshot);
+
+    SocketPhaseReport {
+        modeled: summary_m,
+        socketed: summary_s,
+        wall_seconds,
+        mismatches,
+        wire,
+        supervisor,
+    }
+}
+
 /// Run the serving scenario and print the comparison table.
 pub fn run(profile: &Profile) {
     let knobs = ServeKnobs::from_env(profile);
@@ -382,6 +546,61 @@ pub fn run(profile: &Profile) {
         cached.throughput_qps / uncached.throughput_qps.max(1e-12),
         uncached.round_bytes as f64 / cached.round_bytes.max(1) as f64,
     );
+
+    // Socket phase: real worker processes behind the same cluster
+    // interface — this very binary re-invoked with the hidden `worker`
+    // subcommand. Bit-identity and the unified byte accounting are
+    // asserted inside `run_socket_phase`; surviving it means the wire
+    // shipped the exact answers the model predicted, byte for byte.
+    if knobs.socket {
+        match std::env::current_exe() {
+            Ok(exe) => {
+                let cmd = vec![exe.display().to_string(), "worker".to_string()];
+                let r = run_socket_phase(&g, &hgpa, &knobs, &requests, cmd);
+                let mut t = Table::new(
+                    format!(
+                        "Transport: modeled vs {machines} real worker processes, same stream"
+                    ),
+                    &[
+                        "transport",
+                        "throughput",
+                        "p50",
+                        "p99",
+                        "net (formula)",
+                        "net measured",
+                        "wall",
+                    ],
+                );
+                t.row(vec![
+                    "modeled".into(),
+                    format!("{:.0} q/s", r.modeled.throughput_qps),
+                    format!("{:.2} ms", r.modeled.p50_ms),
+                    format!("{:.2} ms", r.modeled.p99_ms),
+                    fmt_bytes(r.modeled.round_bytes),
+                    "-".into(),
+                    "-".into(),
+                ]);
+                t.row(vec![
+                    "socket".into(),
+                    format!("{:.0} q/s", r.socketed.throughput_qps),
+                    format!("{:.2} ms", r.socketed.p50_ms),
+                    format!("{:.2} ms", r.socketed.p99_ms),
+                    fmt_bytes(r.socketed.round_bytes),
+                    fmt_bytes(r.wire.bytes_received),
+                    format!("{:.2} s", r.wall_seconds),
+                ]);
+                t.print();
+                println!(
+                    "socket gate: {} responses bit-identical, reply bytes == formula, \
+                     {} frames over the wire, {} restarts",
+                    requests.len(),
+                    r.wire.frames_received,
+                    r.supervisor.restarts,
+                );
+            }
+            Err(e) => eprintln!("socket phase skipped: cannot resolve current exe: {e}"),
+        }
+    }
 
     // Thread-scaling phase: the same stream through the sharded server
     // at each worker count. Wall-clock, so the speedup column measures
@@ -470,6 +689,8 @@ mod tests {
             update_rate: 0.1,
             arrival_qps: 400.0,
             shards: vec![1, 2],
+            socket: false,
+            heartbeat_ms: None,
         }
     }
 

@@ -25,6 +25,7 @@
 pub mod exec;
 pub mod fault;
 pub mod network;
+pub mod socket;
 
 pub use exec::{
     Cluster, ClusterBatchReport, ClusterQueryReport, DistributedQueryable, MachineStats,
@@ -32,6 +33,11 @@ pub use exec::{
 };
 pub use fault::{Fault, FanoutOutcome, FaultPlan, MachineOutcome, ResilienceConfig};
 pub use network::NetworkModel;
+pub use socket::{MachineReply, SocketCluster, SocketConfig, SupervisorStats};
+// Measured-traffic counters travel with the socket supervisor
+// ([`SocketCluster::metrics`]); re-exported so callers reporting wire
+// totals need not depend on `ppr-wire` directly.
+pub use ppr_wire::WireMetrics;
 // `ParallelismMode` moved to `ppr-core::parallel` so the offline build
 // paths can share the same switch (this crate depends on core, not the
 // other way around); re-exported here so existing

@@ -96,6 +96,20 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !c
 }
 
+/// CRC-32/IEEE of the virtual message `tag || bytes`, without
+/// concatenating buffers. The wire protocol seals each frame's type byte
+/// together with its payload this way, so a corrupted type byte is a CRC
+/// mismatch — not a reinterpretation of the payload under another frame
+/// type.
+pub fn crc32_tagged(tag: u8, bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    c = CRC_TABLE[((c ^ u32::from(tag)) & 0xFF) as usize] ^ (c >> 8);
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
 // ----------------------------------------------------------------- varint
 
 /// Append `x` as LEB128 (7 bits per byte, high bit = continuation).

@@ -56,14 +56,18 @@ use crate::server::{
     assemble, execute_batch, BatchOutcome, Request, Response, ServeConfig, ServeStats,
 };
 use crate::shard::ShardSet;
-use ppr_cluster::{Cluster, ClusterConfig, FanoutOutcome, FaultPlan, ResilienceConfig};
+use crate::replica::{plan_delta, DeltaPlan};
+use ppr_cluster::{
+    Cluster, ClusterConfig, FanoutOutcome, FaultPlan, ResilienceConfig, SocketCluster,
+};
 use ppr_core::hgpa::{HgpaBuildOptions, HgpaIndex};
 use ppr_core::incremental::{MaintenanceEngine, UpdateError, UpdateStats};
 use ppr_core::{PprConfig, SparseVector};
 use ppr_graph::reach::reverse_reachable;
-use ppr_graph::{delta, AppliedGraphDelta, CsrGraph, EdgeUpdate, GraphDelta, NodeId};
+use ppr_graph::{CsrGraph, EdgeUpdate, GraphDelta, NodeId};
 use ppr_core::parallel::Stopwatch;
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 
 /// What one [`DynamicPprServer::apply_delta`] call did.
 #[derive(Clone, Debug)]
@@ -119,6 +123,11 @@ pub struct DynamicStats {
     pub entries_retained: u64,
     /// Real seconds spent inside [`DynamicPprServer::apply_updates`].
     pub update_seconds: f64,
+    /// Epoch barriers broadcast to an attached socket transport.
+    pub epochs_published: u64,
+    /// Times the socket transport was detached because an epoch snapshot
+    /// could not be persisted (serving continued on the modeled path).
+    pub socket_detaches: u64,
 }
 
 /// Most sources a degraded round may park for exact backfill. The backlog
@@ -333,39 +342,28 @@ impl DynamicPprServer {
         // Net changes only: the incremental updater derives dirty sets
         // from the changed-edge list, so feeding it no-ops — or pairs
         // that cancel within the batch — would invalidate (and
-        // recompute) for nothing. `ppr-graph::delta` is the single
-        // authority on update semantics (node churn first, within-batch
-        // dependencies, self-loops, duplicates, net effects).
-        let applied = if delta.nodes.is_empty() {
-            // Edge-only fast path: a batch with no net effect skips the
-            // CSR rebuild entirely (and the epoch barrier with it).
-            let c = delta::coalesce_updates(&self.graph, &delta.edges);
-            let Some(graph) = c.graph else {
-                self.dynamic_stats.updates_coalesced += c.cancelled as u64;
+        // recompute) for nothing. `replica::plan_delta` is the single
+        // decision point every replica (this server and the socket
+        // workers) shares, so the coalesce-vs-rebuild call can never
+        // diverge across the cluster.
+        let applied = match plan_delta(&self.graph, delta).map_err(UpdateError::from)? {
+            DeltaPlan::Noop { skipped, cancelled } => {
+                // Edge-only fast path: a batch with no net effect skips
+                // the CSR rebuild entirely (and the epoch barrier with
+                // it — nothing is broadcast to socket workers either).
+                self.dynamic_stats.updates_coalesced += cancelled as u64;
                 return Ok(UpdateOutcome {
                     applied: 0,
-                    skipped: c.skipped,
-                    coalesced: c.cancelled,
+                    skipped,
+                    coalesced: cancelled,
                     stats: UpdateStats::default(),
                     evicted: 0,
                     retained: 0,
                     epoch: self.epoch,
                     seconds: t0.elapsed_seconds(),
                 });
-            };
-            AppliedGraphDelta {
-                graph,
-                added: Vec::new(),
-                removed: Vec::new(),
-                dropped_edges: Vec::new(),
-                net: c.net,
-                skipped: c.skipped,
-                cancelled: c.cancelled,
             }
-        } else {
-            // A batch with node churn always has a net effect (the churn
-            // itself), so the barrier always fires on this path.
-            delta::apply_delta(&self.graph, delta)?
+            DeltaPlan::Apply(applied) => applied,
         };
 
         // Exact incremental maintenance, once per barrier. The engine
@@ -386,6 +384,24 @@ impl DynamicPprServer {
         let changed = applied.net.len();
         self.graph = applied.graph;
         self.epoch += 1; // release the next epoch to readers
+
+        // Socket transport: push the barrier to the worker processes.
+        // Snapshot-first ordering inside `publish_epoch` makes worker
+        // crashes at any point recoverable; only a failed snapshot
+        // *write* is fatal to the transport, in which case queries fall
+        // back to the modeled path (still exact) rather than risk
+        // serving from workers stuck on the previous epoch.
+        if let Some(sock) = self.cluster.socket().cloned() {
+            if sock
+                .publish_epoch(&self.index, &self.graph, delta, self.epoch)
+                .is_err()
+            {
+                self.cluster.detach_socket();
+                self.dynamic_stats.socket_detaches += 1;
+            } else {
+                self.dynamic_stats.epochs_published += 1;
+            }
+        }
 
         let seconds = t0.elapsed_seconds();
         self.dynamic_stats.update_batches += 1;
@@ -438,6 +454,27 @@ impl DynamicPprServer {
             requests,
             assembly,
         )
+    }
+
+    /// Route this server's fan-outs over a real multi-process
+    /// [`SocketCluster`]. Answers stay bit-identical to the modeled
+    /// path; epoch barriers are pushed to the workers automatically
+    /// ([`DynamicPprServer::apply_delta`] publishes after applying
+    /// locally). The socket cluster must have been launched from this
+    /// server's current index and epoch.
+    pub fn attach_socket(&mut self, socket: Arc<SocketCluster>) {
+        self.cluster.attach_socket(socket);
+    }
+
+    /// Detach the socket transport; fan-outs return to the modeled
+    /// in-process path.
+    pub fn detach_socket(&mut self) -> Option<Arc<SocketCluster>> {
+        self.cluster.detach_socket()
+    }
+
+    /// The attached socket transport, if any.
+    pub fn socket(&self) -> Option<&Arc<SocketCluster>> {
+        self.cluster.socket()
     }
 
     /// Install a deterministic fault plan (and keep the current retry /

@@ -64,8 +64,10 @@ pub mod cache;
 pub mod degrade;
 pub mod dynamic;
 pub mod openloop;
+pub mod replica;
 pub mod server;
 pub mod shard;
+pub mod worker;
 
 pub use boot::ColdStart;
 pub use cache::{CacheStats, PpvCache};
@@ -77,5 +79,7 @@ pub use dynamic::{
 pub use ppr_core::incremental::{MaintenanceEngine, UpdateError, UpdateStats};
 pub use openloop::{run_open_loop, OpenLoopConfig, OpenLoopReport, ServeEvent, ServiceModel};
 pub use ppr_workload::ArrivalPattern;
+pub use replica::{plan_delta, DeltaPlan, IndexReplica};
 pub use server::{BatchOutcome, PprServer, Request, Response, ServeConfig, ServeStats};
 pub use shard::ShardedPprServer;
+pub use worker::{Chaos, WorkerConfig};

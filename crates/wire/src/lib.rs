@@ -1,0 +1,38 @@
+#![deny(missing_docs)]
+
+//! Wire layer for the real multi-process PPR cluster.
+//!
+//! The paper's experiments run on the *modeled* transport — a virtual
+//! clock and a byte-accounted `NetworkModel` stand-in — which
+//! reproduces figures deterministically but never
+//! crosses a process boundary. This crate is the boundary: a compact
+//! binary frame protocol ([`frame`]) built on the same `core::codec`
+//! primitives as the `.pprx` index container (LEB128 varints,
+//! delta-coded id lists, raw `f64` bits, CRC-32 per frame,
+//! length-prefixed with byte-budget checks), and deadline-carrying
+//! framed socket IO ([`stream`]) for the coordinator supervisor and the
+//! worker processes in `ppr-cluster` / `ppr-serve`.
+//!
+//! Design rules, in order:
+//!
+//! 1. **Bit-identity is non-negotiable.** Replies carry raw `f64` bit
+//!    patterns; the socket transport must answer exactly what the
+//!    modeled transport answers (pinned in `tests/socket_cluster.rs`).
+//! 2. **Malformed input is an `Err`, never a panic or an OOM** — the
+//!    `.pprx` loader's discipline, applied per frame (pinned in
+//!    `tests/wire_corruption.rs`).
+//! 3. **Every socket read and write carries a deadline**, enforced by
+//!    the `blocking-io` audit rule: a dead or wedged peer costs one
+//!    timeout, not a hang.
+//! 4. **One frame-size formula** ([`frame::reply_frame_bytes`]) serves
+//!    both the modeled byte accounting and the measured wire counters,
+//!    so the two columns in the serving report are directly comparable.
+
+pub mod frame;
+pub mod stream;
+
+pub use frame::{
+    decode_frame, encode_frame, reply_frame_bytes, Message, DEFAULT_MAX_FRAME_BYTES,
+    FRAME_HEADER_BYTES, PROTOCOL_VERSION,
+};
+pub use stream::{FramedStream, WireMetrics};

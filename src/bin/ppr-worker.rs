@@ -1,0 +1,11 @@
+//! One machine of the socket-transport PPR cluster, as a process.
+//!
+//! Spawned by the coordinator's supervisor with its identity in the
+//! `PPR_WORKER_*` environment (machine id, coordinator address, `.pprx`
+//! snapshot path, optional chaos directive). Everything interesting
+//! lives in `ppr_serve::worker`; this shell exists so integration tests
+//! get a `CARGO_BIN_EXE_ppr-worker` path to hand the supervisor.
+
+fn main() -> std::io::Result<()> {
+    ppr_serve::worker::run_from_env()
+}

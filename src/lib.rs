@@ -47,6 +47,7 @@ pub use ppr_graph as graph;
 pub use ppr_metrics as metrics;
 pub use ppr_partition as partition;
 pub use ppr_serve as serve;
+pub use ppr_wire as wire;
 pub use ppr_workload as workload;
 
 /// Convenient glob import surface for examples and downstream users.
@@ -56,7 +57,7 @@ pub mod prelude {
     };
     pub use ppr_cluster::{
         Cluster, ClusterConfig, FanoutOutcome, FaultPlan, NetworkModel, ParallelismMode,
-        ResilienceConfig,
+        ResilienceConfig, SocketCluster, SocketConfig,
     };
     pub use ppr_core::{
         gpa::{GpaBuildOptions, GpaIndex},

@@ -1,0 +1,296 @@
+//! Hostile-input suite for the wire protocol, mirroring the storage
+//! tier's `persist_corruption` methodology: a decoder facing truncated,
+//! bit-flipped, zero-filled, or deliberately forged frames must return
+//! `Err` — it must never panic, and never allocate from a lying length
+//! field (the budget gate runs before any allocation). Every frame byte
+//! is covered by a check — the magic by comparison, the length field by
+//! consistency with the bytes framed, the type byte and payload by the
+//! CRC — so *any* single-byte mutation of a valid frame must be
+//! detected.
+//!
+//! Forgeries go further than random corruption: they re-seal the CRC
+//! over the tampered `type || payload` bytes, so the frame looks
+//! internally consistent and only decode-level validation (bounds
+//! checks, byte budgets, exact-consumption) stands between the forgery
+//! and the allocator.
+
+use exact_ppr::core::codec::crc32_tagged;
+use exact_ppr::core::sparse::SparseVector;
+use exact_ppr::graph::{EdgeUpdate, GraphDelta, NodeUpdate};
+use exact_ppr::wire::{
+    decode_frame, encode_frame, Message, DEFAULT_MAX_FRAME_BYTES, FRAME_HEADER_BYTES,
+    PROTOCOL_VERSION,
+};
+use proptest::prelude::*;
+
+/// Node-id bound every decode in this suite runs under.
+const BOUND: u64 = 1000;
+
+fn decode(bytes: &[u8]) -> Result<Message, exact_ppr::core::codec::CodecError> {
+    decode_frame(bytes, BOUND, DEFAULT_MAX_FRAME_BYTES)
+}
+
+/// One valid frame of every variant, with non-trivial payloads.
+fn sample_frames() -> Vec<(Message, Vec<u8>)> {
+    let graph = exact_ppr::graph::csr::from_edges(6, &[(0, 1), (1, 2), (2, 5), (5, 0), (3, 4)]);
+    let msgs = vec![
+        Message::Hello {
+            machine: 2,
+            proto: PROTOCOL_VERSION,
+        },
+        Message::Welcome { epoch: 4, graph },
+        Message::Request {
+            round: 17,
+            sources: vec![999, 0, 41, 500],
+        },
+        Message::RequestPref {
+            round: 18,
+            pairs: vec![(7, 0.25), (950, 0.75)],
+        },
+        Message::Reply {
+            round: 17,
+            machine: 2,
+            compute_seconds: 3.25e-4,
+            vectors: vec![
+                SparseVector::from_entries(vec![(0, 0.5), (3, 0.125), (700, 1e-12)]),
+                SparseVector::from_entries(vec![]),
+                SparseVector::from_entries(vec![(999, f64::MIN_POSITIVE)]),
+            ],
+        },
+        Message::Update {
+            epoch: 5,
+            delta: GraphDelta {
+                nodes: vec![NodeUpdate::Add, NodeUpdate::Remove(3)],
+                edges: vec![EdgeUpdate::Insert(0, 999), EdgeUpdate::Remove(1, 2)],
+            },
+        },
+        Message::UpdateAck {
+            epoch: 5,
+            machine: 0,
+        },
+        Message::Ping { seq: 99 },
+        Message::Pong {
+            seq: 99,
+            machine: 1,
+            epoch: 5,
+        },
+        Message::Shutdown,
+    ];
+    msgs.into_iter()
+        .map(|m| {
+            let frame = encode_frame(&m).expect("valid message encodes");
+            (m, frame)
+        })
+        .collect()
+}
+
+/// Re-seal a tampered frame: recompute the length field from the bytes
+/// actually present and the CRC over `type || payload`, so only
+/// decode-level validation can reject what's inside.
+fn reseal(frame: &mut [u8]) {
+    let payload_len = frame.len() - FRAME_HEADER_BYTES as usize;
+    frame[5..9].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    let crc = crc32_tagged(frame[4], &frame[FRAME_HEADER_BYTES as usize..]);
+    frame[9..13].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Every strict prefix of a valid frame must fail to decode (the full
+/// frame must decode back to its message). Every cut point is swept for
+/// small frames; large ones (Welcome ships a graph) are strided.
+#[test]
+fn truncation_always_errs() {
+    for (msg, frame) in sample_frames() {
+        assert_eq!(decode(&frame).expect("intact frame decodes"), msg);
+        let mut cuts: Vec<usize> = (0..200.min(frame.len())).collect();
+        cuts.extend((200..frame.len()).step_by(7));
+        if frame.len() > 1 {
+            cuts.push(frame.len() - 1);
+        }
+        for cut in cuts {
+            assert!(
+                decode(&frame[..cut]).is_err(),
+                "prefix of {cut}/{} bytes must not decode",
+                frame.len()
+            );
+        }
+    }
+}
+
+/// Any single flipped bit — in the magic, the type byte, the length
+/// field, the CRC, or the payload — is caught, for every variant.
+#[test]
+fn single_byte_corruption_always_errs() {
+    for (_, frame) in sample_frames() {
+        for pos in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[pos] ^= 0x40;
+            assert!(
+                decode(&bad).is_err(),
+                "flip at byte {pos}/{} must not decode",
+                frame.len()
+            );
+        }
+    }
+}
+
+/// Zero-filled ranges (a failed-write / torn-buffer signature) must be
+/// rejected wherever they land.
+#[test]
+fn zero_fill_always_errs() {
+    let frames = sample_frames();
+    let (_, reply) = &frames[4];
+    let n = reply.len();
+    for (start, len) in [(0, 4), (4, 1), (5, 4), (9, 4), (13, 8), (n / 2, 16), (n - 8, 8), (0, n)] {
+        let mut bad = reply.clone();
+        for b in &mut bad[start..(start + len).min(n)] {
+            *b = 0;
+        }
+        assert!(
+            decode(&bad).is_err(),
+            "zero-fill [{start}, +{len}) must not decode"
+        );
+    }
+}
+
+/// A length field claiming gigabytes over a few real bytes must be
+/// rejected by the budget gate before any allocation happens — the
+/// anti-OOM property, stream edition.
+#[test]
+fn lying_length_field_is_rejected_cheaply() {
+    let frame = encode_frame(&Message::Ping { seq: 7 }).expect("encode");
+    // Beyond the reader's budget: refused from the header alone.
+    let mut bad = frame.clone();
+    bad[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+    let err = decode(&bad).unwrap_err();
+    assert!(err.to_string().contains("budget"), "{err}");
+    // Within budget but lying about the bytes present: a framing error,
+    // not a blocking read or an allocation.
+    let mut bad = frame.clone();
+    bad[5..9].copy_from_slice(&1024u32.to_le_bytes());
+    let err = decode(&bad).unwrap_err();
+    assert!(err.to_string().contains("length field"), "{err}");
+    // Shrinking the claimed length is equally a framing error.
+    let mut bad = frame;
+    bad[5..9].copy_from_slice(&1u32.to_le_bytes());
+    assert!(decode(&bad).is_err());
+}
+
+/// A tiny re-sealed frame whose leading count varint claims ~2^60
+/// vectors must die on the byte budget, not in `Vec::with_capacity`.
+#[test]
+fn resealed_lying_count_is_rejected_cheaply() {
+    // Reply header fields (round, machine, compute_seconds) followed by
+    // a colossal vector-count varint over no actual vector bytes.
+    let mut frame = encode_frame(&Message::Reply {
+        round: 1,
+        machine: 0,
+        compute_seconds: 0.0,
+        vectors: vec![],
+    })
+    .expect("encode");
+    frame.truncate(FRAME_HEADER_BYTES as usize + 8 + 4 + 8);
+    frame.extend_from_slice(&[0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01]);
+    reseal(&mut frame);
+    assert!(decode(&frame).is_err());
+    // Same attack on a Request's source count.
+    let mut frame = encode_frame(&Message::Request {
+        round: 1,
+        sources: vec![],
+    })
+    .expect("encode");
+    frame.truncate(FRAME_HEADER_BYTES as usize + 8);
+    frame.extend_from_slice(&[0xFF; 10]);
+    reseal(&mut frame);
+    assert!(decode(&frame).is_err());
+}
+
+/// Re-sealed structural forgeries: out-of-bounds ids, unknown tags, a
+/// wrong protocol variant for the bytes, trailing garbage. The CRC is
+/// valid in every case — only decode validation can refuse.
+#[test]
+fn resealed_structural_forgeries_err() {
+    // Request smuggling an out-of-bounds source id.
+    let frame = encode_frame(&Message::Request {
+        round: 3,
+        sources: vec![0],
+    })
+    .expect("encode");
+    let mut bad = frame.clone();
+    let last = bad.len() - 1;
+    bad[last] = 0x7F; // source 127 >= a bound of 10
+    reseal(&mut bad);
+    assert!(decode_frame(&bad, 10, DEFAULT_MAX_FRAME_BYTES).is_err());
+
+    // Trailing garbage behind a complete payload: exact-consumption law.
+    let mut bad = frame.clone();
+    bad.extend_from_slice(b"XX");
+    reseal(&mut bad);
+    let err = decode(&bad).unwrap_err();
+    assert!(err.to_string().contains("trailing"), "{err}");
+
+    // Type byte rewritten (and re-sealed) to another variant: the
+    // payload must not survive under the wrong parser (Ping demands
+    // exactly 8 payload bytes; this Request frame carries 10).
+    let mut bad = frame.clone();
+    bad[4] = 8; // Request bytes relabeled as Ping
+    reseal(&mut bad);
+    assert!(decode(&bad).is_err());
+
+    // Unknown frame types, sealed or not, are refused.
+    let mut bad = frame;
+    bad[4] = 11;
+    reseal(&mut bad);
+    assert!(decode(&bad).is_err());
+
+    // Update carrying an unknown node-churn tag.
+    let mut frame = encode_frame(&Message::Update {
+        epoch: 1,
+        delta: GraphDelta {
+            nodes: vec![NodeUpdate::Add],
+            edges: vec![],
+        },
+    })
+    .expect("encode");
+    let tag_at = FRAME_HEADER_BYTES as usize + 8 + 1; // epoch, node count
+    frame[tag_at] = 2;
+    reseal(&mut frame);
+    let err = decode(&frame).unwrap_err();
+    assert!(err.to_string().contains("tag"), "{err}");
+}
+
+/// Junk that is not a frame at all: empty, short, wrong magic.
+#[test]
+fn non_frame_bytes_err() {
+    assert!(decode(b"").is_err());
+    assert!(decode(b"PPR").is_err());
+    assert!(decode(b"PPRW").is_err());
+    assert!(decode(b"hello world, definitely not a frame").is_err());
+    let err = decode(b"NOPE000000000").unwrap_err();
+    assert!(err.to_string().contains("magic"), "{err}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::default())]
+
+    // Randomized corruption at a random position with a random XOR
+    // delta, over every variant's frame: always `Err`, never a panic,
+    // never a silently-accepted mutation.
+    #[test]
+    fn random_byte_corruption_never_decodes(pos in 0usize..100_000, delta in 1u8..=255) {
+        for (_, frame) in sample_frames() {
+            let mut bad = frame.clone();
+            let p = pos % bad.len();
+            bad[p] ^= delta;
+            prop_assert!(decode(&bad).is_err(), "byte {p} xor {delta:#x} must not decode");
+        }
+    }
+
+    // Random truncation points over every variant: always `Err`.
+    #[test]
+    fn random_truncation_never_decodes(cut in 0usize..100_000) {
+        for (_, frame) in sample_frames() {
+            let c = cut % frame.len();
+            prop_assert!(decode(&frame[..c]).is_err(), "prefix {c} must not decode");
+        }
+    }
+}
